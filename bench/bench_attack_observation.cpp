@@ -1,0 +1,76 @@
+// bench_attack_observation — ablation of the adversary's observation
+// point (a modeling choice the paper leaves implicit).
+//
+// The colluding adversary forges gradients from honest statistics.  Two
+// readings of "omniscient" exist:
+//   clean : the adversary estimates g_t / sigma_t from its own honest-
+//           equivalent computations (the original attack papers' setup;
+//           dpbyz's default — its b-sweep matches Figures 2-4);
+//   wire  : the adversary reads the cleartext channel (Remark 1) and uses
+//           the *noisy* submissions — its sigma estimate then absorbs the
+//           DP noise, scaling the forged offset with the noise itself.
+//
+// The bench quantifies the gap: with DP on, the wire adversary is
+// strictly stronger, and the batch size needed to neutralize it grows.
+// Without DP the two coincide (sanity row).
+//
+// Flags: --steps N --seeds K --fast
+#include <cstdio>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "utils/csv.hpp"
+#include "utils/flags.hpp"
+#include "utils/strings.hpp"
+#include "utils/table.hpp"
+
+using namespace dpbyz;
+
+int main(int argc, char** argv) {
+  flags::Parser p(argc, argv, {"steps", "seeds", "fast"});
+  size_t steps = static_cast<size_t>(p.get_int("steps", 800));
+  size_t seeds = static_cast<size_t>(p.get_int("seeds", 3));
+  if (p.get_bool("fast", false)) {
+    steps = 300;
+    seeds = 2;
+  }
+
+  const PhishingExperiment exp(42);
+
+  std::printf("Adversary observation-point ablation (MDA, eps = 0.2, T = %zu, %zu seeds)\n",
+              steps, seeds);
+
+  table::banner("Final accuracy: clean-statistics vs wire-statistics adversary");
+  table::Printer t({"b", "attack", "no-dp (either)", "dp / clean obs", "dp / wire obs"});
+  csv::Writer out("bench_out/attack_observation.csv",
+                  {"b", "attack", "nodp", "dp_clean", "dp_wire"});
+  for (size_t b : {10u, 50u, 500u}) {
+    for (const char* attack : {"little", "empire"}) {
+      ExperimentConfig base;
+      base.steps = steps;
+      base.batch_size = b;
+      auto acc = [&](const ExperimentConfig& cfg) {
+        return summarize_final_accuracy(exp.run_seeds(cfg, seeds)).mean;
+      };
+      const double nodp = acc(base.with_attack(attack));
+      ExperimentConfig clean = base.with_dp(0.2).with_attack(attack);
+      clean.attack_observes = "clean";
+      ExperimentConfig wire = clean;
+      wire.attack_observes = "wire";
+      const double dp_clean = acc(clean);
+      const double dp_wire = acc(wire);
+      t.row({std::to_string(b), attack, strings::format_double(nodp, 4),
+             strings::format_double(dp_clean, 4), strings::format_double(dp_wire, 4)});
+      out.row_strings({std::to_string(b), attack, strings::format_double(nodp, 6),
+                       strings::format_double(dp_clean, 6),
+                       strings::format_double(dp_wire, 6)});
+    }
+  }
+  t.print();
+  std::printf(
+      "\nReading: eavesdropping on the noisy channel *helps* the adversary — its\n"
+      "sigma estimate inherits the DP noise and the forged offset grows with it.\n"
+      "DP noise thus hands the attacker a larger evasion envelope, a second,\n"
+      "purely adversarial face of the paper's antagonism.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// bench_dropout_resilience — the §2.1 synchrony convention, stress-tested.
+//
+// "The training is divided into sequential synchronous steps, hence the
+// parameter server considers any non-received gradient to be 0."  This
+// bench measures what that convention costs under increasing loss rates:
+// zero vectors act as unintentional Byzantine gradients, and robust GARs
+// filter them while plain averaging silently shrinks its aggregate.
+// With DP noise on top, dropped workers also reduce the effective
+// averaging that hides the noise — compounding the paper's antagonism.
+//
+// Flags: --steps N --seeds K --fast
+#include <cstdio>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "utils/csv.hpp"
+#include "utils/flags.hpp"
+#include "utils/strings.hpp"
+#include "utils/table.hpp"
+
+using namespace dpbyz;
+
+int main(int argc, char** argv) {
+  flags::Parser p(argc, argv, {"steps", "seeds", "fast"});
+  size_t steps = static_cast<size_t>(p.get_int("steps", 600));
+  size_t seeds = static_cast<size_t>(p.get_int("seeds", 3));
+  if (p.get_bool("fast", false)) {
+    steps = 250;
+    seeds = 2;
+  }
+
+  const PhishingExperiment exp(42);
+
+  std::printf("Dropped-gradient stress test (zero-substitution per paper §2.1)\n");
+  std::printf("b = 50, T = %zu, %zu seeds; drop probability applies to honest workers.\n",
+              steps, seeds);
+
+  table::banner("Final accuracy vs per-round drop probability");
+  table::Printer t({"drop prob", "average (no att.)", "mda (no att.)", "mda+little",
+                    "mda+dp", "mda+dp+little"});
+  csv::Writer out("bench_out/dropout_resilience.csv",
+                  {"drop", "average", "mda", "mda_little", "mda_dp", "mda_dp_little"});
+  for (double drop : {0.0, 0.1, 0.2, 0.3, 0.45}) {
+    ExperimentConfig base;
+    base.steps = steps;
+    base.batch_size = 50;
+    base.dropout_prob = drop;
+    auto acc = [&](const ExperimentConfig& cfg) {
+      return summarize_final_accuracy(exp.run_seeds(cfg, seeds)).mean;
+    };
+    ExperimentConfig avg = base;
+    avg.gar = "average";
+    const double a = acc(avg);
+    const double m = acc(base);
+    const double ml = acc(base.with_attack("little"));
+    const double md = acc(base.with_dp(0.2));
+    const double mdl = acc(base.with_dp(0.2).with_attack("little"));
+    t.row({strings::format_double(drop, 3), strings::format_double(a, 4),
+           strings::format_double(m, 4), strings::format_double(ml, 4),
+           strings::format_double(md, 4), strings::format_double(mdl, 4)});
+    out.row({drop, a, m, ml, md, mdl});
+  }
+  t.print();
+  std::printf(
+      "\nReading: zero-substitution is mild for this task — zeros shrink the\n"
+      "average without rotating it, and a linear classifier's accuracy only\n"
+      "depends on direction — and MDA filters the zeros outright.  The tell is\n"
+      "the DP column: it degrades steadily with the drop rate, because fewer\n"
+      "delivered honest gradients mean less averaging over the injected noise —\n"
+      "the same mechanism behind the paper's batch-size dependence.\n");
+  return 0;
+}

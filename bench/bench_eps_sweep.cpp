@@ -1,0 +1,83 @@
+// bench_eps_sweep — the privacy-parameter sweep of §5.2 / the paper's
+// full version.
+//
+// At the paper's b = 50 setting, sweep the per-step privacy budget eps
+// and report final accuracy/loss for the four configurations.  Expected
+// shape (paper §5.2): "slightly larger privacy noises gracefully
+// translate into slightly lower performances ... not any abrupt decrease"
+// — the practitioner trades accuracy for privacy smoothly, even under
+// attack, because the task is convex.
+//
+// Flags: --steps N --seeds K --batch B --fast
+#include <cstdio>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "utils/csv.hpp"
+#include "utils/flags.hpp"
+#include "utils/strings.hpp"
+#include "utils/table.hpp"
+
+using namespace dpbyz;
+
+int main(int argc, char** argv) {
+  flags::Parser p(argc, argv, {"steps", "seeds", "batch", "fast"});
+  size_t steps = static_cast<size_t>(p.get_int("steps", 1000));
+  size_t seeds = static_cast<size_t>(p.get_int("seeds", 5));
+  const size_t batch = static_cast<size_t>(p.get_int("batch", 50));
+  if (p.get_bool("fast", false)) {
+    steps = 300;
+    seeds = 3;
+  }
+
+  const PhishingExperiment exp(42);
+  ExperimentConfig base;
+  base.steps = steps;
+  base.batch_size = batch;
+
+  std::printf("Privacy-budget sweep (full-version experiment): b = %zu, T = %zu, %zu seeds\n",
+              batch, steps, seeds);
+
+  const std::vector<double> epsilons{0.1, 0.2, 0.35, 0.5, 0.75, 0.9};
+
+  table::banner("Final accuracy (mean +/- std) vs per-step epsilon");
+  table::Printer t({"eps", "dp only", "dp+little", "dp+empire"});
+  csv::Writer out("bench_out/eps_sweep.csv",
+                  {"eps", "dp_acc", "dp_acc_std", "little_acc", "little_acc_std",
+                   "empire_acc", "empire_acc_std"});
+
+  // Non-DP reference rows.
+  const auto ref = summarize_final_accuracy(exp.run_seeds(base, seeds));
+  const auto ref_little =
+      summarize_final_accuracy(exp.run_seeds(base.with_attack("little"), seeds));
+  const auto ref_empire =
+      summarize_final_accuracy(exp.run_seeds(base.with_attack("empire"), seeds));
+  t.row({"inf (no DP)",
+         strings::format_double(ref.mean, 4) + " +/- " + strings::format_double(ref.stddev, 2),
+         strings::format_double(ref_little.mean, 4) + " +/- " +
+             strings::format_double(ref_little.stddev, 2),
+         strings::format_double(ref_empire.mean, 4) + " +/- " +
+             strings::format_double(ref_empire.stddev, 2)});
+
+  for (double eps : epsilons) {
+    const auto dp = summarize_final_accuracy(exp.run_seeds(base.with_dp(eps), seeds));
+    const auto little = summarize_final_accuracy(
+        exp.run_seeds(base.with_dp(eps).with_attack("little"), seeds));
+    const auto empire = summarize_final_accuracy(
+        exp.run_seeds(base.with_dp(eps).with_attack("empire"), seeds));
+    t.row({strings::format_double(eps, 3),
+           strings::format_double(dp.mean, 4) + " +/- " + strings::format_double(dp.stddev, 2),
+           strings::format_double(little.mean, 4) + " +/- " +
+               strings::format_double(little.stddev, 2),
+           strings::format_double(empire.mean, 4) + " +/- " +
+               strings::format_double(empire.stddev, 2)});
+    out.row({eps, dp.mean, dp.stddev, little.mean, little.stddev, empire.mean,
+             empire.stddev});
+  }
+  t.print();
+  std::printf(
+      "\nReading top-to-bottom (increasing eps = weaker privacy): accuracies rise\n"
+      "gracefully toward the no-DP reference; under attack the degradation is\n"
+      "steeper but still graded — the convex-task trade-off of §5.2.\n");
+  return 0;
+}

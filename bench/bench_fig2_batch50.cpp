@@ -1,0 +1,21 @@
+// bench_fig2_batch50 — reproduces Figure 2 of the paper.
+//
+// Setting: b = 50 (the "reasonable" batch size), eps = 0.2 when DP is on.
+// Expected shape (paper):
+//   * without DP, the minimum loss is reached in < 100 steps whether or
+//     not an attack runs (MDA absorbs both attacks);
+//   * with DP but no attack, training is essentially unaffected;
+//   * with DP *and* an attack, MDA's protection is noticeably lowered —
+//     the antagonism between privacy noise and Byzantine resilience.
+//
+// Flags: --steps N --seeds K --eps E --fast
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  dpbyz::bench::FigureSpec spec;
+  spec.name = "fig2_batch50";
+  spec.batch_size = 50;
+  spec = dpbyz::bench::parse_figure_flags(argc, argv, spec);
+  dpbyz::bench::run_figure(spec);
+  return 0;
+}

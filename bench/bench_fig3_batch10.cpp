@@ -1,0 +1,18 @@
+// bench_fig3_batch10 — reproduces Figure 3 of the paper.
+//
+// Setting: b = 10, the small-batch extreme.  Expected shape (paper):
+// decreasing b raises the honest-gradient variance; the unattacked
+// non-DP run still converges, but adding DP noise "significantly hampers
+// the training even without attack", and DP + attack collapses.
+//
+// Flags: --steps N --seeds K --eps E --fast
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  dpbyz::bench::FigureSpec spec;
+  spec.name = "fig3_batch10";
+  spec.batch_size = 10;
+  spec = dpbyz::bench::parse_figure_flags(argc, argv, spec);
+  dpbyz::bench::run_figure(spec);
+  return 0;
+}

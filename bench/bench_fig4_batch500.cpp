@@ -1,0 +1,19 @@
+// bench_fig4_batch500 — reproduces Figure 4 of the paper.
+//
+// Setting: b = 500, the large-batch extreme.  Expected shape (paper):
+// with the gradient variance crushed by the huge batch, every
+// configuration — attack and/or DP — reaches the baseline's accuracy:
+// the incompatibility is an *antagonism*, not a strict impossibility,
+// resolvable by paying ~50x more samples per step than convergence needs.
+//
+// Flags: --steps N --seeds K --eps E --fast
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  dpbyz::bench::FigureSpec spec;
+  spec.name = "fig4_batch500";
+  spec.batch_size = 500;
+  spec = dpbyz::bench::parse_figure_flags(argc, argv, spec);
+  dpbyz::bench::run_figure(spec);
+  return 0;
+}

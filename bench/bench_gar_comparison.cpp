@@ -1,0 +1,81 @@
+// bench_gar_comparison — supporting experiment for §2.2/§5.1's GAR choice.
+//
+// The paper fixes MDA because it has the largest known VN-ratio bound.
+// This bench trains the phishing-like task with *every* registered GAR
+// (at an admissible (n, f) each), under both paper attacks, with and
+// without DP — showing (a) all robust GARs handle the attacks without
+// DP, (b) the DP+attack degradation is not an artifact of MDA.
+//
+// Flags: --steps N --seeds K --fast
+#include <cstdio>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "utils/csv.hpp"
+#include "utils/flags.hpp"
+#include "utils/strings.hpp"
+#include "utils/table.hpp"
+
+using namespace dpbyz;
+
+int main(int argc, char** argv) {
+  flags::Parser p(argc, argv, {"steps", "seeds", "fast"});
+  size_t steps = static_cast<size_t>(p.get_int("steps", 600));
+  size_t seeds = static_cast<size_t>(p.get_int("seeds", 3));
+  if (p.get_bool("fast", false)) {
+    steps = 200;
+    seeds = 2;
+  }
+
+  const PhishingExperiment exp(42);
+  ExperimentConfig base;
+  base.steps = steps;
+  base.batch_size = 50;
+
+  // Admissible f at n = 11 per rule (Krum family needs smaller f).
+  const std::vector<std::pair<std::string, size_t>> gars{
+      {"mda", 5},          {"median", 5}, {"meamed", 5},      {"phocas", 5},
+      {"trimmed-mean", 5}, {"krum", 4},   {"multi-krum", 4},  {"bulyan", 2},
+      {"cge", 5},          {"geometric-median", 5}};
+
+  std::printf("GAR comparison on the phishing-like task: b = 50, T = %zu, %zu seeds\n",
+              steps, seeds);
+  std::printf("(f column: Byzantine count used, the max admissible <= 5 per rule)\n");
+
+  table::banner("Final accuracy per GAR (mean over seeds)");
+  table::Printer t({"GAR", "f", "benign", "little", "empire", "dp", "dp+little",
+                    "dp+empire"});
+  csv::Writer out("bench_out/gar_comparison.csv",
+                  {"gar", "f", "benign", "little", "empire", "dp", "dp_little",
+                   "dp_empire"});
+  for (const auto& [gar, f] : gars) {
+    ExperimentConfig c = base;
+    c.gar = gar;
+    c.num_byzantine = f;
+    auto acc = [&](const ExperimentConfig& cfg) {
+      return summarize_final_accuracy(exp.run_seeds(cfg, seeds)).mean;
+    };
+    const double benign = acc(c);
+    const double little = acc(c.with_attack("little"));
+    const double empire = acc(c.with_attack("empire"));
+    const double dp = acc(c.with_dp(0.2));
+    const double dp_little = acc(c.with_dp(0.2).with_attack("little"));
+    const double dp_empire = acc(c.with_dp(0.2).with_attack("empire"));
+    t.row({gar, std::to_string(f), strings::format_double(benign, 4),
+           strings::format_double(little, 4), strings::format_double(empire, 4),
+           strings::format_double(dp, 4), strings::format_double(dp_little, 4),
+           strings::format_double(dp_empire, 4)});
+    out.row_strings({gar, std::to_string(f), strings::format_double(benign, 6),
+                     strings::format_double(little, 6), strings::format_double(empire, 6),
+                     strings::format_double(dp, 6), strings::format_double(dp_little, 6),
+                     strings::format_double(dp_empire, 6)});
+  }
+  t.print();
+  std::printf(
+      "\nReading: the Table-1 GARs hold up under attack without DP (columns 2-3\n"
+      "close to benign; the geometric median — outside the paper's table — is\n"
+      "the exception under 'empire'), and every rule degrades once DP noise\n"
+      "meets an attack — the incompatibility is a property of the *family*,\n"
+      "per §3, not an artifact of MDA.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// bench_gradient_inversion — quantifies the privacy threat the paper's
+// DP machinery defends against (§1, "Data Privacy"; reference [43]).
+//
+// A curious parameter server observing a clean single-sample gradient of
+// the linear model reconstructs the training sample *exactly* (the
+// gradient is dz * [x; 1]).  This bench runs the reconstruction attack
+// against gradients sanitized with the paper's Gaussian mechanism across
+// the per-step eps grid, and also reports the loss-threshold membership-
+// inference AUC of models trained with and without DP — making the
+// privacy/utility side of the paper's trade-off concrete.
+//
+// Flags: --count N (gradients per cell)
+#include <cstdio>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "dp/gaussian_mechanism.hpp"
+#include "privacy/gradient_inversion.hpp"
+#include "privacy/membership_inference.hpp"
+#include "utils/csv.hpp"
+#include "utils/flags.hpp"
+#include "utils/strings.hpp"
+#include "utils/table.hpp"
+
+using namespace dpbyz;
+
+int main(int argc, char** argv) {
+  flags::Parser p(argc, argv, {"count"});
+  const size_t count = static_cast<size_t>(p.get_int("count", 400));
+
+  const PhishingExperiment exp(42);
+  const Dataset& data = exp.train();
+  const Vector w0(exp.model().dim(), 0.0);
+
+  std::printf("Gradient-inversion attack vs per-step privacy budget (d = %zu)\n",
+              exp.model().dim());
+  std::printf("%zu victim gradients per cell; reconstruction of single-sample\n"
+              "gradients (the attacker's best case); G_max = 1e-2, delta = 1e-6.\n\n",
+              count);
+
+  table::banner("Reconstruction quality vs eps (Gaussian mechanism at b = 1)");
+  table::Printer t({"eps", "noise s", "mean rel. error", "label accuracy", "invertible"});
+  csv::Writer out("bench_out/gradient_inversion.csv",
+                  {"eps", "noise", "rel_error", "label_acc", "invertible_frac"});
+  // eps = inf row: gradients in the clear.
+  {
+    const auto clear = privacy::attack_linear_model(data, w0, 0.0, count, 1);
+    t.row({"inf (clear)", "0",
+           strings::format_double(clear.mean_relative_error, 4),
+           strings::format_double(clear.label_accuracy, 4),
+           strings::format_double(
+               static_cast<double>(clear.invertible) / static_cast<double>(clear.attempted),
+               3)});
+    out.row({0.0, 0.0, clear.mean_relative_error, clear.label_accuracy,
+             static_cast<double>(clear.invertible) / static_cast<double>(clear.attempted)});
+  }
+  for (double eps : {0.9, 0.5, 0.2, 0.1}) {
+    const double s = GaussianMechanism::noise_scale(eps, 1e-6, 1e-2, 1);
+    const auto r = privacy::attack_linear_model(data, w0, s, count, 1);
+    t.row({strings::format_double(eps, 3), strings::format_double(s, 4),
+           strings::format_double(r.mean_relative_error, 4),
+           strings::format_double(r.label_accuracy, 4),
+           strings::format_double(
+               static_cast<double>(r.invertible) / static_cast<double>(r.attempted), 3)});
+    out.row({eps, s, r.mean_relative_error, r.label_accuracy,
+             static_cast<double>(r.invertible) / static_cast<double>(r.attempted)});
+  }
+  t.print();
+
+  table::banner("Membership inference against trained models (loss threshold)");
+  ExperimentConfig cfg;
+  cfg.steps = 500;
+  table::Printer mi({"training", "AUC", "best accuracy", "member loss", "non-member loss"});
+  for (const bool dp : {false, true}) {
+    ExperimentConfig c = dp ? cfg.with_dp(0.2) : cfg;
+    const RunResult run = exp.run(c);
+    const auto report = privacy::membership_inference(exp.model(), run.final_parameters,
+                                                      exp.train(), exp.test(), 2000);
+    mi.row({dp ? "with (0.2, 1e-6)-DP" : "no DP",
+            strings::format_double(report.auc, 4),
+            strings::format_double(report.best_accuracy, 4),
+            strings::format_double(report.member_mean_loss, 5),
+            strings::format_double(report.non_member_mean_loss, 5)});
+  }
+  mi.print();
+  std::printf(
+      "\nReading: in the clear the server reconstructs samples exactly (error 0,\n"
+      "labels 100%%); at the paper's eps = 0.2 the reconstruction is noise.  The\n"
+      "membership AUC of this convex task is near chance either way — the\n"
+      "gradient channel, not the final model, is the paper's threat surface.\n");
+  return 0;
+}

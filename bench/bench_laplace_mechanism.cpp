@@ -1,0 +1,71 @@
+// bench_laplace_mechanism — Remark 3: the incompatibility is mechanism-
+// agnostic.
+//
+// The paper notes its results "can easily be adapted to any other DP
+// mechanism based on noise injection (e.g., the Laplacian mechanism)".
+// This bench repeats the Figure-2 protocol with Laplace noise calibrated
+// for pure eps-DP (L1 sensitivity carries an explicit sqrt(d) factor) and
+// shows the same qualitative collapse — in fact earlier, because of the
+// extra dimension dependence.
+//
+// Flags: --steps N --seeds K --eps E --fast
+#include <cstdio>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "dp/laplace_mechanism.hpp"
+#include "utils/csv.hpp"
+#include "utils/flags.hpp"
+#include "utils/strings.hpp"
+#include "utils/table.hpp"
+
+using namespace dpbyz;
+
+int main(int argc, char** argv) {
+  flags::Parser p(argc, argv, {"steps", "seeds", "eps", "fast"});
+  size_t steps = static_cast<size_t>(p.get_int("steps", 800));
+  size_t seeds = static_cast<size_t>(p.get_int("seeds", 3));
+  // Laplace noise is much heavier at equal eps (sqrt(d) in sensitivity);
+  // sweep eps upward to show the graded trade-off.
+  if (p.get_bool("fast", false)) {
+    steps = 300;
+    seeds = 2;
+  }
+
+  const PhishingExperiment exp(42);
+
+  std::printf("Remark 3: Laplace mechanism variant of the Figure-2 protocol (b = 50)\n");
+  std::printf("T = %zu, %zu seeds.  Laplace scale = sqrt(d) * 2 G_max / (b eps).\n", steps,
+              seeds);
+
+  table::banner("Final accuracy vs eps (Laplace noise)");
+  table::Printer t({"eps", "noise stddev/coord", "dp only", "dp+little", "dp+empire"});
+  csv::Writer out("bench_out/laplace_sweep.csv",
+                  {"eps", "noise_stddev", "dp", "dp_little", "dp_empire"});
+  for (double eps : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    ExperimentConfig c;
+    c.steps = steps;
+    c.batch_size = 50;
+    c.dp_enabled = true;
+    c.mechanism = "laplace";
+    c.epsilon = eps;
+    auto acc = [&](const ExperimentConfig& cfg) {
+      return summarize_final_accuracy(exp.run_seeds(cfg, seeds)).mean;
+    };
+    const auto mech =
+        LaplaceMechanism::for_clipped_gradients(eps, c.clip_norm, c.batch_size, 69);
+    const double dp = acc(c);
+    const double dp_little = acc(c.with_attack("little"));
+    const double dp_empire = acc(c.with_attack("empire"));
+    t.row({strings::format_double(eps, 3), strings::format_double(mech.noise_stddev(), 4),
+           strings::format_double(dp, 4), strings::format_double(dp_little, 4),
+           strings::format_double(dp_empire, 4)});
+    out.row({eps, mech.noise_stddev(), dp, dp_little, dp_empire});
+  }
+  t.print();
+  std::printf(
+      "\nReading: the shape matches the Gaussian runs — privacy noise alone is\n"
+      "absorbed, noise + attack is not — with the collapse at *larger* eps than\n"
+      "Gaussian because the L1 calibration injects sqrt(d) more noise (Remark 3).\n");
+  return 0;
+}

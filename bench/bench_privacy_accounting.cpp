@@ -1,0 +1,63 @@
+// bench_privacy_accounting — the §2.3 composition discussion, quantified.
+//
+// The paper fixes a *per-step* budget (eps, delta) and notes that the
+// end-to-end guarantee follows from composition: linearly for the
+// classical theorem, tighter via the moments accountant.  This bench
+// reports the total (eps, delta) of the paper's T = 1000-step training
+// under all three accountants implemented in dpbyz — basic, advanced,
+// and RDP (the moments-accountant analogue) — for the per-step budgets
+// used across the figures.
+//
+// Flags: --steps N
+#include <cstdio>
+#include <vector>
+
+#include "dp/accountant.hpp"
+#include "dp/gaussian_mechanism.hpp"
+#include "dp/sensitivity.hpp"
+#include "utils/csv.hpp"
+#include "utils/flags.hpp"
+#include "utils/strings.hpp"
+#include "utils/table.hpp"
+
+using namespace dpbyz;
+
+int main(int argc, char** argv) {
+  flags::Parser p(argc, argv, {"steps"});
+  const size_t steps = static_cast<size_t>(p.get_int("steps", 1000));
+  const double delta_step = 1e-6;
+  const double g_max = 1e-2;
+  const size_t b = 50;
+  const double delta_total = 1e-5;  // target for the RDP conversion
+
+  std::printf("Privacy accounting for the paper's training runs (T = %zu, b = %zu)\n",
+              steps, b);
+  std::printf("Per-step budgets as used in the figures; totals at delta' = 1e-5.\n");
+
+  table::banner("Total epsilon after T steps, by accountant");
+  table::Printer t({"per-step eps", "basic (T*eps)", "advanced comp.", "RDP/moments"});
+  csv::Writer out("bench_out/privacy_accounting.csv",
+                  {"eps_step", "basic", "advanced", "rdp"});
+  for (double eps : {0.1, 0.2, 0.35, 0.5, 0.75}) {
+    const auto basic = dp::basic_composition(eps, delta_step, steps);
+    const auto advanced = dp::advanced_composition(eps, delta_step, steps, delta_total);
+    const double sens = dp::l2_sensitivity(g_max, b);
+    const double s = GaussianMechanism::noise_scale(eps, delta_step, g_max, b);
+    dp::RdpAccountant rdp(s, sens);
+    rdp.record_steps(steps);
+    const double rdp_eps = rdp.epsilon_for_delta(delta_total);
+    t.row({strings::format_double(eps, 3), strings::format_double(basic.epsilon, 4),
+           strings::format_double(advanced.epsilon, 4),
+           strings::format_double(rdp_eps, 4)});
+    out.row({eps, basic.epsilon, advanced.epsilon, rdp_eps});
+  }
+  t.print();
+  std::printf(
+      "\nReading: the paper's experiments spend a large end-to-end budget (basic\n"
+      "composition at eps = 0.2/step gives eps = %0.f over the full run; the RDP\n"
+      "accountant is several-fold tighter).  This matches §2.3's framing: the\n"
+      "paper studies the *per-step* budget's robustness impact, not end-to-end\n"
+      "privacy optimization.\n",
+      dp::basic_composition(0.2, delta_step, steps).epsilon);
+  return 0;
+}

@@ -1,0 +1,173 @@
+// bench_thm1_convex_rate — reproduces Theorem 1 (strongly-convex rates).
+//
+// Theorem 1: with any (alpha, f)-Byzantine-resilient GAR and DP noise,
+// E[Q(w_{T+1})] - Q* is Theta(d log(1/delta) / (T b^2 eps^2)); without DP
+// the same algorithm achieves O(1/T), independent of d.
+//
+// The bench trains the paper's own lower-bound construction — the
+// Gaussian-mean quadratic Q(w) = 1/2 E||w - x||^2, D = N(x_bar, sigma^2/d I)
+// — with the Theorem's decaying schedule gamma_t = 1/(lambda t), and
+// measures the exact excess loss 1/2 ||w - x_bar||^2 while sweeping each
+// variable of the rate in turn:
+//   (1) d sweep     -> error grows ~ linearly in d with DP, flat without;
+//   (2) T sweep     -> ~ 1/T both with and without DP;
+//   (3) b sweep     -> ~ 1/b^2 with DP;
+//   (4) eps sweep   -> ~ 1/eps^2 with DP.
+// Each sweep prints measured error, the Cramér–Rao lower bound and the
+// Eq. 12 upper bound (per-worker bounds scaled by 1/n for the honest
+// averaging of n iid submissions).
+//
+// Flags: --seeds K --fast
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "theory/conditions.hpp"
+#include "utils/csv.hpp"
+#include "utils/flags.hpp"
+#include "utils/strings.hpp"
+#include "utils/table.hpp"
+
+using namespace dpbyz;
+
+namespace {
+
+struct Setting {
+  size_t d = 32;
+  size_t steps = 400;
+  size_t batch = 10;
+  double eps = 0.5;
+  double delta = 1e-6;
+  double sigma = 1.0;
+  double g_max = 3.0;
+  size_t workers = 4;
+  size_t seeds = 5;
+};
+
+ExperimentConfig to_config(const Setting& s, bool dp) {
+  ExperimentConfig c;
+  c.num_workers = s.workers;
+  c.num_byzantine = 0;
+  c.gar = "average";
+  c.batch_size = s.batch;
+  c.steps = s.steps;
+  c.momentum = 0.0;
+  c.lr_schedule = "theorem1";
+  c.learning_rate = 1.0;  // 1/(lambda (1 - sin alpha)), lambda = 1
+  c.clip_norm = s.g_max;
+  c.clip_enabled = false;  // Theorem 1 *assumes* the bound; see config.hpp
+  c.eval_every = s.steps;
+  if (dp) {
+    c.dp_enabled = true;
+    c.epsilon = s.eps;
+    c.delta = s.delta;
+  }
+  return c;
+}
+
+theory::Theorem1Params to_params(const Setting& s) {
+  theory::Theorem1Params p;
+  p.d = s.d;
+  p.steps = s.steps;
+  p.batch_size = s.batch;
+  p.epsilon = s.eps;
+  p.delta = s.delta;
+  p.sigma = s.sigma;
+  p.g_max = s.g_max;
+  p.c = 2.0;
+  return p;
+}
+
+void sweep(const std::string& title, const std::string& csv_name,
+           const std::vector<Setting>& settings,
+           const std::string& varied, const std::vector<double>& varied_values) {
+  table::banner(title);
+  table::Printer t({varied, "measured (DP)", "measured (no DP)", "CR lower/n",
+                    "Eq.12 upper/n", "Theta rate"});
+  csv::Writer out("bench_out/" + csv_name,
+                  {varied, "measured_dp", "measured_nodp", "lower", "upper", "rate"});
+  for (size_t i = 0; i < settings.size(); ++i) {
+    const Setting& s = settings[i];
+    QuadraticExperiment task(s.d, s.sigma, 42, 20000);
+    const double with_dp = task.mean_excess_loss(to_config(s, true), s.seeds);
+    const double without = task.mean_excess_loss(to_config(s, false), s.seeds);
+    const auto p = to_params(s);
+    const double nd = static_cast<double>(s.workers);
+    const double lower = theory::theorem1_lower_bound(p) / nd;
+    const double upper = theory::theorem1_upper_bound(p) / nd;
+    const double rate = theory::theorem1_rate(p);
+    t.row({strings::format_double(varied_values[i], 6),
+           strings::format_double(with_dp, 4), strings::format_double(without, 4),
+           strings::format_double(lower, 4), strings::format_double(upper, 4),
+           strings::format_double(rate, 4)});
+    out.row({varied_values[i], with_dp, without, lower, upper, rate});
+  }
+  t.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  flags::Parser p(argc, argv, {"seeds", "fast"});
+  Setting base;
+  base.seeds = static_cast<size_t>(p.get_int("seeds", 5));
+  if (p.get_bool("fast", false)) base.seeds = 2;
+
+  std::printf("Theorem 1 reproduction: error rate Theta(d log(1/delta) / (T b^2 eps^2))\n");
+  std::printf("Gaussian-mean quadratic, lambda = mu = 1, schedule gamma_t = 1/t, "
+              "n = %zu honest workers, %zu seeds\n",
+              base.workers, base.seeds);
+
+  {
+    std::vector<Setting> ss;
+    std::vector<double> vals;
+    for (size_t d : {8, 16, 32, 64, 128}) {
+      Setting s = base;
+      s.d = d;
+      ss.push_back(s);
+      vals.push_back(static_cast<double>(d));
+    }
+    sweep("(1) dimension sweep — DP error grows ~ linearly in d; no-DP stays flat",
+          "thm1_d_sweep.csv", ss, "d", vals);
+  }
+  {
+    std::vector<Setting> ss;
+    std::vector<double> vals;
+    for (size_t steps : {100, 200, 400, 800, 1600}) {
+      Setting s = base;
+      s.steps = steps;
+      ss.push_back(s);
+      vals.push_back(static_cast<double>(steps));
+    }
+    sweep("(2) horizon sweep — error ~ 1/T", "thm1_t_sweep.csv", ss, "T", vals);
+  }
+  {
+    std::vector<Setting> ss;
+    std::vector<double> vals;
+    for (size_t b : {5, 10, 20, 40, 80}) {
+      Setting s = base;
+      s.batch = b;
+      ss.push_back(s);
+      vals.push_back(static_cast<double>(b));
+    }
+    sweep("(3) batch sweep — DP error ~ 1/b^2", "thm1_b_sweep.csv", ss, "b", vals);
+  }
+  {
+    std::vector<Setting> ss;
+    std::vector<double> vals;
+    for (double eps : {0.1, 0.2, 0.4, 0.8}) {
+      Setting s = base;
+      s.eps = eps;
+      ss.push_back(s);
+      vals.push_back(eps);
+    }
+    sweep("(4) epsilon sweep — DP error ~ 1/eps^2", "thm1_eps_sweep.csv", ss, "eps", vals);
+  }
+
+  std::printf(
+      "\nReading: in every sweep the DP column tracks the Theta rate (up to the\n"
+      "bounded constants) while the no-DP column only moves with T — the curse\n"
+      "of dimensionality is introduced by the privacy noise alone.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// bench_vn_ratio — empirical verification of Eq. (8).
+//
+// Eq. (8) augments the VN-ratio numerator with the DP-noise variance
+// 8 d G^2 log(1.25/delta) / (eps b)^2.  This bench measures the honest
+// gradient distribution of the actual phishing-like task by Monte-Carlo
+// (at the zero-initialized model, where training starts) and compares:
+//
+//   measured clean ratio, measured noisy ratio, Eq. 8 prediction,
+//   and each GAR's k_F(n, f) threshold,
+//
+// across batch sizes — showing the noisy ratio exceed every admissible
+// threshold at b = 50 and approach them as b grows.
+//
+// Flags: --samples M --eps E
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "aggregation/aggregator.hpp"
+#include "core/experiment.hpp"
+#include "dp/gaussian_mechanism.hpp"
+#include "theory/vn_ratio.hpp"
+#include "utils/csv.hpp"
+#include "utils/flags.hpp"
+#include "utils/strings.hpp"
+#include "utils/table.hpp"
+
+using namespace dpbyz;
+
+int main(int argc, char** argv) {
+  flags::Parser p(argc, argv, {"samples", "eps"});
+  const size_t samples = static_cast<size_t>(p.get_int("samples", 2000));
+  const double eps = p.get_double("eps", 0.2);
+  const double delta = 1e-6, g_max = 1e-2;
+
+  const PhishingExperiment exp(42);
+  const auto& model = exp.model();
+  const Vector w0 = model.initial_parameters();
+
+  std::printf("Eq. (8) verification on the phishing-like task (d = %zu)\n", model.dim());
+  std::printf("eps = %s, delta = 1e-6, G_max = 1e-2, %zu Monte-Carlo samples per cell\n",
+              strings::format_double(eps).c_str(), samples);
+
+  table::banner("Measured vs predicted VN ratio at w = 0");
+  table::Printer t({"b", "clean ratio", "noisy ratio (measured)", "noisy ratio (Eq. 8)",
+                    "rel err"});
+  csv::Writer out("bench_out/vn_ratio.csv",
+                  {"b", "clean", "noisy_measured", "noisy_predicted"});
+  for (size_t b : {10u, 50u, 100u, 500u, 1000u, 2000u}) {
+    Rng rng_clean(100 + b), rng_noisy(200 + b);
+    NoNoise none;
+    const auto clean = theory::estimate_vn_ratio(model, exp.train(), w0, b, g_max, none,
+                                                 samples, rng_clean);
+    const auto mech = GaussianMechanism::for_clipped_gradients(eps, delta, g_max, b);
+    const auto noisy = theory::estimate_vn_ratio(model, exp.train(), w0, b, g_max, mech,
+                                                 samples, rng_noisy);
+    const double predicted = theory::noisy_vn_ratio(clean.variance, clean.mean_norm,
+                                                    model.dim(), g_max, b, eps, delta);
+    t.row({std::to_string(b), strings::format_double(clean.ratio, 4),
+           strings::format_double(noisy.ratio, 4), strings::format_double(predicted, 4),
+           strings::format_double(std::abs(noisy.ratio - predicted) / predicted, 3)});
+    out.row({static_cast<double>(b), clean.ratio, noisy.ratio, predicted});
+  }
+  t.print();
+
+  table::banner("k_F(n, f) thresholds at the paper's topology");
+  table::Printer kt({"GAR", "(n, f)", "k_F"});
+  const std::vector<std::pair<std::string, std::pair<size_t, size_t>>> gars{
+      {"mda", {11, 5}},    {"median", {11, 5}}, {"meamed", {11, 5}},
+      {"trimmed-mean", {11, 5}}, {"phocas", {11, 5}}, {"krum", {11, 4}},
+      {"bulyan", {11, 2}}};
+  for (const auto& [name, nf] : gars) {
+    const auto agg = make_aggregator(name, nf.first, nf.second);
+    kt.row({name, "(" + std::to_string(nf.first) + ", " + std::to_string(nf.second) + ")",
+            strings::format_double(agg->vn_threshold(), 4)});
+  }
+  kt.print();
+  std::printf(
+      "\nReading: the measured noisy ratios match Eq. 8 within Monte-Carlo error,\n"
+      "and at b = 50 the noisy ratio towers over every k_F — the VN sufficient\n"
+      "condition cannot certify any GAR once the paper's DP noise is injected.\n");
+  return 0;
+}

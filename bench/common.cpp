@@ -1,0 +1,127 @@
+#include "common.hpp"
+
+#include <cstdio>
+
+#include "utils/csv.hpp"
+#include "utils/flags.hpp"
+#include "utils/stopwatch.hpp"
+#include "utils/strings.hpp"
+#include "utils/table.hpp"
+
+namespace dpbyz::bench {
+
+std::string output_dir() { return "bench_out"; }
+
+FigureSpec parse_figure_flags(int argc, const char* const* argv, FigureSpec spec) {
+  flags::Parser p(argc, argv, {"steps", "seeds", "fast", "eps"});
+  if (p.get_bool("fast", false)) {
+    spec.steps = 300;
+    spec.seeds = 3;
+  }
+  spec.steps = static_cast<size_t>(p.get_int("steps", static_cast<int64_t>(spec.steps)));
+  spec.seeds = static_cast<size_t>(p.get_int("seeds", static_cast<int64_t>(spec.seeds)));
+  spec.epsilon = p.get_double("eps", spec.epsilon);
+  return spec;
+}
+
+std::vector<FigureLine> run_figure(const FigureSpec& spec) {
+  const PhishingExperiment& exp = [] {
+    static const PhishingExperiment instance(42);
+    return std::cref(instance);
+  }().get();
+
+  ExperimentConfig base;  // paper defaults: n=11, f=5, MDA, eta=2, mu=.99
+  base.batch_size = spec.batch_size;
+  base.steps = spec.steps;
+
+  std::vector<FigureLine> lines;
+  lines.push_back({"no-dp / no-attack", base, {}});
+  lines.push_back({"no-dp / little", base.with_attack("little"), {}});
+  lines.push_back({"no-dp / empire", base.with_attack("empire"), {}});
+  lines.push_back({"dp / no-attack", base.with_dp(spec.epsilon), {}});
+  lines.push_back({"dp / little", base.with_dp(spec.epsilon).with_attack("little"), {}});
+  lines.push_back({"dp / empire", base.with_dp(spec.epsilon).with_attack("empire"), {}});
+
+  std::printf("Reproduction %s: phishing-like task, d = 69, n = 11, f = 5, GAR = MDA\n",
+              spec.name.c_str());
+  std::printf("b = %zu, eps = %s, delta = 1e-6, T = %zu, %zu seeds\n",
+              spec.batch_size, strings::format_double(spec.epsilon).c_str(), spec.steps,
+              spec.seeds);
+
+  Stopwatch watch;
+  for (auto& line : lines) line.runs = exp.run_seeds(line.config, spec.seeds);
+
+  // --- summary table --------------------------------------------------------
+  table::banner("Final metrics (mean +/- std over seeds)");
+  table::Printer summary({"configuration", "final acc", "acc std", "min loss",
+                          "steps-to-min-loss"});
+  for (const auto& line : lines) {
+    const auto acc = summarize_final_accuracy(line.runs);
+    double min_loss = 0.0, steps_to = 0.0;
+    for (const auto& r : line.runs) {
+      min_loss += r.min_train_loss;
+      steps_to += static_cast<double>(r.steps_to_min_loss);
+    }
+    min_loss /= static_cast<double>(line.runs.size());
+    steps_to /= static_cast<double>(line.runs.size());
+    summary.row({line.label, strings::format_double(acc.mean, 4),
+                 strings::format_double(acc.stddev, 3),
+                 strings::format_double(min_loss, 4),
+                 strings::format_double(steps_to, 4)});
+  }
+  summary.print();
+
+  // --- accuracy checkpoints --------------------------------------------------
+  table::banner("Cross-accuracy over training (mean over seeds)");
+  const auto grid = summarize_accuracy(lines[0].runs).steps;
+  std::vector<std::string> header{"step"};
+  for (const auto& line : lines) header.push_back(line.label);
+  table::Printer curve(header);
+  // Print up to ~10 evenly spaced checkpoints; the CSV has all of them.
+  const size_t stride = grid.size() > 10 ? grid.size() / 10 : 1;
+  std::vector<SeriesSummary> acc_series;
+  acc_series.reserve(lines.size());
+  for (const auto& line : lines) acc_series.push_back(summarize_accuracy(line.runs));
+  for (size_t i = 0; i < grid.size(); i += stride) {
+    std::vector<std::string> row{std::to_string(grid[i])};
+    for (const auto& s : acc_series) row.push_back(strings::format_double(s.mean[i], 4));
+    curve.row(std::move(row));
+  }
+  curve.print();
+
+  // --- CSV dumps -------------------------------------------------------------
+  {
+    std::vector<std::string> cols{"step"};
+    for (const auto& line : lines) {
+      cols.push_back(line.label + " mean");
+      cols.push_back(line.label + " std");
+    }
+    csv::Writer acc_csv(output_dir() + "/" + spec.name + "_accuracy.csv", cols);
+    for (size_t i = 0; i < grid.size(); ++i) {
+      std::vector<double> row{static_cast<double>(grid[i])};
+      for (const auto& s : acc_series) {
+        row.push_back(s.mean[i]);
+        row.push_back(s.stddev[i]);
+      }
+      acc_csv.row(row);
+    }
+
+    csv::Writer loss_csv(output_dir() + "/" + spec.name + "_loss.csv", cols);
+    std::vector<SeriesSummary> loss_series;
+    loss_series.reserve(lines.size());
+    for (const auto& line : lines) loss_series.push_back(summarize_train_loss(line.runs));
+    for (size_t t = 0; t < loss_series[0].steps.size(); ++t) {
+      std::vector<double> row{static_cast<double>(loss_series[0].steps[t])};
+      for (const auto& s : loss_series) {
+        row.push_back(s.mean[t]);
+        row.push_back(s.stddev[t]);
+      }
+      loss_csv.row(row);
+    }
+  }
+  std::printf("\n[%s] done in %.1fs; series dumped to %s/%s_{accuracy,loss}.csv\n",
+              spec.name.c_str(), watch.seconds(), output_dir().c_str(), spec.name.c_str());
+  return lines;
+}
+
+}  // namespace dpbyz::bench

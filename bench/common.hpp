@@ -1,0 +1,50 @@
+// common.hpp — shared driver for the figure-reproduction benchmarks.
+//
+// Figures 2-4 of the paper share one protocol and differ only in the
+// training batch size b (50 / 10 / 500).  Each figure compares, for both
+// state-of-the-art attacks:
+//   (a) no DP, no attack       (b) attack only
+//   (c) DP only                (d) DP + attack
+// over 5 seeded repetitions, reporting the mean/stddev cross-accuracy
+// (every 50 steps) and the per-step training loss.
+//
+// run_figure() prints the summary rows and writes the full per-step
+// series to bench_out/<name>_{accuracy,loss}.csv for plotting.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace dpbyz::bench {
+
+/// One line of a figure: a named configuration and its multi-seed runs.
+struct FigureLine {
+  std::string label;
+  ExperimentConfig config;
+  std::vector<RunResult> runs;
+};
+
+struct FigureSpec {
+  std::string name;        ///< e.g. "fig2_batch50"; used for CSV paths
+  size_t batch_size;
+  double epsilon = 0.2;    ///< the paper's headline figures use eps = 0.2
+  size_t steps = 1000;
+  size_t seeds = 5;
+};
+
+/// Standard CLI flags for figure benches: --steps, --seeds, --fast.
+/// --fast shrinks to 300 steps / 3 seeds for smoke runs.
+FigureSpec parse_figure_flags(int argc, const char* const* argv, FigureSpec spec);
+
+/// Execute the 6 configurations of one figure (baseline, 2 attacks,
+/// DP, DP + 2 attacks) and print/dump everything.  Returns the lines in
+/// the order printed, for further inspection by the caller.
+std::vector<FigureLine> run_figure(const FigureSpec& spec);
+
+/// Root directory for CSV dumps ("bench_out").
+std::string output_dir();
+
+}  // namespace dpbyz::bench

@@ -1,0 +1,63 @@
+// attack_playground — every attack against every GAR, one matrix.
+//
+// A compact robustness audit on the paper's task: for each registered
+// GAR (at its maximal admissible f at n = 11) and each attack in the
+// library, run a short training and print the final accuracy — first
+// without DP, then with the paper's (0.2, 1e-6) budget.  The two
+// matrices juxtapose the paper's core message: the left one is mostly
+// green (robust GARs beat all attacks), the right one is not.
+#include <cstdio>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "utils/strings.hpp"
+#include "utils/table.hpp"
+
+int main() {
+  using namespace dpbyz;
+
+  const PhishingExperiment experiment(42);
+  const size_t steps = 300, seeds = 2;
+
+  const std::vector<std::pair<std::string, size_t>> gars{
+      {"average", 5}, {"mda", 5},   {"median", 5},       {"trimmed-mean", 5},
+      {"phocas", 5},  {"krum", 4},  {"geometric-median", 5}};
+  const std::vector<std::string> attacks{"little", "empire", "signflip", "random", "zero",
+                                         "mimic"};
+
+  auto matrix = [&](bool with_dp) {
+    std::vector<std::string> header{"GAR \\ attack", "none"};
+    for (const auto& a : attacks) header.push_back(a);
+    table::Printer t(header);
+    for (const auto& [gar, f] : gars) {
+      ExperimentConfig c;
+      c.gar = gar;
+      c.num_byzantine = f;
+      c.steps = steps;
+      if (with_dp) c = c.with_dp(0.2);
+      std::vector<std::string> row{gar};
+      const auto benign = summarize_final_accuracy(experiment.run_seeds(c, seeds));
+      row.push_back(strings::format_double(benign.mean, 3));
+      for (const auto& attack : attacks) {
+        const auto acc =
+            summarize_final_accuracy(experiment.run_seeds(c.with_attack(attack), seeds));
+        row.push_back(strings::format_double(acc.mean, 3));
+      }
+      t.row(std::move(row));
+    }
+    t.print();
+  };
+
+  std::printf("Attack x GAR audit on the phishing-like task (n = 11, b = 50, T = %zu,\n"
+              "%zu seeds, mean final accuracy).\n", steps, seeds);
+  table::banner("Without DP noise");
+  matrix(false);
+  table::banner("With (0.2, 1e-6)-DP noise");
+  matrix(true);
+  std::printf(
+      "\nNote how 'average' is the only rule broken by the crude attacks\n"
+      "(signflip, random) on the left; the robust GARs hold the line there —\n"
+      "and the same GARs bleed accuracy on the right, where DP noise meets the\n"
+      "attacks.  The weak point is the noise, not the aggregation rule.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// federated_fraud_detection — a realistic cross-silo scenario built on
+// the public API, assembled piece by piece (no experiment preset).
+//
+// Story: eleven banks jointly train a phishing/fraud detector.  Their
+// transactions are sensitive, so each bank sanitizes its gradients with
+// the Gaussian mechanism before sending them to the aggregation server
+// (which is honest-but-curious).  Five banks have been compromised and
+// mount the "fall of empires" attack.  The consortium uses MDA.
+//
+// The example demonstrates:
+//   * constructing datasets, model, mechanism, GAR and trainer manually,
+//   * privacy accounting for the whole campaign (basic + RDP),
+//   * the theory module's advice: what batch size WOULD have been needed.
+#include <cstdio>
+
+#include "core/trainer.hpp"
+#include "data/synthetic.hpp"
+#include "dp/accountant.hpp"
+#include "dp/gaussian_mechanism.hpp"
+#include "dp/sensitivity.hpp"
+#include "models/linear_model.hpp"
+#include "theory/conditions.hpp"
+#include "utils/strings.hpp"
+
+int main() {
+  using namespace dpbyz;
+
+  // --- the consortium's data -------------------------------------------------
+  PhishingLikeConfig data_cfg;  // 11 055 transactions, 68 features
+  const Dataset all_transactions = make_phishing_like(data_cfg, /*seed=*/2024);
+  Rng split_rng(2024);
+  const auto [train, holdout] = all_transactions.split(9000, split_rng);
+  std::printf("Consortium dataset: %zu train / %zu holdout transactions, %zu features\n",
+              train.size(), holdout.size(), train.dim());
+
+  // --- the shared model ------------------------------------------------------
+  const LinearModel detector(train.dim(), LinearLoss::kMseOnSigmoid);
+
+  // --- the campaign configuration --------------------------------------------
+  ExperimentConfig campaign;
+  campaign.num_workers = 11;   // banks
+  campaign.num_byzantine = 5;  // compromised
+  campaign.gar = "mda";
+  campaign.batch_size = 50;
+  campaign.steps = 600;
+  campaign.dp_enabled = true;
+  campaign.epsilon = 0.3;  // per-step budget each bank accepts
+  campaign.delta = 1e-6;
+  campaign.attack_enabled = true;
+  campaign.attack = "empire";
+  campaign.seed = 7;
+
+  std::printf("Campaign: n = %zu banks (f = %zu compromised, '%s' attack), GAR = %s\n",
+              campaign.num_workers, campaign.num_byzantine, campaign.attack.c_str(),
+              campaign.gar.c_str());
+  std::printf("Per-step DP budget: eps = %s, delta = %s (Gaussian mechanism)\n",
+              strings::format_double(campaign.epsilon).c_str(),
+              strings::format_double(campaign.delta).c_str());
+
+  // --- train -------------------------------------------------------------------
+  Trainer trainer(campaign, detector, train, holdout);
+  const RunResult result = trainer.run();
+  std::printf("\nAfter %zu rounds: holdout accuracy %.3f (min training loss %.4f)\n",
+              campaign.steps, result.final_accuracy, result.min_train_loss);
+
+  // Reference runs for context.
+  auto benign = campaign;
+  benign.attack_enabled = false;
+  benign.dp_enabled = false;
+  const RunResult clean = Trainer(benign, detector, train, holdout).run();
+  std::printf("Reference without DP or attack:  holdout accuracy %.3f\n",
+              clean.final_accuracy);
+
+  // --- privacy accounting ------------------------------------------------------
+  const auto basic =
+      dp::basic_composition(campaign.epsilon, campaign.delta, campaign.steps);
+  const double sens = dp::l2_sensitivity(campaign.clip_norm, campaign.batch_size);
+  const double s = GaussianMechanism::noise_scale(campaign.epsilon, campaign.delta,
+                                                  campaign.clip_norm, campaign.batch_size);
+  dp::RdpAccountant rdp(s, sens);
+  rdp.record_steps(campaign.steps);
+  std::printf("\nEnd-to-end privacy spent per bank:\n");
+  std::printf("  basic composition:  eps = %.1f, delta = %.0e\n", basic.epsilon, basic.delta);
+  std::printf("  RDP accountant:     eps = %.1f at delta = 1e-5\n",
+              rdp.epsilon_for_delta(1e-5));
+
+  // --- what the theory says ------------------------------------------------------
+  const double b_needed = theory::mda_min_batch(campaign.num_workers,
+                                                campaign.num_byzantine, detector.dim(),
+                                                campaign.epsilon, campaign.delta);
+  const double tau_max = theory::mda_max_byzantine_fraction(
+      detector.dim(), campaign.batch_size, campaign.epsilon, campaign.delta);
+  std::printf(
+      "\nTheory check (Proposition 1): at d = %zu and this budget, MDA's VN\n"
+      "condition needs b >= %.0f (the campaign used %zu), or a Byzantine\n"
+      "fraction below %.3f (the campaign faced %.3f).  The accuracy gap above\n"
+      "is exactly the regime the paper warns about.\n",
+      detector.dim(), b_needed, campaign.batch_size, tau_max,
+      static_cast<double>(campaign.num_byzantine) / campaign.num_workers);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// quickstart — the smallest end-to-end dpbyz program.
+//
+// Trains the paper's task (d = 69 linear model on the phishing-like
+// dataset) in four configurations — baseline, attacked, private, and
+// private + attacked — and prints the final test accuracies, reproducing
+// the headline observation of the paper in ~30 lines of user code.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/experiment.hpp"
+
+int main() {
+  using namespace dpbyz;
+
+  // The experiment preset owns the dataset (8400/2655 split) and model.
+  const PhishingExperiment experiment(/*data_seed=*/42);
+
+  // Paper defaults: n = 11 workers, f = 5 Byzantine, GAR = MDA, b = 50,
+  // eta = 2, momentum 0.99, clipping G_max = 1e-2, T = 1000.
+  ExperimentConfig config;
+  config.steps = 500;  // enough to converge; the paper uses 1000
+
+  std::printf("Training %zu-parameter model, n = %zu workers (f = %zu Byzantine)\n",
+              experiment.model().dim(), config.num_workers, config.num_byzantine);
+
+  const RunResult baseline = experiment.run(config);
+  std::printf("  baseline (no DP, no attack):   accuracy %.3f\n", baseline.final_accuracy);
+
+  const RunResult attacked = experiment.run(config.with_attack("little"));
+  std::printf("  under 'a little is enough':    accuracy %.3f  (MDA absorbs it)\n",
+              attacked.final_accuracy);
+
+  const RunResult private_run = experiment.run(config.with_dp(/*eps=*/0.2));
+  std::printf("  with (0.2, 1e-6)-DP noise:     accuracy %.3f  (noise absorbed)\n",
+              private_run.final_accuracy);
+
+  const RunResult both = experiment.run(config.with_dp(0.2).with_attack("little"));
+  std::printf("  DP + attack simultaneously:    accuracy %.3f  <- the antagonism\n",
+              both.final_accuracy);
+
+  std::printf(
+      "\nDP and Byzantine resilience each work alone; combined, the privacy\n"
+      "noise inflates the variance-to-norm ratio past MDA's threshold and the\n"
+      "attack slips through — the paper's \"they don't add up\".\n");
+  return 0;
+}

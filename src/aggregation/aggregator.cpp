@@ -1,0 +1,59 @@
+#include "aggregation/aggregator.hpp"
+
+#include <cmath>
+
+#include "aggregation/average.hpp"
+#include "aggregation/bulyan.hpp"
+#include "aggregation/cge.hpp"
+#include "aggregation/geometric_median.hpp"
+#include "aggregation/krum.hpp"
+#include "aggregation/mda.hpp"
+#include "aggregation/meamed.hpp"
+#include "aggregation/median.hpp"
+#include "aggregation/phocas.hpp"
+#include "aggregation/trimmed_mean.hpp"
+#include "utils/errors.hpp"
+
+namespace dpbyz {
+
+Aggregator::Aggregator(size_t n, size_t f) : n_(n), f_(f) {
+  require(n >= 1, "Aggregator: n must be at least 1");
+  require(f <= n, "Aggregator: f cannot exceed n");
+}
+
+double Aggregator::vn_threshold() const { return std::nan(""); }
+
+void Aggregator::validate_inputs(std::span<const Vector> gradients) const {
+  require(gradients.size() == n_,
+          "Aggregator::aggregate: expected exactly n gradients (name=" + name() + ")");
+  const size_t d = gradients[0].size();
+  require(d > 0, "Aggregator::aggregate: zero-dimensional gradients");
+  for (const Vector& g : gradients) {
+    require(g.size() == d, "Aggregator::aggregate: dimension mismatch across gradients");
+    require(vec::all_finite(g),
+            "Aggregator::aggregate: non-finite gradient component (a real "
+            "server drops such submissions as malformed)");
+  }
+}
+
+std::vector<std::string> aggregator_names() {
+  return {"average", "krum",   "multi-krum", "mda",    "median",          "trimmed-mean",
+          "bulyan",  "meamed", "phocas",     "cge",    "geometric-median"};
+}
+
+std::unique_ptr<Aggregator> make_aggregator(const std::string& name, size_t n, size_t f) {
+  if (name == "average") return std::make_unique<Average>(n, f);
+  if (name == "krum") return std::make_unique<Krum>(n, f);
+  if (name == "multi-krum") return std::make_unique<MultiKrum>(n, f);
+  if (name == "mda") return std::make_unique<Mda>(n, f);
+  if (name == "median") return std::make_unique<CoordinateMedian>(n, f);
+  if (name == "trimmed-mean") return std::make_unique<TrimmedMean>(n, f);
+  if (name == "bulyan") return std::make_unique<Bulyan>(n, f);
+  if (name == "meamed") return std::make_unique<Meamed>(n, f);
+  if (name == "phocas") return std::make_unique<Phocas>(n, f);
+  if (name == "cge") return std::make_unique<Cge>(n, f);
+  if (name == "geometric-median") return std::make_unique<GeometricMedian>(n, f);
+  throw std::invalid_argument("make_aggregator: unknown GAR '" + name + "'");
+}
+
+}  // namespace dpbyz

@@ -1,0 +1,65 @@
+// aggregator.hpp — gradient aggregation rule (GAR) interface.
+//
+// The server applies a deterministic GAR F to the n submitted gradients:
+// G_t^agg = F(g_t^(1), ..., g_t^(n))  (paper §2.1).  Each concrete GAR is
+// constructed for a fixed (n, f) pair, validates its own admissibility
+// constraints (e.g. Krum needs n >= 2f + 3), and exposes the paper's
+// VN-ratio constant k_F(n, f) so the theory module can evaluate Eq. (8).
+//
+// All GARs here are *statistically robust* in the paper's sense (Remark 2):
+// they filter attacks using only the submitted gradients.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "math/vector_ops.hpp"
+
+namespace dpbyz {
+
+/// Deterministic gradient aggregation rule for a fixed (n, f).
+class Aggregator {
+ public:
+  /// Validates 0 <= f and n >= 1; concrete GARs tighten this.
+  Aggregator(size_t n, size_t f);
+  virtual ~Aggregator() = default;
+
+  /// Aggregate exactly n() gradients of equal dimension.
+  /// Implementations must be permutation-invariant in their inputs.
+  virtual Vector aggregate(std::span<const Vector> gradients) const = 0;
+
+  /// Short identifier ("krum", "mda", ...), stable across versions.
+  virtual std::string name() const = 0;
+
+  /// The multiplicative constant k_F(n, f) of the VN-ratio condition
+  /// (Eq. 2): F is guaranteed (alpha, f)-Byzantine resilient whenever
+  /// stddev(G) / ||E[G]|| <= k_F(n, f).  NaN for rules with no published
+  /// constant (average, geometric median).
+  virtual double vn_threshold() const;
+
+  size_t n() const { return n_; }
+  size_t f() const { return f_; }
+
+ protected:
+  /// Shared input validation: count == n, equal dims, no NaN/Inf rejection
+  /// (Byzantine inputs may be anything *finite*; non-finite values are
+  /// rejected to keep downstream arithmetic well-defined — a real server
+  /// would drop such gradients as trivially malformed).
+  void validate_inputs(std::span<const Vector> gradients) const;
+
+ private:
+  size_t n_;
+  size_t f_;
+};
+
+/// Names accepted by make_aggregator.
+std::vector<std::string> aggregator_names();
+
+/// Factory: name in {"average", "krum", "multi-krum", "mda", "median",
+/// "trimmed-mean", "bulyan", "meamed", "phocas", "geometric-median"}.
+/// Throws std::invalid_argument for unknown names or inadmissible (n, f).
+std::unique_ptr<Aggregator> make_aggregator(const std::string& name, size_t n, size_t f);
+
+}  // namespace dpbyz

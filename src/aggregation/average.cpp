@@ -1,0 +1,16 @@
+#include "aggregation/average.hpp"
+
+#include <cmath>
+
+namespace dpbyz {
+
+Average::Average(size_t n, size_t f) : Aggregator(n, f) {}
+
+Vector Average::aggregate(std::span<const Vector> gradients) const {
+  validate_inputs(gradients);
+  return vec::mean(gradients);
+}
+
+double Average::vn_threshold() const { return std::nan(""); }
+
+}  // namespace dpbyz

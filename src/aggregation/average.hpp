@@ -1,0 +1,27 @@
+// average.hpp — plain gradient averaging (the non-robust baseline).
+//
+// In the honest scenario the server simply averages: G^agg = (1/n) sum g_i
+// (paper Eq. 1 context).  Blanchard et al. prove that *no* linear
+// combination of the received gradients is robust to even one Byzantine
+// worker, so this rule is included purely as the baseline the paper
+// compares against ("When averaging is used, the f workers ... behave as
+// honest workers", §5.1).
+#pragma once
+
+#include "aggregation/aggregator.hpp"
+
+namespace dpbyz {
+
+class Average final : public Aggregator {
+ public:
+  /// f is accepted for bookkeeping but offers no protection.
+  Average(size_t n, size_t f = 0);
+
+  Vector aggregate(std::span<const Vector> gradients) const override;
+  std::string name() const override { return "average"; }
+  /// No VN-ratio constant exists: averaging is not (alpha, f)-resilient
+  /// for any f >= 1.  Returns NaN.
+  double vn_threshold() const override;
+};
+
+}  // namespace dpbyz

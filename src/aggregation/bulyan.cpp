@@ -1,0 +1,72 @@
+#include "aggregation/bulyan.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "aggregation/kf_table.hpp"
+#include "aggregation/krum.hpp"
+#include "math/statistics.hpp"
+#include "utils/errors.hpp"
+
+namespace dpbyz {
+
+Bulyan::Bulyan(size_t n, size_t f) : Aggregator(n, f) {
+  require(n >= 4 * f + 3, "Bulyan: requires n >= 4f + 3");
+}
+
+std::vector<size_t> Bulyan::select_indices(std::span<const Vector> gradients) const {
+  validate_inputs(gradients);
+  const size_t theta = n() - 2 * f();
+
+  std::vector<size_t> remaining(gradients.size());
+  for (size_t i = 0; i < remaining.size(); ++i) remaining[i] = i;
+  std::vector<size_t> selected;
+  selected.reserve(theta);
+
+  std::vector<Vector> pool(gradients.begin(), gradients.end());
+  while (selected.size() < theta) {
+    // Iterated Krum over the shrinking pool.  The pool bottoms out at
+    // n - theta + 1 = 2f + 1 elements, below plain Krum's n >= 2f + 3
+    // admissibility, so we use the clamped krum_scores helper (the
+    // standard implementation choice, cf. Garfield / the authors' code).
+    const auto scores = krum_scores(pool, f());
+    const size_t winner = krum_argmin(pool, scores);
+    selected.push_back(remaining[winner]);
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(winner));
+    remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(winner));
+  }
+  return selected;
+}
+
+Vector Bulyan::aggregate(std::span<const Vector> gradients) const {
+  const auto selected = select_indices(gradients);
+  const size_t theta = selected.size();
+  const size_t beta = theta - 2 * f();
+  check_internal(beta >= 1, "Bulyan: beta must be positive");
+
+  std::vector<Vector> chosen;
+  chosen.reserve(theta);
+  for (size_t i : selected) chosen.push_back(gradients[i]);
+
+  const size_t d = chosen[0].size();
+  Vector out(d);
+  std::vector<std::pair<double, double>> by_closeness(theta);  // (|v - med|, v)
+  std::vector<double> column(theta);
+  for (size_t c = 0; c < d; ++c) {
+    for (size_t i = 0; i < theta; ++i) column[i] = chosen[i][c];
+    const double med = stats::median(column);
+    for (size_t i = 0; i < theta; ++i)
+      by_closeness[i] = {std::abs(column[i] - med), column[i]};
+    std::nth_element(by_closeness.begin(),
+                     by_closeness.begin() + static_cast<std::ptrdiff_t>(beta - 1),
+                     by_closeness.end());
+    double acc = 0.0;
+    for (size_t i = 0; i < beta; ++i) acc += by_closeness[i].second;
+    out[c] = acc / static_cast<double>(beta);
+  }
+  return out;
+}
+
+double Bulyan::vn_threshold() const { return kf::krum(n(), f()); }
+
+}  // namespace dpbyz

@@ -1,0 +1,32 @@
+// bulyan.hpp — Bulyan of Krum (El Mhamdi et al., ICML 2018).
+//
+// Two stages:
+//   1. Selection: repeatedly run Krum over the remaining gradients,
+//      moving each winner into a selection set, until theta = n - 2f
+//      gradients are selected.
+//   2. Aggregation: per coordinate, keep the beta = theta - 2f values
+//      closest to the coordinate median of the selection set and average
+//      them ("trimmed median" step), defeating the hidden large-coordinate
+//      attacks that pure Krum admits.
+//
+// Admissibility: n >= 4f + 3 (so that theta >= 2f + 3 keeps every inner
+// Krum call admissible and beta >= 3... beta = theta - 2f >= 3).
+#pragma once
+
+#include "aggregation/aggregator.hpp"
+
+namespace dpbyz {
+
+class Bulyan final : public Aggregator {
+ public:
+  Bulyan(size_t n, size_t f);
+
+  Vector aggregate(std::span<const Vector> gradients) const override;
+  std::string name() const override { return "bulyan"; }
+  double vn_threshold() const override;
+
+  /// Indices chosen by the iterated-Krum selection stage (size n - 2f).
+  std::vector<size_t> select_indices(std::span<const Vector> gradients) const;
+};
+
+}  // namespace dpbyz

@@ -1,0 +1,35 @@
+#include "aggregation/cge.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "utils/errors.hpp"
+
+namespace dpbyz {
+
+Cge::Cge(size_t n, size_t f) : Aggregator(n, f) {
+  require(n > 2 * f, "Cge: requires n > 2f");
+}
+
+std::vector<size_t> Cge::select_indices(std::span<const Vector> gradients) const {
+  validate_inputs(gradients);
+  std::vector<double> norms(gradients.size());
+  for (size_t i = 0; i < gradients.size(); ++i) norms[i] = vec::norm_sq(gradients[i]);
+
+  std::vector<size_t> order(gradients.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  const size_t keep = n() - f();
+  std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(keep),
+                    order.end(), [&](size_t a, size_t b) {
+                      return norms[a] < norms[b] ||
+                             (norms[a] == norms[b] && gradients[a] < gradients[b]);
+                    });
+  order.resize(keep);
+  return order;
+}
+
+Vector Cge::aggregate(std::span<const Vector> gradients) const {
+  return vec::mean_of(gradients, select_indices(gradients));
+}
+
+}  // namespace dpbyz

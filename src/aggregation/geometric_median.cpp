@@ -1,0 +1,38 @@
+#include "aggregation/geometric_median.hpp"
+
+#include <cmath>
+
+#include "utils/errors.hpp"
+
+namespace dpbyz {
+
+GeometricMedian::GeometricMedian(size_t n, size_t f, size_t max_iters, double tolerance)
+    : Aggregator(n, f), max_iters_(max_iters), tolerance_(tolerance) {
+  require(2 * f < n, "GeometricMedian: requires 2f < n for a meaningful median");
+  require(max_iters > 0 && tolerance > 0, "GeometricMedian: bad iteration controls");
+}
+
+Vector GeometricMedian::aggregate(std::span<const Vector> gradients) const {
+  validate_inputs(gradients);
+  // Weiszfeld: z <- sum_i (g_i / ||z - g_i||) / sum_i (1 / ||z - g_i||),
+  // starting from the mean; points coinciding with z get a capped weight
+  // to avoid division by zero (standard epsilon-smoothed variant).
+  Vector z = vec::mean(gradients);
+  constexpr double kEps = 1e-12;
+  for (size_t iter = 0; iter < max_iters_; ++iter) {
+    Vector numerator(z.size(), 0.0);
+    double denominator = 0.0;
+    for (const Vector& g : gradients) {
+      const double w = 1.0 / std::max(vec::dist(z, g), kEps);
+      vec::axpy_inplace(numerator, w, g);
+      denominator += w;
+    }
+    vec::scale_inplace(numerator, 1.0 / denominator);
+    const double shift = vec::dist(numerator, z);
+    z = std::move(numerator);
+    if (shift <= tolerance_) break;
+  }
+  return z;
+}
+
+}  // namespace dpbyz

@@ -1,0 +1,27 @@
+// geometric_median.hpp — geometric median via Weiszfeld iterations.
+//
+// Extension beyond the paper's GAR set (DESIGN.md §7): the geometric
+// median arg min_z sum_i ||z - g_i|| is a classical robust aggregator with
+// breakdown point 1/2.  It is *not* in the paper's Table 1 — no published
+// k_F(n, f) constant — so vn_threshold() returns NaN and the theory
+// benches skip it; it participates in the GAR-comparison bench only.
+#pragma once
+
+#include "aggregation/aggregator.hpp"
+
+namespace dpbyz {
+
+class GeometricMedian final : public Aggregator {
+ public:
+  /// `max_iters` / `tolerance` control the Weiszfeld fixed-point loop.
+  GeometricMedian(size_t n, size_t f, size_t max_iters = 100, double tolerance = 1e-10);
+
+  Vector aggregate(std::span<const Vector> gradients) const override;
+  std::string name() const override { return "geometric-median"; }
+
+ private:
+  size_t max_iters_;
+  double tolerance_;
+};
+
+}  // namespace dpbyz

@@ -1,0 +1,52 @@
+#include "aggregation/kf_table.hpp"
+
+#include <cmath>
+
+#include "utils/errors.hpp"
+
+namespace dpbyz::kf {
+
+double mda(size_t n, size_t f) {
+  require(f >= 1 && f < n, "kf::mda: requires 1 <= f < n");
+  return (static_cast<double>(n) - static_cast<double>(f)) /
+         (std::sqrt(8.0) * static_cast<double>(f));
+}
+
+double krum_eta(size_t n, size_t f) {
+  require(n > 2 * f + 2, "kf::krum: requires n > 2f + 2");
+  const double nd = static_cast<double>(n);
+  const double fd = static_cast<double>(f);
+  return nd - fd + (fd * (nd - fd - 2.0) + fd * fd * (nd - fd - 1.0)) / (nd - 2.0 * fd - 2.0);
+}
+
+double krum(size_t n, size_t f) { return 1.0 / std::sqrt(2.0 * krum_eta(n, f)); }
+
+double median(size_t n, size_t f) {
+  require(2 * f <= n - 1, "kf::median: requires 2f <= n - 1");
+  return 1.0 / std::sqrt(static_cast<double>(n - f));
+}
+
+double meamed(size_t n, size_t f) {
+  require(2 * f <= n - 1, "kf::meamed: requires 2f <= n - 1");
+  return 1.0 / std::sqrt(10.0 * static_cast<double>(n - f));
+}
+
+double trimmed_mean(size_t n, size_t f) {
+  require(n > 2 * f, "kf::trimmed_mean: requires n > 2f");
+  const double nd = static_cast<double>(n);
+  const double fd = static_cast<double>(f);
+  const double num = (nd - 2.0 * fd) * (nd - 2.0 * fd);
+  const double den = 2.0 * (fd + 1.0) * (nd - fd);
+  return std::sqrt(num / den);
+}
+
+double phocas(size_t n, size_t f) {
+  require(n > 2 * f, "kf::phocas: requires n > 2f");
+  const double nd = static_cast<double>(n);
+  const double fd = static_cast<double>(f);
+  const double num = (nd - 2.0 * fd) * (nd - 2.0 * fd);
+  const double den = 12.0 * (fd + 1.0) * (nd - fd);
+  return std::sqrt(4.0 + num / den);
+}
+
+}  // namespace dpbyz::kf

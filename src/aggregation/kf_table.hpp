@@ -1,0 +1,31 @@
+// kf_table.hpp — the paper's k_F(n, f) constants (Eq. 8 / Appendix A).
+//
+// These are the multiplicative constants of the VN-ratio condition
+// (Eq. 2): an aggregation rule F is guaranteed (alpha, f)-Byzantine
+// resilient when stddev/norm <= k_F(n, f).  Values as used in the paper's
+// Propositions 1-3:
+//
+//   MDA            : (n - f) / (sqrt(8) f)
+//   Krum, Bulyan   : 1 / sqrt(2 eta(n,f)),
+//                    eta = n - f + [f(n-f-2) + f^2 (n-f-1)] / (n - 2f - 2)
+//   Median         : 1 / sqrt(n - f)            (requires 2f <= n - 1)
+//   Meamed         : 1 / sqrt(10 (n - f))       (requires 2f <= n - 1)
+//   Trimmed Mean   : sqrt((n-2f)^2 / (2 (f+1) (n-f)))
+//   Phocas         : sqrt(4 + (n-2f)^2 / (12 (f+1) (n-f)))
+#pragma once
+
+#include <cstddef>
+
+namespace dpbyz::kf {
+
+double mda(size_t n, size_t f);
+double krum(size_t n, size_t f);     // also Bulyan
+double median(size_t n, size_t f);
+double meamed(size_t n, size_t f);
+double trimmed_mean(size_t n, size_t f);
+double phocas(size_t n, size_t f);
+
+/// eta(n, f) as used in the Krum/Bulyan constant.
+double krum_eta(size_t n, size_t f);
+
+}  // namespace dpbyz::kf

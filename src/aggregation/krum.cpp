@@ -1,0 +1,88 @@
+#include "aggregation/krum.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "aggregation/kf_table.hpp"
+#include "utils/errors.hpp"
+
+namespace dpbyz {
+
+Krum::Krum(size_t n, size_t f) : Aggregator(n, f) {
+  require(n >= 2 * f + 3, "Krum: requires n >= 2f + 3");
+}
+
+std::vector<double> krum_scores(std::span<const Vector> gradients, size_t f) {
+  const size_t count = gradients.size();
+  require(count >= 2, "krum_scores: need at least two gradients");
+  // Nominal neighbourhood n - f - 2, clamped so Bulyan's shrinking pools
+  // (down to 2f + 1 elements) still score meaningfully.
+  const size_t nominal = count > f + 2 ? count - f - 2 : 1;
+  const size_t neighbours = std::min(nominal, count - 1);
+
+  // Pairwise squared distances (symmetric, computed once).
+  std::vector<std::vector<double>> dist_sq(count, std::vector<double>(count, 0.0));
+  for (size_t i = 0; i < count; ++i)
+    for (size_t j = i + 1; j < count; ++j)
+      dist_sq[i][j] = dist_sq[j][i] = vec::dist_sq(gradients[i], gradients[j]);
+
+  std::vector<double> out(count);
+  std::vector<double> row(count - 1);
+  for (size_t i = 0; i < count; ++i) {
+    size_t k = 0;
+    for (size_t j = 0; j < count; ++j)
+      if (j != i) row[k++] = dist_sq[i][j];
+    // Sum of the `neighbours` smallest distances.
+    std::nth_element(row.begin(), row.begin() + static_cast<std::ptrdiff_t>(neighbours - 1),
+                     row.end());
+    out[i] = std::accumulate(row.begin(), row.begin() + static_cast<std::ptrdiff_t>(neighbours),
+                             0.0);
+  }
+  return out;
+}
+
+std::vector<double> Krum::scores(std::span<const Vector> gradients) const {
+  validate_inputs(gradients);
+  return krum_scores(gradients, f());
+}
+
+size_t krum_argmin(std::span<const Vector> gradients, const std::vector<double>& scores) {
+  require(gradients.size() == scores.size(), "krum_argmin: size mismatch");
+  size_t best = 0;
+  for (size_t i = 1; i < scores.size(); ++i) {
+    if (scores[i] < scores[best] ||
+        (scores[i] == scores[best] && gradients[i] < gradients[best])) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+size_t Krum::select(std::span<const Vector> gradients) const {
+  return krum_argmin(gradients, scores(gradients));
+}
+
+Vector Krum::aggregate(std::span<const Vector> gradients) const {
+  return gradients[select(gradients)];
+}
+
+double Krum::vn_threshold() const { return kf::krum(n(), f()); }
+
+MultiKrum::MultiKrum(size_t n, size_t f) : Krum(n, f) {}
+
+Vector MultiKrum::aggregate(std::span<const Vector> gradients) const {
+  const auto s = scores(gradients);
+  const size_t m = n() - f();
+  std::vector<size_t> order(s.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  // Same lexicographic tie-break as krum_argmin, so the selected *set* is
+  // permutation-invariant even when scores tie at the cut boundary.
+  std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(m), order.end(),
+                    [&s, &gradients](size_t a, size_t b) {
+                      return s[a] < s[b] || (s[a] == s[b] && gradients[a] < gradients[b]);
+                    });
+  order.resize(m);
+  return vec::mean_of(gradients, order);
+}
+
+}  // namespace dpbyz

@@ -1,0 +1,59 @@
+// krum.hpp — Krum and Multi-Krum (Blanchard et al., NeurIPS 2017).
+//
+// Krum scores each gradient by the sum of squared L2 distances to its
+// n - f - 2 nearest neighbours (excluding itself) and outputs the gradient
+// with the lowest score.  Intuition: a Byzantine gradient far from the
+// honest cluster accumulates large distances and cannot win; a Byzantine
+// gradient close enough to win is by construction harmless.
+//
+// Multi-Krum averages the m lowest-scoring gradients (m = n - f here),
+// trading some robustness slack for lower variance.
+//
+// Admissibility: n >= 2f + 3 (the neighbourhood size n - f - 2 must be
+// at least 1 and the majority argument needs 2f + 2 < n).
+#pragma once
+
+#include "aggregation/aggregator.hpp"
+
+namespace dpbyz {
+
+/// Krum scores for an arbitrary pool: each gradient's sum of squared
+/// distances to its `count - f - 2` nearest neighbours, with the
+/// neighbourhood clamped to [1, count-1] so shrunken pools (Bulyan's
+/// iterated selection) remain well-defined.
+std::vector<double> krum_scores(std::span<const Vector> gradients, size_t f);
+
+/// Index of the minimum-score gradient, breaking exact score ties by
+/// lexicographic comparison of the gradient vectors.  Ties are not an
+/// edge case: with a 1-element neighbourhood, mutual nearest neighbours
+/// receive *identical* scores, and without a canonical tie-break the
+/// selection (hence Bulyan) would depend on input order, violating the
+/// permutation invariance a GAR must have.
+size_t krum_argmin(std::span<const Vector> gradients, const std::vector<double>& scores);
+
+class Krum : public Aggregator {
+ public:
+  Krum(size_t n, size_t f);
+
+  Vector aggregate(std::span<const Vector> gradients) const override;
+  std::string name() const override { return "krum"; }
+  double vn_threshold() const override;
+
+  /// Krum scores for each input (sum of sq. distances to the n-f-2
+  /// nearest neighbours); exposed for tests and for Bulyan's selection.
+  std::vector<double> scores(std::span<const Vector> gradients) const;
+
+  /// Index of the winning (minimum-score) gradient.
+  size_t select(std::span<const Vector> gradients) const;
+};
+
+/// Multi-Krum: average of the m = n - f smallest-score gradients.
+class MultiKrum final : public Krum {
+ public:
+  MultiKrum(size_t n, size_t f);
+
+  Vector aggregate(std::span<const Vector> gradients) const override;
+  std::string name() const override { return "multi-krum"; }
+};
+
+}  // namespace dpbyz

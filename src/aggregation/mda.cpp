@@ -1,0 +1,91 @@
+#include "aggregation/mda.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "aggregation/kf_table.hpp"
+#include "utils/errors.hpp"
+
+namespace dpbyz {
+
+double Mda::subset_count(size_t n, size_t f) {
+  // C(n, f) == C(n, n - f): number of candidate subsets of size n - f.
+  double c = 1.0;
+  const size_t k = std::min(f, n - f);
+  for (size_t i = 1; i <= k; ++i)
+    c = c * static_cast<double>(n - k + i) / static_cast<double>(i);
+  return c;
+}
+
+Mda::Mda(size_t n, size_t f) : Aggregator(n, f) {
+  require(f >= 1, "Mda: requires f >= 1 (use Average when f = 0)");
+  require(n >= 2 * f + 1, "Mda: requires n >= 2f + 1");
+  require(subset_count(n, f) <= kMaxSubsets,
+          "Mda: C(n, n-f) exceeds the exact-search cap; use multi-krum for large n");
+}
+
+namespace {
+
+/// Depth-first enumeration of size-m subsets with branch-and-bound on the
+/// running diameter.  `dist` is the full pairwise distance matrix.
+struct SubsetSearch {
+  SubsetSearch(const std::vector<std::vector<double>>& d, size_t n, size_t m)
+      : dist(d), count(n), target(m) {}
+
+  const std::vector<std::vector<double>>& dist;
+  size_t count;       // total gradients
+  size_t target;      // subset size m = n - f
+  double best_diameter = std::numeric_limits<double>::infinity();
+  std::vector<size_t> best;
+  std::vector<size_t> current;
+
+  void run() {
+    current.reserve(target);
+    descend(0, 0.0);
+  }
+
+  void descend(size_t next, double diameter) {
+    if (current.size() == target) {
+      if (diameter < best_diameter) {
+        best_diameter = diameter;
+        best = current;
+      }
+      return;
+    }
+    // Not enough remaining elements to fill the subset.
+    if (count - next < target - current.size()) return;
+    for (size_t i = next; i < count; ++i) {
+      double new_diameter = diameter;
+      for (size_t j : current) new_diameter = std::max(new_diameter, dist[j][i]);
+      if (new_diameter >= best_diameter) continue;  // prune
+      current.push_back(i);
+      descend(i + 1, new_diameter);
+      current.pop_back();
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<size_t> Mda::select_subset(std::span<const Vector> gradients) const {
+  validate_inputs(gradients);
+  const size_t count = gradients.size();
+  std::vector<std::vector<double>> dist(count, std::vector<double>(count, 0.0));
+  for (size_t i = 0; i < count; ++i)
+    for (size_t j = i + 1; j < count; ++j)
+      dist[i][j] = dist[j][i] = vec::dist(gradients[i], gradients[j]);
+
+  SubsetSearch search(dist, count, count - f());
+  search.run();
+  check_internal(search.best.size() == count - f(), "Mda: subset search failed");
+  return search.best;
+}
+
+Vector Mda::aggregate(std::span<const Vector> gradients) const {
+  const auto subset = select_subset(gradients);
+  return vec::mean_of(gradients, subset);
+}
+
+double Mda::vn_threshold() const { return kf::mda(n(), f()); }
+
+}  // namespace dpbyz

@@ -1,0 +1,42 @@
+#include "aggregation/meamed.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "aggregation/kf_table.hpp"
+#include "math/statistics.hpp"
+#include "utils/errors.hpp"
+
+namespace dpbyz {
+
+Meamed::Meamed(size_t n, size_t f) : Aggregator(n, f) {
+  require(2 * f <= n - 1, "Meamed: requires 2f <= n - 1");
+}
+
+Vector Meamed::aggregate(std::span<const Vector> gradients) const {
+  validate_inputs(gradients);
+  const size_t count = gradients.size();
+  const size_t keep = count - f();
+  const size_t d = gradients[0].size();
+
+  Vector out(d);
+  std::vector<double> column(count);
+  std::vector<std::pair<double, double>> by_closeness(count);  // (|v - med|, v)
+  for (size_t c = 0; c < d; ++c) {
+    for (size_t i = 0; i < count; ++i) column[i] = gradients[i][c];
+    const double med = stats::median(column);
+    for (size_t i = 0; i < count; ++i)
+      by_closeness[i] = {std::abs(column[i] - med), column[i]};
+    std::nth_element(by_closeness.begin(),
+                     by_closeness.begin() + static_cast<std::ptrdiff_t>(keep - 1),
+                     by_closeness.end());
+    double acc = 0.0;
+    for (size_t i = 0; i < keep; ++i) acc += by_closeness[i].second;
+    out[c] = acc / static_cast<double>(keep);
+  }
+  return out;
+}
+
+double Meamed::vn_threshold() const { return kf::meamed(n(), f()); }
+
+}  // namespace dpbyz

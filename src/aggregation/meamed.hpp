@@ -1,0 +1,23 @@
+// meamed.hpp — mean-around-median (Xie et al., 2018, "Generalized
+// Byzantine-tolerant SGD").
+//
+// Per coordinate: take the n - f values closest to the coordinate median
+// and average them.  Like the median it is a coordinate-wise rule, but the
+// averaging recovers some of the variance reduction the plain median
+// forfeits.  Admissibility (paper, Proposition 2): 2f <= n - 1.
+#pragma once
+
+#include "aggregation/aggregator.hpp"
+
+namespace dpbyz {
+
+class Meamed final : public Aggregator {
+ public:
+  Meamed(size_t n, size_t f);
+
+  Vector aggregate(std::span<const Vector> gradients) const override;
+  std::string name() const override { return "meamed"; }
+  double vn_threshold() const override;
+};
+
+}  // namespace dpbyz

@@ -1,0 +1,20 @@
+#include "aggregation/median.hpp"
+
+#include "aggregation/kf_table.hpp"
+#include "math/statistics.hpp"
+#include "utils/errors.hpp"
+
+namespace dpbyz {
+
+CoordinateMedian::CoordinateMedian(size_t n, size_t f) : Aggregator(n, f) {
+  require(2 * f <= n - 1, "CoordinateMedian: requires 2f <= n - 1");
+}
+
+Vector CoordinateMedian::aggregate(std::span<const Vector> gradients) const {
+  validate_inputs(gradients);
+  return stats::coordinate_median(gradients);
+}
+
+double CoordinateMedian::vn_threshold() const { return kf::median(n(), f()); }
+
+}  // namespace dpbyz

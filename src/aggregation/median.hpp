@@ -1,0 +1,22 @@
+// median.hpp — coordinate-wise median (Yin et al., ICML 2018).
+//
+// Each output coordinate is the scalar median of that coordinate across
+// the n submitted gradients.  Robust because per coordinate the median of
+// n values with at most f < n/2 outliers lies within the honest range.
+// Admissibility (paper, Proposition 2): 2f <= n - 1.
+#pragma once
+
+#include "aggregation/aggregator.hpp"
+
+namespace dpbyz {
+
+class CoordinateMedian final : public Aggregator {
+ public:
+  CoordinateMedian(size_t n, size_t f);
+
+  Vector aggregate(std::span<const Vector> gradients) const override;
+  std::string name() const override { return "median"; }
+  double vn_threshold() const override;
+};
+
+}  // namespace dpbyz

@@ -1,0 +1,42 @@
+#include "aggregation/phocas.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "aggregation/kf_table.hpp"
+#include "aggregation/trimmed_mean.hpp"
+#include "utils/errors.hpp"
+
+namespace dpbyz {
+
+Phocas::Phocas(size_t n, size_t f) : Aggregator(n, f) {
+  require(n > 2 * f, "Phocas: requires n > 2f");
+}
+
+Vector Phocas::aggregate(std::span<const Vector> gradients) const {
+  validate_inputs(gradients);
+  const size_t count = gradients.size();
+  const size_t keep = count - f();
+  const size_t d = gradients[0].size();
+
+  Vector out(d);
+  std::vector<double> column(count);
+  std::vector<std::pair<double, double>> by_closeness(count);  // (|v - tmean|, v)
+  for (size_t c = 0; c < d; ++c) {
+    for (size_t i = 0; i < count; ++i) column[i] = gradients[i][c];
+    const double anchor = TrimmedMean::trimmed_mean_scalar(column, f());
+    for (size_t i = 0; i < count; ++i)
+      by_closeness[i] = {std::abs(column[i] - anchor), column[i]};
+    std::nth_element(by_closeness.begin(),
+                     by_closeness.begin() + static_cast<std::ptrdiff_t>(keep - 1),
+                     by_closeness.end());
+    double acc = 0.0;
+    for (size_t i = 0; i < keep; ++i) acc += by_closeness[i].second;
+    out[c] = acc / static_cast<double>(keep);
+  }
+  return out;
+}
+
+double Phocas::vn_threshold() const { return kf::phocas(n(), f()); }
+
+}  // namespace dpbyz

@@ -1,0 +1,24 @@
+// phocas.hpp — Phocas (Xie et al., 2018, "Phocas: dimensional
+// Byzantine-resilient stochastic gradient descent").
+//
+// Per coordinate: compute the f-trimmed mean, then average the n - f
+// values closest to that trimmed mean ("mean around the trimmed mean").
+// Compared to Meamed, anchoring on the trimmed mean instead of the median
+// tightens the variance bound — reflected in its larger k_F constant.
+// Admissibility: n > 2f.
+#pragma once
+
+#include "aggregation/aggregator.hpp"
+
+namespace dpbyz {
+
+class Phocas final : public Aggregator {
+ public:
+  Phocas(size_t n, size_t f);
+
+  Vector aggregate(std::span<const Vector> gradients) const override;
+  std::string name() const override { return "phocas"; }
+  double vn_threshold() const override;
+};
+
+}  // namespace dpbyz

@@ -1,0 +1,36 @@
+#include "aggregation/trimmed_mean.hpp"
+
+#include <algorithm>
+
+#include "aggregation/kf_table.hpp"
+#include "utils/errors.hpp"
+
+namespace dpbyz {
+
+TrimmedMean::TrimmedMean(size_t n, size_t f) : Aggregator(n, f) {
+  require(n > 2 * f, "TrimmedMean: requires n > 2f");
+}
+
+double TrimmedMean::trimmed_mean_scalar(std::vector<double> values, size_t trim) {
+  require(values.size() > 2 * trim, "trimmed_mean_scalar: nothing left after trimming");
+  std::sort(values.begin(), values.end());
+  double acc = 0.0;
+  for (size_t i = trim; i < values.size() - trim; ++i) acc += values[i];
+  return acc / static_cast<double>(values.size() - 2 * trim);
+}
+
+Vector TrimmedMean::aggregate(std::span<const Vector> gradients) const {
+  validate_inputs(gradients);
+  const size_t d = gradients[0].size();
+  Vector out(d);
+  std::vector<double> column(gradients.size());
+  for (size_t c = 0; c < d; ++c) {
+    for (size_t i = 0; i < gradients.size(); ++i) column[i] = gradients[i][c];
+    out[c] = trimmed_mean_scalar(column, f());
+  }
+  return out;
+}
+
+double TrimmedMean::vn_threshold() const { return kf::trimmed_mean(n(), f()); }
+
+}  // namespace dpbyz

@@ -1,0 +1,25 @@
+// trimmed_mean.hpp — coordinate-wise f-trimmed mean (Yin et al., 2018).
+//
+// Per coordinate, discard the f largest and f smallest values and average
+// the remaining n - 2f.  Robust because every surviving value is bracketed
+// by honest values.  Admissibility: n > 2f.
+#pragma once
+
+#include "aggregation/aggregator.hpp"
+
+namespace dpbyz {
+
+class TrimmedMean final : public Aggregator {
+ public:
+  TrimmedMean(size_t n, size_t f);
+
+  Vector aggregate(std::span<const Vector> gradients) const override;
+  std::string name() const override { return "trimmed-mean"; }
+  double vn_threshold() const override;
+
+  /// Scalar helper: mean of `values` after dropping the `trim` smallest
+  /// and `trim` largest entries (used by Phocas too).
+  static double trimmed_mean_scalar(std::vector<double> values, size_t trim);
+};
+
+}  // namespace dpbyz

@@ -1,0 +1,31 @@
+#include "attacks/attack.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "attacks/auxiliary_attacks.hpp"
+#include "attacks/fall_of_empires.hpp"
+#include "attacks/little_is_enough.hpp"
+
+namespace dpbyz {
+
+std::vector<std::string> attack_names() {
+  return {"little", "empire", "signflip", "random", "zero", "mimic"};
+}
+
+std::unique_ptr<Attack> make_attack(const std::string& name, double nu) {
+  const bool use_default = std::isnan(nu);
+  if (name == "little")
+    return std::make_unique<ALittleIsEnough>(use_default ? 1.5 : nu);
+  if (name == "empire")
+    return std::make_unique<FallOfEmpires>(use_default ? 1.1 : nu);
+  if (name == "signflip")
+    return std::make_unique<SignFlip>(use_default ? 1.0 : nu);
+  if (name == "random")
+    return std::make_unique<RandomGaussian>(use_default ? 1.0 : nu);
+  if (name == "zero") return std::make_unique<ZeroGradient>();
+  if (name == "mimic") return std::make_unique<Mimic>();
+  throw std::invalid_argument("make_attack: unknown attack '" + name + "'");
+}
+
+}  // namespace dpbyz

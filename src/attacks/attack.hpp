@@ -1,0 +1,58 @@
+// attack.hpp — Byzantine attack interface.
+//
+// Threat model (paper §1, §5.1): up to f workers are Byzantine and *may
+// collude*; at each step all Byzantine workers submit the *same* forged
+// gradient, crafted from knowledge of the honest gradients ("omniscient"
+// adversary — the strongest statistically-robust setting, and the one the
+// paper's two state-of-the-art attacks [3, 38] assume).
+//
+// Both paper attacks follow the template  byz = g_t + nu * a_t  where g_t
+// approximates the true gradient (we use the mean of the honest
+// submissions) and a_t is an attack direction.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "math/rng.hpp"
+#include "math/vector_ops.hpp"
+
+namespace dpbyz {
+
+/// What the (colluding, omniscient) adversary observes at one step.
+struct AttackContext {
+  /// The honest gradients the adversary bases its forgery on.  Which
+  /// vectors land here is the trainer's choice
+  /// (ExperimentConfig::attack_observes): by default the *clean*
+  /// clipped pre-noise gradients — the Byzantine workers are data-holding
+  /// participants themselves and approximate g_t / sigma_t from their own
+  /// unsanitized mini-batch computations, as in the original attack
+  /// papers [3, 38] — or, optionally, the noisy submissions as sent on
+  /// the (cleartext, Remark 1) wire.
+  std::span<const Vector> honest_gradients;
+  size_t num_byzantine = 0;  ///< how many copies of the forged vector will be sent
+  size_t step = 0;           ///< 1-based training step t
+};
+
+/// A colluding Byzantine strategy: one forged gradient per step.
+class Attack {
+ public:
+  virtual ~Attack() = default;
+
+  /// Forge the common Byzantine gradient for this step.
+  virtual Vector forge(const AttackContext& ctx, Rng& rng) const = 0;
+
+  /// Short identifier ("little", "empire", ...).
+  virtual std::string name() const = 0;
+};
+
+/// Factory: name in {"little", "empire", "signflip", "random", "zero",
+/// "mimic"}.  `nu` is the attack factor (ignored by attacks without one;
+/// NaN selects each attack's paper default).
+std::unique_ptr<Attack> make_attack(const std::string& name, double nu);
+
+/// Names accepted by make_attack.
+std::vector<std::string> attack_names();
+
+}  // namespace dpbyz

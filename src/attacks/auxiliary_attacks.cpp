@@ -1,0 +1,38 @@
+#include "attacks/auxiliary_attacks.hpp"
+
+#include "math/statistics.hpp"
+#include "utils/errors.hpp"
+
+namespace dpbyz {
+
+SignFlip::SignFlip(double scale) : scale_(scale) {
+  require(scale > 0, "SignFlip: scale must be positive");
+}
+
+Vector SignFlip::forge(const AttackContext& ctx, Rng&) const {
+  require(!ctx.honest_gradients.empty(), "SignFlip: no honest gradients to observe");
+  Vector forged = stats::coordinate_mean(ctx.honest_gradients);
+  vec::scale_inplace(forged, -scale_);
+  return forged;
+}
+
+RandomGaussian::RandomGaussian(double stddev) : stddev_(stddev) {
+  require(stddev > 0, "RandomGaussian: stddev must be positive");
+}
+
+Vector RandomGaussian::forge(const AttackContext& ctx, Rng& rng) const {
+  require(!ctx.honest_gradients.empty(), "RandomGaussian: no honest gradients to observe");
+  return rng.normal_vector(ctx.honest_gradients[0].size(), stddev_);
+}
+
+Vector ZeroGradient::forge(const AttackContext& ctx, Rng&) const {
+  require(!ctx.honest_gradients.empty(), "ZeroGradient: no honest gradients to observe");
+  return vec::zeros(ctx.honest_gradients[0].size());
+}
+
+Vector Mimic::forge(const AttackContext& ctx, Rng&) const {
+  require(!ctx.honest_gradients.empty(), "Mimic: no honest gradients to observe");
+  return ctx.honest_gradients[0];
+}
+
+}  // namespace dpbyz

@@ -1,0 +1,52 @@
+// auxiliary_attacks.hpp — additional Byzantine strategies used by the
+// robustness tests and the GAR-comparison bench (not part of the paper's
+// headline experiments, which use "little" and "empire").
+//
+// These cover the classic failure modes a GAR must survive:
+//   SignFlip      — scaled opposite of the honest mean (gradient ascent)
+//   RandomGaussian — high-variance noise vectors (arbitrary failures)
+//   ZeroGradient  — silent workers (the server treats non-received
+//                   gradients as 0, paper §2.1)
+//   Mimic         — copy one honest worker's gradient (consistency attack:
+//                   undetectable, tests that GARs degrade gracefully)
+#pragma once
+
+#include "attacks/attack.hpp"
+
+namespace dpbyz {
+
+class SignFlip final : public Attack {
+ public:
+  /// Submits -scale * mean(honest).
+  explicit SignFlip(double scale = 1.0);
+  Vector forge(const AttackContext& ctx, Rng& rng) const override;
+  std::string name() const override { return "signflip"; }
+
+ private:
+  double scale_;
+};
+
+class RandomGaussian final : public Attack {
+ public:
+  /// Submits iid N(0, stddev^2) coordinates.
+  explicit RandomGaussian(double stddev = 1.0);
+  Vector forge(const AttackContext& ctx, Rng& rng) const override;
+  std::string name() const override { return "random"; }
+
+ private:
+  double stddev_;
+};
+
+class ZeroGradient final : public Attack {
+ public:
+  Vector forge(const AttackContext& ctx, Rng& rng) const override;
+  std::string name() const override { return "zero"; }
+};
+
+class Mimic final : public Attack {
+ public:
+  Vector forge(const AttackContext& ctx, Rng& rng) const override;
+  std::string name() const override { return "mimic"; }
+};
+
+}  // namespace dpbyz

@@ -1,0 +1,19 @@
+#include "attacks/fall_of_empires.hpp"
+
+#include "math/statistics.hpp"
+#include "utils/errors.hpp"
+
+namespace dpbyz {
+
+FallOfEmpires::FallOfEmpires(double nu) : nu_(nu) {
+  require(nu >= 0, "FallOfEmpires: nu must be non-negative");
+}
+
+Vector FallOfEmpires::forge(const AttackContext& ctx, Rng&) const {
+  require(!ctx.honest_gradients.empty(), "FallOfEmpires: no honest gradients to observe");
+  Vector forged = stats::coordinate_mean(ctx.honest_gradients);
+  vec::scale_inplace(forged, 1.0 - nu_);
+  return forged;
+}
+
+}  // namespace dpbyz

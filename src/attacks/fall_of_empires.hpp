@@ -1,0 +1,27 @@
+// fall_of_empires.hpp — "Fall of Empires" (Xie et al., UAI 2019).
+//
+// Inner-product manipulation: each Byzantine worker submits
+// (1 - nu) * g_t, i.e. a_t = -g_t in the common template.  With
+// nu = 1.1 (the paper's choice, nu' = 0.1 in the original notation) the
+// forged gradient is -0.1 * g_t: a slight pull *backwards* that keeps the
+// aggregate's inner product with the true gradient small or negative
+// while looking innocuous to distance-based filters.
+#pragma once
+
+#include "attacks/attack.hpp"
+
+namespace dpbyz {
+
+class FallOfEmpires final : public Attack {
+ public:
+  explicit FallOfEmpires(double nu = 1.1);
+
+  Vector forge(const AttackContext& ctx, Rng& rng) const override;
+  std::string name() const override { return "empire"; }
+  double nu() const { return nu_; }
+
+ private:
+  double nu_;
+};
+
+}  // namespace dpbyz

@@ -1,0 +1,35 @@
+// little_is_enough.hpp — "A Little Is Enough" (Baruch et al., NeurIPS 2019).
+//
+// Each Byzantine worker submits  g_t + nu * a_t  with a_t = -sigma_t, the
+// opposite of the coordinate-wise standard deviation of the honest
+// gradient distribution (paper §5.1).  The forged vector stays within the
+// honest spread — close enough to evade distance-based GARs — while the
+// consistent small bias accumulated over steps derails training.
+// Paper default: nu = 1.5.
+#pragma once
+
+#include "attacks/attack.hpp"
+
+namespace dpbyz {
+
+class ALittleIsEnough final : public Attack {
+ public:
+  explicit ALittleIsEnough(double nu = 1.5);
+
+  Vector forge(const AttackContext& ctx, Rng& rng) const override;
+  std::string name() const override { return "little"; }
+  double nu() const { return nu_; }
+
+  /// Baruch et al.'s topology-calibrated factor z^max: the largest z such
+  /// that, per coordinate, the forged value mean - z*sigma still lies
+  /// within the range "covered" by enough honest workers to look like a
+  /// majority member.  With s = floor(n/2) + 1 - f honest workers to
+  /// blend with,  z^max = Phi^{-1}((n - f - s) / (n - f)).
+  /// Requires n >= 2 and f < n/2 (otherwise no such cover exists).
+  static double optimal_nu(size_t n, size_t f);
+
+ private:
+  double nu_;
+};
+
+}  // namespace dpbyz

@@ -1,0 +1,84 @@
+#include "core/config.hpp"
+
+#include <cmath>
+
+#include "utils/errors.hpp"
+#include "utils/strings.hpp"
+
+namespace dpbyz {
+
+void ExperimentConfig::validate() const {
+  require(num_workers >= 1, "config: need at least one worker");
+  require(num_byzantine < num_workers, "config: f must be < n");
+  require(batch_size >= 1, "config: batch size must be positive");
+  require(steps >= 1, "config: need at least one step");
+  require(learning_rate > 0, "config: learning rate must be positive");
+  require(lr_schedule == "constant" || lr_schedule == "theorem1",
+          "config: lr_schedule must be 'constant' or 'theorem1'");
+  require(momentum >= 0 && momentum < 1, "config: momentum must be in [0,1)");
+  require(clip_norm > 0, "config: clip norm (G_max) must be positive");
+  require(eval_every >= 1, "config: eval_every must be positive");
+  require(dropout_prob >= 0 && dropout_prob < 1, "config: dropout_prob must be in [0,1)");
+  require(worker_momentum >= 0 && worker_momentum < 1,
+          "config: worker_momentum must be in [0,1)");
+  require(data_partition == "shared" || data_partition == "iid" ||
+              data_partition == "contiguous" || data_partition == "label-skew",
+          "config: data_partition must be shared|iid|contiguous|label-skew");
+  require(label_skew_fraction >= 0.5 && label_skew_fraction <= 1.0,
+          "config: label_skew_fraction must be in [0.5, 1]");
+  if (dp_enabled) {
+    require(mechanism == "gaussian" || mechanism == "laplace",
+            "config: mechanism must be 'gaussian' or 'laplace'");
+    if (mechanism == "gaussian") {
+      require(epsilon > 0 && epsilon < 1,
+              "config: per-step epsilon must be in (0,1) for the Gaussian mechanism");
+      require(delta > 0 && delta < 1, "config: delta must be in (0,1)");
+    } else {
+      require(epsilon > 0, "config: epsilon must be positive");
+    }
+  }
+  if (attack_enabled) {
+    require(num_byzantine >= 1, "config: attack enabled but f = 0");
+    require(attack_observes == "wire" || attack_observes == "clean",
+            "config: attack_observes must be 'wire' or 'clean'");
+  }
+}
+
+std::string ExperimentConfig::label() const {
+  std::string out = gar;
+  if (dp_enabled)
+    out += "+dp(eps=" + strings::format_double(epsilon) + ")";
+  if (attack_enabled) out += "+" + attack;
+  out += "(b=" + std::to_string(batch_size) + ",seed=" + std::to_string(seed) + ")";
+  return out;
+}
+
+ExperimentConfig ExperimentConfig::paper_baseline() { return ExperimentConfig{}; }
+
+ExperimentConfig ExperimentConfig::with_dp(double eps) const {
+  ExperimentConfig c = *this;
+  c.dp_enabled = true;
+  c.epsilon = eps;
+  return c;
+}
+
+ExperimentConfig ExperimentConfig::with_attack(const std::string& attack_name) const {
+  ExperimentConfig c = *this;
+  c.attack_enabled = true;
+  c.attack = attack_name;
+  return c;
+}
+
+ExperimentConfig ExperimentConfig::with_seed(uint64_t s) const {
+  ExperimentConfig c = *this;
+  c.seed = s;
+  return c;
+}
+
+ExperimentConfig ExperimentConfig::with_batch(size_t b) const {
+  ExperimentConfig c = *this;
+  c.batch_size = b;
+  return c;
+}
+
+}  // namespace dpbyz

@@ -1,0 +1,79 @@
+#include "core/experiment.hpp"
+
+#include "math/statistics.hpp"
+#include "utils/errors.hpp"
+#include "utils/parallel.hpp"
+
+namespace dpbyz {
+
+namespace {
+/// Paper split: 8 400 training / 2 655 testing datapoints out of 11 055.
+constexpr size_t kPhishingTrain = 8400;
+
+std::pair<Dataset, Dataset> build_phishing_split(uint64_t data_seed) {
+  const Dataset full = make_phishing_like(PhishingLikeConfig{}, data_seed);
+  Rng split_rng = Rng(data_seed).derive("split");
+  return full.split(kPhishingTrain, split_rng);
+}
+}  // namespace
+
+PhishingExperiment::PhishingExperiment(uint64_t data_seed)
+    : train_(), test_(), model_(PhishingLikeConfig{}.num_features, LinearLoss::kMseOnSigmoid) {
+  auto [train, test] = build_phishing_split(data_seed);
+  train_ = std::move(train);
+  test_ = std::move(test);
+  check_internal(model_.dim() == 69, "PhishingExperiment: expected d = 69");
+}
+
+RunResult PhishingExperiment::run(const ExperimentConfig& config) const {
+  Trainer trainer(config, model_, train_, test_);
+  return trainer.run();
+}
+
+std::vector<RunResult> PhishingExperiment::run_seeds(const ExperimentConfig& config,
+                                                     size_t num_seeds) const {
+  require(num_seeds >= 1, "PhishingExperiment::run_seeds: need at least one seed");
+  std::vector<RunResult> out;
+  out.reserve(num_seeds);
+  for (uint64_t s = 1; s <= num_seeds; ++s) out.push_back(run(config.with_seed(s)));
+  return out;
+}
+
+std::vector<RunResult> PhishingExperiment::run_seeds_parallel(const ExperimentConfig& config,
+                                                              size_t num_seeds,
+                                                              size_t threads) const {
+  require(num_seeds >= 1, "PhishingExperiment::run_seeds_parallel: need at least one seed");
+  return parallel_map(
+      num_seeds,
+      [this, &config](size_t i) { return run(config.with_seed(i + 1)); }, threads);
+}
+
+QuadraticExperiment::QuadraticExperiment(size_t dim, double sigma, uint64_t data_seed,
+                                         size_t num_samples)
+    : data_(), model_(dim, Vector(dim, 0.0)) {
+  GaussianMeanConfig cfg;
+  cfg.dim = dim;
+  cfg.sigma = sigma;
+  cfg.num_samples = num_samples;
+  auto generated = make_gaussian_mean(cfg, data_seed);
+  data_ = std::move(generated.data);
+  model_ = QuadraticModel(dim, std::move(generated.mean));
+}
+
+double QuadraticExperiment::run_excess_loss(const ExperimentConfig& config) const {
+  Trainer trainer(config, model_, data_, data_);
+  const RunResult result = trainer.run();
+  return model_.excess_loss(result.final_parameters);
+}
+
+double QuadraticExperiment::mean_excess_loss(const ExperimentConfig& config,
+                                             size_t num_seeds) const {
+  require(num_seeds >= 1, "QuadraticExperiment: need at least one seed");
+  std::vector<double> losses;
+  losses.reserve(num_seeds);
+  for (uint64_t s = 1; s <= num_seeds; ++s)
+    losses.push_back(run_excess_loss(config.with_seed(s)));
+  return stats::mean(losses);
+}
+
+}  // namespace dpbyz

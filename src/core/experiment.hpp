@@ -1,0 +1,75 @@
+// experiment.hpp — ready-made experiment presets mirroring the paper.
+//
+// The phishing preset wires the synthetic phishing-like dataset (fixed
+// data seed so every configuration trains on the *same* data), the
+// d = 69 linear model with MSE-on-sigmoid loss, and the Trainer.  The
+// quadratic preset builds the strongly-convex Theorem-1 task.  Both
+// return plain RunResults so benches and tests share one code path.
+#pragma once
+
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/metrics.hpp"
+#include "core/trainer.hpp"
+#include "data/synthetic.hpp"
+#include "models/linear_model.hpp"
+#include "models/quadratic_model.hpp"
+
+namespace dpbyz {
+
+/// The paper's §5 task: phishing-like data, d = 69 linear model, MSE loss.
+/// Owns the dataset/model; construct once, run many configs against it.
+class PhishingExperiment {
+ public:
+  /// `data_seed` fixes the synthesized dataset and the 8400/2655 split;
+  /// it is deliberately independent of the per-run config seed.
+  explicit PhishingExperiment(uint64_t data_seed = 42);
+
+  RunResult run(const ExperimentConfig& config) const;
+
+  /// Run config with seeds 1..num_seeds (the paper's 5 repetitions).
+  std::vector<RunResult> run_seeds(const ExperimentConfig& config,
+                                   size_t num_seeds = 5) const;
+
+  /// Same runs on a thread pool (`threads` = 0 -> hardware concurrency).
+  /// Results are bit-identical to run_seeds: each seeded run is fully
+  /// self-contained and only shares the const dataset/model.
+  std::vector<RunResult> run_seeds_parallel(const ExperimentConfig& config,
+                                            size_t num_seeds = 5,
+                                            size_t threads = 0) const;
+
+  const Dataset& train() const { return train_; }
+  const Dataset& test() const { return test_; }
+  const LinearModel& model() const { return model_; }
+
+ private:
+  Dataset train_;
+  Dataset test_;
+  LinearModel model_;
+};
+
+/// The strongly-convex Gaussian-mean task from Theorem 1's proof.
+class QuadraticExperiment {
+ public:
+  /// dim = d, sigma = total gradient-noise stddev.
+  QuadraticExperiment(size_t dim, double sigma, uint64_t data_seed = 42,
+                      size_t num_samples = 20000);
+
+  /// Run with Theorem 1's decaying schedule gamma_t = 1/(lambda t)
+  /// (sin alpha = 0) and no momentum; `config` supplies everything else.
+  /// Returns the *exact* excess loss Q(w_{T+1}) - Q* of the final iterate.
+  double run_excess_loss(const ExperimentConfig& config) const;
+
+  /// Mean excess loss over seeds 1..num_seeds.
+  double mean_excess_loss(const ExperimentConfig& config, size_t num_seeds = 5) const;
+
+  const QuadraticModel& model() const { return model_; }
+  const Dataset& data() const { return data_; }
+
+ private:
+  Dataset data_;
+  QuadraticModel model_;
+};
+
+}  // namespace dpbyz

@@ -1,0 +1,68 @@
+#include "core/metrics.hpp"
+
+#include "math/statistics.hpp"
+#include "utils/errors.hpp"
+
+namespace dpbyz {
+
+SeriesSummary summarize_train_loss(const std::vector<RunResult>& runs) {
+  require(!runs.empty(), "summarize_train_loss: no runs");
+  const size_t len = runs[0].train_loss.size();
+  for (const auto& r : runs)
+    require(r.train_loss.size() == len, "summarize_train_loss: ragged series");
+  SeriesSummary out;
+  out.steps.resize(len);
+  out.mean.resize(len);
+  out.stddev.resize(len);
+  std::vector<double> column(runs.size());
+  for (size_t t = 0; t < len; ++t) {
+    for (size_t r = 0; r < runs.size(); ++r) column[r] = runs[r].train_loss[t];
+    out.steps[t] = t + 1;
+    out.mean[t] = stats::mean(column);
+    out.stddev[t] = stats::stddev(column);
+  }
+  return out;
+}
+
+SeriesSummary summarize_accuracy(const std::vector<RunResult>& runs) {
+  require(!runs.empty(), "summarize_accuracy: no runs");
+  const size_t len = runs[0].eval.size();
+  for (const auto& r : runs)
+    require(r.eval.size() == len, "summarize_accuracy: ragged eval grids");
+  SeriesSummary out;
+  out.steps.resize(len);
+  out.mean.resize(len);
+  out.stddev.resize(len);
+  std::vector<double> column(runs.size());
+  for (size_t t = 0; t < len; ++t) {
+    for (size_t r = 0; r < runs.size(); ++r) {
+      require(runs[r].eval[t].step == runs[0].eval[t].step,
+              "summarize_accuracy: eval grids disagree");
+      column[r] = runs[r].eval[t].accuracy;
+    }
+    out.steps[t] = runs[0].eval[t].step;
+    out.mean[t] = stats::mean(column);
+    out.stddev[t] = stats::stddev(column);
+  }
+  return out;
+}
+
+namespace {
+ScalarSummary summarize_scalar(const std::vector<RunResult>& runs,
+                               double RunResult::*field) {
+  require(!runs.empty(), "summarize: no runs");
+  std::vector<double> xs(runs.size());
+  for (size_t i = 0; i < runs.size(); ++i) xs[i] = runs[i].*field;
+  return {stats::mean(xs), stats::stddev(xs)};
+}
+}  // namespace
+
+ScalarSummary summarize_final_accuracy(const std::vector<RunResult>& runs) {
+  return summarize_scalar(runs, &RunResult::final_accuracy);
+}
+
+ScalarSummary summarize_final_loss(const std::vector<RunResult>& runs) {
+  return summarize_scalar(runs, &RunResult::final_train_loss);
+}
+
+}  // namespace dpbyz

@@ -1,0 +1,61 @@
+// metrics.hpp — run results and multi-seed summaries.
+//
+// The paper reports, per configuration, "the average and standard
+// deviation of both the cross-accuracy and the average loss" over 5
+// seeded repetitions.  RunResult captures one run; summarize() folds a
+// set of runs into mean/stddev series aligned on step indices.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "math/vector_ops.hpp"
+
+namespace dpbyz {
+
+/// Test-set evaluation at one checkpoint.
+struct EvalRecord {
+  size_t step;      ///< 1-based step at which the evaluation happened
+  double accuracy;  ///< cross-accuracy over the full test set
+};
+
+/// Everything recorded from a single training run.
+struct RunResult {
+  /// Mean honest-worker batch loss at every step (size == steps).
+  std::vector<double> train_loss;
+  /// Test accuracy every eval_every steps (plus the final step).
+  std::vector<EvalRecord> eval;
+  Vector final_parameters;
+  double final_accuracy = 0.0;
+  double final_train_loss = 0.0;
+  /// Minimum per-step training loss seen during the run (the paper
+  /// discusses "the minimum loss is reached in N steps").
+  double min_train_loss = 0.0;
+  /// First 1-based step at which train_loss came within 5% of its run
+  /// minimum; 0 when the run never stabilized.
+  size_t steps_to_min_loss = 0;
+};
+
+/// Mean/stddev of a metric across runs, aligned per step index.
+struct SeriesSummary {
+  std::vector<size_t> steps;
+  std::vector<double> mean;
+  std::vector<double> stddev;
+};
+
+/// Per-step training-loss summary across seeds (series must be equal length).
+SeriesSummary summarize_train_loss(const std::vector<RunResult>& runs);
+
+/// Eval-accuracy summary across seeds (eval grids must agree).
+SeriesSummary summarize_accuracy(const std::vector<RunResult>& runs);
+
+/// Scalar mean/stddev of the runs' final accuracies.
+struct ScalarSummary {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+ScalarSummary summarize_final_accuracy(const std::vector<RunResult>& runs);
+ScalarSummary summarize_final_loss(const std::vector<RunResult>& runs);
+
+}  // namespace dpbyz

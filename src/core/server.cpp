@@ -1,0 +1,18 @@
+#include "core/server.hpp"
+
+#include "utils/errors.hpp"
+
+namespace dpbyz {
+
+ParameterServer::ParameterServer(std::unique_ptr<Aggregator> gar, SgdOptimizer optimizer,
+                                 Vector w0)
+    : gar_(std::move(gar)), optimizer_(std::move(optimizer)), w_(std::move(w0)) {
+  require(gar_ != nullptr, "ParameterServer: null aggregator");
+}
+
+void ParameterServer::step(std::span<const Vector> gradients, size_t t) {
+  last_aggregate_ = gar_->aggregate(gradients);
+  optimizer_.step(w_, last_aggregate_, t);
+}
+
+}  // namespace dpbyz

@@ -1,0 +1,38 @@
+// server.hpp — the (honest-but-curious) parameter server.
+//
+// The server is honest in computation: it applies the configured GAR to
+// the n received gradients and updates the model (Eq. 1, plus the
+// experiments' heavy-ball momentum), then "broadcasts" the new parameters
+// (callers read parameters()).  Its curiosity — trying to invert honest
+// gradients — is a privacy concern handled on the worker side by the DP
+// mechanism; the server object needs no code for it.
+#pragma once
+
+#include <memory>
+
+#include "aggregation/aggregator.hpp"
+#include "models/optimizer.hpp"
+
+namespace dpbyz {
+
+class ParameterServer {
+ public:
+  /// Takes ownership of the GAR and optimizer; `w0` is the initial model.
+  ParameterServer(std::unique_ptr<Aggregator> gar, SgdOptimizer optimizer, Vector w0);
+
+  /// One synchronous round: aggregate the n submitted gradients and apply
+  /// the update for (1-based) step t.
+  void step(std::span<const Vector> gradients, size_t t);
+
+  const Vector& parameters() const { return w_; }
+  const Vector& last_aggregate() const { return last_aggregate_; }
+  const Aggregator& gar() const { return *gar_; }
+
+ private:
+  std::unique_ptr<Aggregator> gar_;
+  SgdOptimizer optimizer_;
+  Vector w_;
+  Vector last_aggregate_;
+};
+
+}  // namespace dpbyz

@@ -1,0 +1,149 @@
+#include "core/trainer.hpp"
+
+#include <cmath>
+
+#include "data/partition.hpp"
+#include "dp/gaussian_mechanism.hpp"
+#include "dp/laplace_mechanism.hpp"
+#include "math/statistics.hpp"
+#include "utils/errors.hpp"
+
+namespace dpbyz {
+
+std::unique_ptr<NoiseMechanism> make_mechanism(const ExperimentConfig& config, size_t dim) {
+  if (!config.dp_enabled) return std::make_unique<NoNoise>();
+  if (config.mechanism == "gaussian") {
+    return std::make_unique<GaussianMechanism>(GaussianMechanism::for_clipped_gradients(
+        config.epsilon, config.delta, config.clip_norm, config.batch_size));
+  }
+  if (config.mechanism == "laplace") {
+    return std::make_unique<LaplaceMechanism>(LaplaceMechanism::for_clipped_gradients(
+        config.epsilon, config.clip_norm, config.batch_size, dim));
+  }
+  throw std::invalid_argument("make_mechanism: unknown mechanism '" + config.mechanism + "'");
+}
+
+Trainer::Trainer(const ExperimentConfig& config, const Model& model, const Dataset& train,
+                 const Dataset& test)
+    : config_(config), model_(model), train_(train), test_(test) {
+  config_.validate();
+  require(train_.size() > 0, "Trainer: empty training set");
+  mechanism_ = make_mechanism(config_, model_.dim());
+  if (config_.attack_enabled)
+    attack_ = make_attack(config_.attack, config_.attack_nu);
+}
+
+RunResult Trainer::run() {
+  const size_t n = config_.num_workers;
+  const size_t f = config_.attack_enabled ? config_.num_byzantine : 0;
+  const size_t honest_count = n - f;
+
+  Rng root(config_.seed);
+  Rng attack_rng = root.derive("attack");
+  Rng dropout_rng = root.derive("dropout");
+
+  // Per-worker data: the paper's model shares one training set; the
+  // federated extension shards it (see ExperimentConfig::data_partition).
+  // Shards are owned here and outlive the workers referencing them.
+  const size_t active_honest = config_.attack_enabled ? honest_count : n;
+  std::vector<Dataset> shards;
+  if (config_.data_partition != "shared") {
+    Rng partition_rng = root.derive("partition");
+    if (config_.data_partition == "iid")
+      shards = partition_iid(train_, active_honest, partition_rng);
+    else if (config_.data_partition == "contiguous")
+      shards = partition_contiguous(train_, active_honest);
+    else
+      shards = partition_label_skew(train_, active_honest, config_.label_skew_fraction,
+                                    partition_rng);
+  }
+
+  // Workers: when the attack is disabled all n behave honestly, matching
+  // the paper's baseline configurations.
+  std::vector<HonestWorker> honest;
+  honest.reserve(n);
+  for (size_t i = 0; i < active_honest; ++i)
+    honest.emplace_back(model_, shards.empty() ? train_ : shards[i], config_.batch_size,
+                        config_.clip_norm, *mechanism_,
+                        root.derive("worker-" + std::to_string(i)), config_.clip_enabled,
+                        config_.worker_momentum);
+
+  const LrSchedule schedule = config_.lr_schedule == "theorem1"
+                                  ? theorem1_lr(1.0 / config_.learning_rate, 0.0)
+                                  : constant_lr(config_.learning_rate);
+  ParameterServer server(make_aggregator(config_.gar, n, config_.num_byzantine),
+                         SgdOptimizer(model_.dim(), schedule, config_.momentum),
+                         model_.initial_parameters());
+
+  RunResult result;
+  result.train_loss.reserve(config_.steps);
+  std::vector<Vector> submissions(n);
+
+  for (size_t t = 1; t <= config_.steps; ++t) {
+    const Vector& w = server.parameters();
+
+    // 1. Honest pipelines.
+    double loss_acc = 0.0;
+    const bool observe_clean =
+        config_.attack_enabled && config_.attack_observes == "clean";
+    std::vector<Vector> clean;
+    if (observe_clean) clean.reserve(honest.size());
+    for (size_t i = 0; i < honest.size(); ++i) {
+      submissions[i] = honest[i].submit(w);
+      loss_acc += honest[i].last_batch_loss();
+      if (observe_clean) clean.push_back(honest[i].last_clean_gradient());
+    }
+    result.train_loss.push_back(loss_acc / static_cast<double>(honest.size()));
+
+    // 2. Byzantine forgery (colluding: all f submit the same vector,
+    // crafted from the configured observation point — the wire by
+    // default; see ExperimentConfig::attack_observes).
+    if (config_.attack_enabled && f > 0) {
+      const std::span<const Vector> observed =
+          observe_clean ? std::span<const Vector>(clean)
+                        : std::span<const Vector>(submissions.data(), honest.size());
+      const AttackContext ctx{observed, f, t};
+      const Vector forged = attack_->forge(ctx, attack_rng);
+      for (size_t i = honest.size(); i < n; ++i) submissions[i] = forged;
+    }
+
+    // 2b. Network losses: each honest submission is independently dropped
+    // with probability dropout_prob; the synchronous server substitutes a
+    // zero vector for non-received gradients (paper §2.1).  Byzantine
+    // workers always deliver — an adversary does not miss its slot.
+    if (config_.dropout_prob > 0.0) {
+      for (size_t i = 0; i < honest.size(); ++i)
+        if (dropout_rng.bernoulli(config_.dropout_prob))
+          submissions[i] = vec::zeros(model_.dim());
+    }
+
+    // 3. Aggregate + update.
+    server.step(submissions, t);
+
+    // 4. Periodic evaluation (and always at the last step).
+    if (t % config_.eval_every == 0 || t == config_.steps) {
+      const double acc = model_.accuracy(server.parameters(), test_);
+      result.eval.push_back({t, acc});
+    }
+  }
+
+  result.final_parameters = server.parameters();
+  result.final_accuracy = result.eval.empty() ? std::nan("") : result.eval.back().accuracy;
+  result.final_train_loss = result.train_loss.back();
+
+  // Convergence-speed diagnostics.
+  double min_loss = result.train_loss[0];
+  for (double l : result.train_loss) min_loss = std::min(min_loss, l);
+  result.min_train_loss = min_loss;
+  const double threshold = min_loss + 0.05 * std::abs(min_loss);
+  result.steps_to_min_loss = 0;
+  for (size_t t = 0; t < result.train_loss.size(); ++t) {
+    if (result.train_loss[t] <= threshold) {
+      result.steps_to_min_loss = t + 1;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace dpbyz

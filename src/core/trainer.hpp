@@ -1,0 +1,58 @@
+// trainer.hpp — the synchronous training loop (paper Fig. 1(b)).
+//
+// Per step t:
+//   1. the n - f honest workers run their pipeline (sample, gradient,
+//      clip, DP-noise) and "send" their gradients;
+//   2. if an attack is configured, the colluding adversary observes the
+//      honest submissions and forges the f Byzantine gradients (all
+//      identical, per the paper's attack definitions); otherwise the f
+//      extra workers behave honestly (paper §5.1: under plain averaging
+//      "the f workers do not implement any attack");
+//   3. the server aggregates all n gradients with the GAR and updates w;
+//   4. metrics are recorded (per-step honest batch loss; test accuracy
+//      every eval_every steps).
+//
+// The trainer is deliberately single-threaded and allocation-light: runs
+// are deterministic given (config, model, datasets), which the test suite
+// checks bit-for-bit.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "attacks/attack.hpp"
+#include "core/config.hpp"
+#include "core/metrics.hpp"
+#include "core/server.hpp"
+#include "core/worker.hpp"
+#include "models/model.hpp"
+
+namespace dpbyz {
+
+class Trainer {
+ public:
+  /// `test` may equal `train` for tasks without a test split (the
+  /// quadratic experiments).  Keeps references; caller owns lifetimes.
+  Trainer(const ExperimentConfig& config, const Model& model, const Dataset& train,
+          const Dataset& test);
+
+  /// Run the full T steps and return every recorded metric.
+  RunResult run();
+
+  /// Expose the constructed mechanism (for accounting reports).
+  const NoiseMechanism& mechanism() const { return *mechanism_; }
+
+ private:
+  ExperimentConfig config_;
+  const Model& model_;
+  const Dataset& train_;
+  const Dataset& test_;
+  std::unique_ptr<NoiseMechanism> mechanism_;
+  std::unique_ptr<Attack> attack_;  // null when attack disabled
+};
+
+/// Build the mechanism an honest worker would use under `config`
+/// (NoNoise when DP is disabled).  Shared with the theory benches.
+std::unique_ptr<NoiseMechanism> make_mechanism(const ExperimentConfig& config, size_t dim);
+
+}  // namespace dpbyz

@@ -1,0 +1,46 @@
+#include "core/worker.hpp"
+
+#include "models/clipping.hpp"
+#include "utils/errors.hpp"
+
+namespace dpbyz {
+
+HonestWorker::HonestWorker(const Model& model, const Dataset& train, size_t batch_size,
+                           double clip_norm, const NoiseMechanism& mechanism, Rng rng,
+                           bool clip, double momentum)
+    : model_(model),
+      train_(train),
+      batch_size_(batch_size),
+      clip_norm_(clip_norm),
+      mechanism_(mechanism),
+      clip_(clip),
+      momentum_(momentum),
+      velocity_(model.dim(), 0.0),
+      sampler_(train.size()),
+      sample_rng_(rng.derive("sampling")),
+      noise_rng_(rng.derive("dp-noise")) {
+  require(batch_size >= 1, "HonestWorker: batch size must be positive");
+  require(clip_norm > 0, "HonestWorker: clip norm must be positive");
+  require(momentum >= 0 && momentum < 1, "HonestWorker: momentum must be in [0,1)");
+}
+
+Vector HonestWorker::submit(const Vector& w) {
+  const auto batch = sampler_.next(batch_size_, sample_rng_);
+  // Loss is evaluated on the same batch the gradient is computed on —
+  // this is the per-step training loss series the paper plots.
+  last_batch_loss_ = model_.batch_loss(w, train_, batch);
+  Vector g = model_.batch_gradient(w, train_, batch);
+  if (clip_) clip_l2_inplace(g, clip_norm_);
+  if (momentum_ > 0.0) {
+    // Worker-side exponential averaging over clipped gradients.  Note the
+    // noise is applied to the *momentum* vector below, so every message
+    // leaving the worker remains (eps, delta)-DP for the current batch.
+    for (size_t i = 0; i < g.size(); ++i)
+      velocity_[i] = momentum_ * velocity_[i] + g[i];
+    g = velocity_;
+  }
+  last_clean_gradient_ = g;
+  return mechanism_.perturb(g, noise_rng_);
+}
+
+}  // namespace dpbyz

@@ -1,0 +1,69 @@
+// worker.hpp — the honest worker's per-step pipeline.
+//
+// At each step t an honest worker W_i (paper §2.1 + §2.3 + §5.1):
+//   1. samples a batch xi_t^(i) of b indices from its training data,
+//   2. computes the averaged mini-batch gradient h(xi) (Eq. 4),
+//   3. clips it to L2 norm G_max (sensitivity control, Assumption 1),
+//   4. adds DP noise via its local randomizer (Eq. 6/7),
+//   5. sends the result to the parameter server.
+//
+// Byzantine workers are *not* modeled as a Worker subclass: the paper's
+// adversary colludes and forges a common gradient from global knowledge,
+// which is the Attack interface's job (attacks/attack.hpp).  The trainer
+// composes both.
+#pragma once
+
+#include <memory>
+
+#include "data/dataset.hpp"
+#include "data/samplers.hpp"
+#include "dp/mechanism.hpp"
+#include "math/rng.hpp"
+#include "models/model.hpp"
+
+namespace dpbyz {
+
+class HonestWorker {
+ public:
+  /// `mechanism` may be NoNoise for non-private runs.  The worker keeps
+  /// references to model/data (owned by the experiment) and owns its
+  /// sampler and RNG streams.
+  /// `clip` = false skips step 3 (see ExperimentConfig::clip_enabled);
+  /// `clip_norm` is still required as the mechanism's calibration bound.
+  /// `momentum` > 0 enables worker-side gradient averaging (§7 direction):
+  /// the worker sends m_t = momentum * m_{t-1} + clipped gradient.
+  HonestWorker(const Model& model, const Dataset& train, size_t batch_size,
+               double clip_norm, const NoiseMechanism& mechanism, Rng rng,
+               bool clip = true, double momentum = 0.0);
+
+  /// Run one full step pipeline at parameters `w`; returns the sanitized
+  /// gradient o_t^(i) to send.
+  Vector submit(const Vector& w);
+
+  /// Mini-batch loss at the most recent submit()'s batch and parameters —
+  /// the paper's per-step training metric ("the average loss achieved by
+  /// the model over the training datapoints sampled by the honest
+  /// workers", §5.1).
+  double last_batch_loss() const { return last_batch_loss_; }
+
+  /// The clipped, pre-noise gradient of the last submit() (diagnostics:
+  /// VN-ratio estimation needs the clean gradient distribution).
+  const Vector& last_clean_gradient() const { return last_clean_gradient_; }
+
+ private:
+  const Model& model_;
+  const Dataset& train_;
+  size_t batch_size_;
+  double clip_norm_;
+  const NoiseMechanism& mechanism_;
+  bool clip_;
+  double momentum_;
+  Vector velocity_;
+  IidSampler sampler_;
+  Rng sample_rng_;
+  Rng noise_rng_;
+  double last_batch_loss_ = 0.0;
+  Vector last_clean_gradient_;
+};
+
+}  // namespace dpbyz

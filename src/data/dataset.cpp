@@ -1,0 +1,47 @@
+#include "data/dataset.hpp"
+
+#include "utils/errors.hpp"
+
+namespace dpbyz {
+
+Dataset::Dataset(Matrix features, Vector labels)
+    : features_(std::move(features)), labels_(std::move(labels)) {
+  require(labels_.empty() || labels_.size() == features_.rows(),
+          "Dataset: labels/features row-count mismatch");
+}
+
+double Dataset::y(size_t i) const {
+  require(i < labels_.size(), "Dataset::y: index out of range (or unlabeled)");
+  return labels_[i];
+}
+
+Dataset Dataset::subset(std::span<const size_t> idx) const {
+  Matrix x = features_.select_rows(idx);
+  Vector y;
+  if (labeled()) {
+    y.reserve(idx.size());
+    for (size_t i : idx) {
+      require(i < labels_.size(), "Dataset::subset: index out of range");
+      y.push_back(labels_[i]);
+    }
+  }
+  return Dataset(std::move(x), std::move(y));
+}
+
+std::pair<Dataset, Dataset> Dataset::split(size_t train_count, Rng& rng) const {
+  require(train_count <= size(), "Dataset::split: train_count exceeds dataset size");
+  const auto perm = rng.permutation(size());
+  const std::span<const size_t> train_idx(perm.data(), train_count);
+  const std::span<const size_t> test_idx(perm.data() + train_count, size() - train_count);
+  return {subset(train_idx), subset(test_idx)};
+}
+
+double Dataset::positive_fraction() const {
+  require(labeled(), "Dataset::positive_fraction: unlabeled dataset");
+  double pos = 0.0;
+  for (double v : labels_)
+    if (v > 0.5) pos += 1.0;
+  return pos / static_cast<double>(labels_.size());
+}
+
+}  // namespace dpbyz

@@ -1,0 +1,51 @@
+// dataset.hpp — labeled dataset container and train/test splitting.
+//
+// A Dataset owns a feature matrix X (one row per sample) and a label
+// vector y.  For the paper's binary-classification experiments labels are
+// in {0, 1}; the quadratic (Theorem 1) experiments reuse the container
+// with X holding the observed points and y unused.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "math/matrix.hpp"
+#include "math/rng.hpp"
+
+namespace dpbyz {
+
+/// Immutable-after-construction labeled dataset.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Takes ownership of features and labels; their sizes must agree
+  /// (labels may be empty for unlabeled data).
+  Dataset(Matrix features, Vector labels);
+
+  size_t size() const { return features_.rows(); }
+  size_t dim() const { return features_.cols(); }
+  bool labeled() const { return !labels_.empty(); }
+
+  const Matrix& features() const { return features_; }
+  const Vector& labels() const { return labels_; }
+
+  std::span<const double> x(size_t i) const { return features_.row(i); }
+  double y(size_t i) const;
+
+  /// New dataset containing rows `idx` in order.
+  Dataset subset(std::span<const size_t> idx) const;
+
+  /// Deterministic shuffled split into (train, test) with `train_count`
+  /// rows in the train part.  The permutation is drawn from `rng`.
+  std::pair<Dataset, Dataset> split(size_t train_count, Rng& rng) const;
+
+  /// Fraction of labels equal to 1 (requires labels).
+  double positive_fraction() const;
+
+ private:
+  Matrix features_;
+  Vector labels_;
+};
+
+}  // namespace dpbyz

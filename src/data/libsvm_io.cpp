@@ -1,0 +1,123 @@
+#include "data/libsvm_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "utils/errors.hpp"
+#include "utils/strings.hpp"
+
+namespace dpbyz {
+
+namespace {
+
+struct SparseRow {
+  double label;
+  std::vector<std::pair<size_t, double>> entries;  // (0-based index, value)
+};
+
+SparseRow parse_line(const std::string& line, size_t line_no) {
+  std::istringstream in(line);
+  SparseRow row{};
+  std::string token;
+  require(static_cast<bool>(in >> token),
+          "read_libsvm: empty record at line " + std::to_string(line_no));
+  try {
+    row.label = std::stod(token);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("read_libsvm: bad label '" + token + "' at line " +
+                                std::to_string(line_no));
+  }
+  while (in >> token) {
+    const auto colon = token.find(':');
+    require(colon != std::string::npos,
+            "read_libsvm: expected index:value, got '" + token + "' at line " +
+                std::to_string(line_no));
+    size_t index = 0;
+    double value = 0.0;
+    try {
+      index = static_cast<size_t>(std::stoull(token.substr(0, colon)));
+      value = std::stod(token.substr(colon + 1));
+    } catch (const std::exception&) {
+      throw std::invalid_argument("read_libsvm: malformed pair '" + token + "' at line " +
+                                  std::to_string(line_no));
+    }
+    require(index >= 1, "read_libsvm: indices are 1-based (line " +
+                            std::to_string(line_no) + ")");
+    if (!row.entries.empty())
+      require(index - 1 > row.entries.back().first,
+              "read_libsvm: indices must be strictly increasing (line " +
+                  std::to_string(line_no) + ")");
+    row.entries.emplace_back(index - 1, value);
+  }
+  return row;
+}
+
+double normalize_label(double raw, size_t line_no) {
+  if (raw == 0.0 || raw == 1.0) return raw;
+  if (raw == -1.0) return 0.0;
+  if (raw == 2.0) return 0.0;  // some LIBSVM binary sets encode classes as {1, 2}
+  throw std::invalid_argument("read_libsvm: unsupported binary label " +
+                              strings::format_double(raw) + " at line " +
+                              std::to_string(line_no));
+}
+
+}  // namespace
+
+Dataset read_libsvm(std::istream& in, size_t num_features) {
+  std::vector<SparseRow> rows;
+  size_t max_index = 0;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string trimmed = strings::trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    SparseRow row = parse_line(trimmed, line_no);
+    row.label = normalize_label(row.label, line_no);
+    if (!row.entries.empty())
+      max_index = std::max(max_index, row.entries.back().first + 1);
+    rows.push_back(std::move(row));
+  }
+  require(!rows.empty(), "read_libsvm: no records");
+
+  const size_t dim = num_features > 0 ? num_features : max_index;
+  require(dim > 0, "read_libsvm: could not infer feature dimension");
+  require(max_index <= dim, "read_libsvm: feature index " + std::to_string(max_index) +
+                                " exceeds declared dimension " + std::to_string(dim));
+
+  Matrix x(rows.size(), dim, 0.0);
+  Vector y(rows.size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    y[r] = rows[r].label;
+    auto dest = x.row(r);
+    for (const auto& [index, value] : rows[r].entries) dest[index] = value;
+  }
+  return Dataset(std::move(x), std::move(y));
+}
+
+Dataset read_libsvm_file(const std::string& path, size_t num_features) {
+  std::ifstream in(path);
+  if (!in.is_open()) throw std::runtime_error("read_libsvm_file: cannot open " + path);
+  return read_libsvm(in, num_features);
+}
+
+void write_libsvm(std::ostream& out, const Dataset& data) {
+  require(data.labeled(), "write_libsvm: dataset must be labeled");
+  for (size_t r = 0; r < data.size(); ++r) {
+    out << (data.y(r) > 0.5 ? "+1" : "-1");
+    const auto x = data.x(r);
+    for (size_t j = 0; j < x.size(); ++j) {
+      if (x[j] != 0.0)
+        out << ' ' << (j + 1) << ':' << strings::format_double(x[j], 10);
+    }
+    out << '\n';
+  }
+}
+
+void write_libsvm_file(const std::string& path, const Dataset& data) {
+  std::ofstream out(path);
+  if (!out.is_open()) throw std::runtime_error("write_libsvm_file: cannot open " + path);
+  write_libsvm(out, data);
+}
+
+}  // namespace dpbyz

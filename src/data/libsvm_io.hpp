@@ -1,0 +1,35 @@
+// libsvm_io.hpp — LIBSVM sparse-format dataset I/O.
+//
+// The paper's experiments use the *phishing* dataset from the LIBSVM
+// collection.  This module reads/writes that format so users with network
+// access can train on the genuine file instead of the built-in synthetic
+// stand-in:
+//
+//     <label> <index>:<value> <index>:<value> ...
+//
+// Conventions handled: 1-based feature indices, labels in {0,1}, {-1,+1}
+// (mapped to {0,1}) or {1,2} style multi-class rejected, omitted (zero)
+// features, comment lines starting with '#', blank lines.
+#pragma once
+
+#include <istream>
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace dpbyz {
+
+/// Parse a LIBSVM stream.  `num_features` = 0 infers the dimension from
+/// the largest index seen; a positive value fixes it (indices beyond it
+/// are an error).  Throws std::invalid_argument on malformed input.
+Dataset read_libsvm(std::istream& in, size_t num_features = 0);
+
+/// Load from a file path.  Throws std::runtime_error if unreadable.
+Dataset read_libsvm_file(const std::string& path, size_t num_features = 0);
+
+/// Write `data` in LIBSVM format (labels as +1/-1, all features emitted
+/// except exact zeros, 1-based indices).
+void write_libsvm(std::ostream& out, const Dataset& data);
+void write_libsvm_file(const std::string& path, const Dataset& data);
+
+}  // namespace dpbyz

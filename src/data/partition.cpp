@@ -1,0 +1,88 @@
+#include "data/partition.hpp"
+
+#include <algorithm>
+
+#include "utils/errors.hpp"
+
+namespace dpbyz {
+
+namespace {
+std::vector<Dataset> shards_from_order(const Dataset& data,
+                                       const std::vector<size_t>& order,
+                                       size_t num_shards) {
+  require(num_shards >= 1, "partition: need at least one shard");
+  require(order.size() >= num_shards, "partition: fewer rows than shards");
+  std::vector<Dataset> out;
+  out.reserve(num_shards);
+  const size_t base = order.size() / num_shards;
+  const size_t extra = order.size() % num_shards;
+  size_t cursor = 0;
+  for (size_t s = 0; s < num_shards; ++s) {
+    const size_t size = base + (s < extra ? 1 : 0);
+    const std::span<const size_t> idx(order.data() + cursor, size);
+    out.push_back(data.subset(idx));
+    cursor += size;
+  }
+  check_internal(cursor == order.size(), "partition: rows not exhausted");
+  return out;
+}
+}  // namespace
+
+std::vector<Dataset> partition_iid(const Dataset& data, size_t num_shards, Rng& rng) {
+  return shards_from_order(data, rng.permutation(data.size()), num_shards);
+}
+
+std::vector<Dataset> partition_contiguous(const Dataset& data, size_t num_shards) {
+  std::vector<size_t> order(data.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  return shards_from_order(data, order, num_shards);
+}
+
+std::vector<Dataset> partition_label_skew(const Dataset& data, size_t num_shards,
+                                          double majority_fraction, Rng& rng) {
+  require(data.labeled(), "partition_label_skew: dataset must be labeled");
+  require(majority_fraction >= 0.5 && majority_fraction <= 1.0,
+          "partition_label_skew: majority_fraction must be in [0.5, 1]");
+  require(num_shards >= 1, "partition_label_skew: need at least one shard");
+
+  // Pools per class, in random order.
+  std::vector<size_t> pool[2];
+  const auto perm = rng.permutation(data.size());
+  for (size_t i : perm) pool[data.y(i) > 0.5 ? 1 : 0].push_back(i);
+
+  const size_t base = data.size() / num_shards;
+  require(base >= 2, "partition_label_skew: shards too small to mix classes");
+
+  std::vector<Dataset> out;
+  out.reserve(num_shards);
+  size_t cursor[2] = {0, 0};
+  // Greedy best-effort: a shard first draws up to its majority quota from
+  // its majority class, then fills from whatever remains.  With
+  // imbalanced classes the realized skew of late shards may be lower than
+  // requested (an exact constant-skew partition is infeasible unless the
+  // classes are balanced); the construction still uses every row once.
+  auto take = [&](int cls, size_t count, std::vector<size_t>& dest) -> size_t {
+    const size_t available = pool[cls].size() - cursor[cls];
+    const size_t taken = std::min(count, available);
+    for (size_t k = 0; k < taken; ++k) dest.push_back(pool[cls][cursor[cls]++]);
+    return taken;
+  };
+  for (size_t s = 0; s < num_shards; ++s) {
+    const int major = static_cast<int>(s % 2);
+    // Last shard absorbs the remainder so every row is used exactly once.
+    const size_t size = (s + 1 == num_shards)
+                            ? data.size() - base * (num_shards - 1)
+                            : base;
+    const size_t majority = static_cast<size_t>(majority_fraction * static_cast<double>(size));
+    std::vector<size_t> idx;
+    idx.reserve(size);
+    size_t got = take(major, majority, idx);
+    got += take(1 - major, size - got, idx);
+    got += take(major, size - got, idx);  // minority pool ran dry: top up
+    check_internal(got == size, "partition_label_skew: accounting error");
+    out.push_back(data.subset(idx));
+  }
+  return out;
+}
+
+}  // namespace dpbyz

@@ -1,0 +1,42 @@
+// partition.hpp — splitting a training set across workers.
+//
+// The paper's model is iid: every worker samples from the same
+// distribution D (§2.1), which we realize by sharing one training set.
+// Real federated deployments (§1 motivates the parameter server via
+// federated learning) are *heterogeneous*: each worker holds its own
+// shard, often with skewed label mix.  This module provides the shard
+// constructions used by the heterogeneity extension bench:
+//
+//   iid        — random equal shards (statistically like shared data)
+//   contiguous — equal shards in dataset order (arbitrary skew)
+//   label-skew — each worker gets `majority_fraction` of its samples
+//                from one class and the rest from the other, rotating
+//                the majority class across workers
+//
+// All constructions are deterministic given the Rng and partition every
+// row exactly once (sizes differ by at most 1).
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "math/rng.hpp"
+
+namespace dpbyz {
+
+/// Random equal-size shards (iid heterogeneity baseline).
+std::vector<Dataset> partition_iid(const Dataset& data, size_t num_shards, Rng& rng);
+
+/// Equal contiguous shards in the dataset's existing order.
+std::vector<Dataset> partition_contiguous(const Dataset& data, size_t num_shards);
+
+/// Binary label-skew shards: shard k draws up to `majority_fraction` of
+/// its rows from class (k % 2) and the remainder from the other class,
+/// both without replacement, in random order.  Best-effort: when the
+/// classes are imbalanced an exact constant skew is infeasible, so late
+/// shards fall back to whatever rows remain (every row is still used
+/// exactly once).  Requires labels in {0, 1}.
+std::vector<Dataset> partition_label_skew(const Dataset& data, size_t num_shards,
+                                          double majority_fraction, Rng& rng);
+
+}  // namespace dpbyz

@@ -1,0 +1,39 @@
+#include "data/samplers.hpp"
+
+#include "utils/errors.hpp"
+
+namespace dpbyz {
+
+IidSampler::IidSampler(size_t population_size) : n_(population_size) {
+  require(n_ > 0, "IidSampler: population must be positive");
+}
+
+std::vector<size_t> IidSampler::next(size_t batch_size, Rng& rng) {
+  require(batch_size > 0, "IidSampler::next: batch_size must be positive");
+  std::vector<size_t> out(batch_size);
+  for (size_t& i : out) i = rng.uniform_index(n_);
+  return out;
+}
+
+EpochShuffleSampler::EpochShuffleSampler(size_t population_size) : n_(population_size) {
+  require(n_ > 0, "EpochShuffleSampler: population must be positive");
+}
+
+std::vector<size_t> EpochShuffleSampler::next(size_t batch_size, Rng& rng) {
+  require(batch_size > 0, "EpochShuffleSampler::next: batch_size must be positive");
+  require(batch_size <= n_,
+          "EpochShuffleSampler::next: batch_size exceeds population");
+  // Reshuffle when the current epoch cannot supply a full batch.  The
+  // (at most batch_size - 1) leftover indices of the old permutation are
+  // dropped so that a single batch never contains duplicates.
+  if (order_.empty() || cursor_ + batch_size > order_.size()) {
+    order_ = rng.permutation(n_);
+    cursor_ = 0;
+  }
+  std::vector<size_t> out(order_.begin() + static_cast<std::ptrdiff_t>(cursor_),
+                          order_.begin() + static_cast<std::ptrdiff_t>(cursor_ + batch_size));
+  cursor_ += batch_size;
+  return out;
+}
+
+}  // namespace dpbyz

@@ -1,0 +1,55 @@
+// samplers.hpp — mini-batch index samplers.
+//
+// Each honest worker W_i "locally samples a random training batch xi_t^(i)
+// from the data distribution D" (paper §2.1).  We model D as the empirical
+// distribution over the training set, so the faithful sampler draws b
+// indices uniformly *with replacement* (iid).  An epoch-style
+// without-replacement sampler is provided for completeness and tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "math/rng.hpp"
+
+namespace dpbyz {
+
+/// Interface: produce mini-batches of indices into a dataset of size n.
+class BatchSampler {
+ public:
+  virtual ~BatchSampler() = default;
+
+  /// Next batch of exactly `batch_size` indices in [0, population()).
+  virtual std::vector<size_t> next(size_t batch_size, Rng& rng) = 0;
+
+  /// Size of the underlying index population.
+  virtual size_t population() const = 0;
+};
+
+/// IID sampling with replacement — the paper's model of batch sampling.
+class IidSampler final : public BatchSampler {
+ public:
+  explicit IidSampler(size_t population_size);
+  std::vector<size_t> next(size_t batch_size, Rng& rng) override;
+  size_t population() const override { return n_; }
+
+ private:
+  size_t n_;
+};
+
+/// Epoch shuffling without replacement: each call consumes the next chunk
+/// of a random permutation, reshuffling when exhausted.  Batches never
+/// contain duplicates; successive batches within an epoch are disjoint.
+class EpochShuffleSampler final : public BatchSampler {
+ public:
+  explicit EpochShuffleSampler(size_t population_size);
+  std::vector<size_t> next(size_t batch_size, Rng& rng) override;
+  size_t population() const override { return n_; }
+
+ private:
+  size_t n_;
+  std::vector<size_t> order_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace dpbyz

@@ -1,0 +1,73 @@
+// synthetic.hpp — deterministic synthetic dataset generators.
+//
+// The paper trains on the LIBSVM *phishing* dataset (11 055 points,
+// 68 features, binary labels).  That file is a web download we do not have
+// in this offline environment, so `make_phishing_like` synthesizes a
+// stand-in with the same shape and the same property the experiments rely
+// on: a d = 69-parameter linear model converges on it within ~100 SGD
+// steps at batch size 50 (see DESIGN.md §2 for the substitution argument).
+//
+// The real phishing features are categorical, encoded into {0, 0.5, 1}
+// levels.  We reproduce that marginal structure by drawing class-
+// conditional Gaussians and quantizing each coordinate to 3 levels, which
+// keeps the task linearly separable-ish without being trivial.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "data/dataset.hpp"
+
+namespace dpbyz {
+
+/// Configuration for the phishing-like generator.
+struct PhishingLikeConfig {
+  size_t num_samples = 11055;  ///< paper: 11 055 datapoints
+  size_t num_features = 68;    ///< paper: 68 features (model has d = 69 with bias)
+  /// Latent-space distance between the two class means, in units of the
+  /// per-coordinate noise.  3.0 gives a Bayes accuracy around 93% before
+  /// quantization, which calibrates the task so the paper's d = 69 linear
+  /// model converges to >88% test accuracy in under 100 steps at b = 50
+  /// (the property the experiments rely on; see DESIGN.md §2).
+  double class_separation = 3.0;
+  double noise_sigma = 1.0;       ///< within-class Gaussian spread
+  double positive_fraction = 0.557;  ///< approximate label balance of phishing
+  /// Fraction of features carrying class signal; the rest are pure noise,
+  /// mimicking the weakly-informative categorical features of phishing.
+  double informative_fraction = 0.6;
+};
+
+/// Deterministically synthesize a phishing-like dataset from `seed`.
+Dataset make_phishing_like(const PhishingLikeConfig& cfg, uint64_t seed);
+
+/// Configuration for the Theorem-1 lower-bound workload: samples
+/// x ~ N(x_bar, (sigma^2 / d) I_d), so that Q(w) = 1/2 E||w - x||^2 is
+/// lambda = 1 strongly convex with minimizer x_bar and gradient-noise
+/// variance sigma^2 (summed over coordinates), matching the construction
+/// in the paper's proof of Theorem 1.
+struct GaussianMeanConfig {
+  size_t num_samples = 10000;
+  size_t dim = 64;
+  double sigma = 1.0;       ///< total stddev: per-coordinate variance is sigma^2/d
+  double mean_radius = 1.0; ///< x_bar is a uniformly random vector of this L2 norm
+};
+
+/// The generated dataset plus the ground-truth mean (the optimum w*).
+struct GaussianMeanData {
+  Dataset data;     ///< unlabeled; features are the observations x
+  Vector mean;      ///< x_bar = argmin Q
+};
+
+GaussianMeanData make_gaussian_mean(const GaussianMeanConfig& cfg, uint64_t seed);
+
+/// Two isotropic Gaussian blobs for the generic classification examples.
+struct BlobsConfig {
+  size_t num_samples = 2000;
+  size_t num_features = 20;
+  double separation = 3.0;  ///< L2 distance between the two blob centers
+  double sigma = 1.0;
+};
+
+Dataset make_blobs(const BlobsConfig& cfg, uint64_t seed);
+
+}  // namespace dpbyz

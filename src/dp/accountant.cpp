@@ -1,0 +1,58 @@
+#include "dp/accountant.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "utils/errors.hpp"
+
+namespace dpbyz::dp {
+
+Budget basic_composition(double eps_step, double delta_step, size_t steps) {
+  require(eps_step >= 0 && delta_step >= 0, "basic_composition: negative budget");
+  const double t = static_cast<double>(steps);
+  return {t * eps_step, t * delta_step};
+}
+
+Budget advanced_composition(double eps_step, double delta_step, size_t steps,
+                            double delta_prime) {
+  require(eps_step >= 0 && delta_step >= 0, "advanced_composition: negative budget");
+  require(delta_prime > 0 && delta_prime < 1,
+          "advanced_composition: delta_prime must be in (0,1)");
+  const double t = static_cast<double>(steps);
+  const double eps_total = std::sqrt(2.0 * t * std::log(1.0 / delta_prime)) * eps_step +
+                           t * eps_step * (std::exp(eps_step) - 1.0);
+  return {eps_total, t * delta_step + delta_prime};
+}
+
+RdpAccountant::RdpAccountant(double noise_stddev, double l2_sensitivity) {
+  require(noise_stddev > 0, "RdpAccountant: noise stddev must be positive");
+  require(l2_sensitivity > 0, "RdpAccountant: sensitivity must be positive");
+  const double ratio = l2_sensitivity / noise_stddev;
+  rho_ = 0.5 * ratio * ratio;
+}
+
+double RdpAccountant::rdp_epsilon(double alpha) const {
+  require(alpha > 1.0, "RdpAccountant::rdp_epsilon: alpha must exceed 1");
+  return static_cast<double>(steps_) * alpha * rho_;
+}
+
+double RdpAccountant::epsilon_for_delta(double delta) const {
+  require(delta > 0 && delta < 1, "RdpAccountant::epsilon_for_delta: bad delta");
+  if (steps_ == 0) return 0.0;
+  // eps(alpha) = T rho alpha + log(1/delta)/(alpha - 1); minimized near
+  // alpha* = 1 + sqrt(log(1/delta) / (T rho)).  Scan a grid around the
+  // analytic optimum for robustness.
+  const double t_rho = static_cast<double>(steps_) * rho_;
+  const double log_inv_delta = std::log(1.0 / delta);
+  const double alpha_star = 1.0 + std::sqrt(log_inv_delta / t_rho);
+  double best = std::numeric_limits<double>::infinity();
+  for (double factor = 0.25; factor <= 4.0; factor *= 1.05) {
+    const double alpha = 1.0 + (alpha_star - 1.0) * factor;
+    if (alpha <= 1.0) continue;
+    const double eps = t_rho * alpha + log_inv_delta / (alpha - 1.0);
+    best = std::min(best, eps);
+  }
+  return best;
+}
+
+}  // namespace dpbyz::dp

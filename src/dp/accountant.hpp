@@ -1,0 +1,65 @@
+// accountant.hpp — privacy accounting across the T training steps.
+//
+// The paper works with a fixed *per-step* budget (eps, delta) and invokes
+// composition only in passing (§2.3): basic composition adds budgets
+// linearly; "more refined tools, such as the moments accountant" give
+// better totals.  We implement three accountants so the benches can report
+// the total privacy cost of every training configuration:
+//
+//  * BasicComposition        — (T eps, T delta)              [Dwork-Roth Thm 3.16]
+//  * AdvancedComposition     — eps' = eps sqrt(2T log(1/d')) + T eps (e^eps - 1),
+//                              delta' = T delta + d'          [Dwork-Roth Thm 3.20]
+//  * RdpAccountant           — Rényi-DP of the Gaussian mechanism,
+//                              eps(alpha) = alpha Delta^2/(2 s^2) per step,
+//                              composed additively and converted to
+//                              (eps, delta) by minimizing over alpha
+//                              [Mironov 2017]; this plays the role of the
+//                              moments accountant [Abadi et al. 2016].
+#pragma once
+
+#include <cstddef>
+
+namespace dpbyz::dp {
+
+/// Total budget after composing T identical (eps, delta)-DP steps.
+struct Budget {
+  double epsilon;
+  double delta;
+};
+
+/// Basic (linear) composition: (T*eps, T*delta).
+Budget basic_composition(double eps_step, double delta_step, size_t steps);
+
+/// Advanced composition with slack delta_prime (Dwork-Roth Theorem 3.20):
+/// eps_total = sqrt(2 T ln(1/delta')) eps + T eps (e^eps - 1),
+/// delta_total = T delta + delta'.
+Budget advanced_composition(double eps_step, double delta_step, size_t steps,
+                            double delta_prime);
+
+/// Rényi-DP accountant for the Gaussian mechanism.
+///
+/// One Gaussian-mechanism release with noise stddev s and L2 sensitivity
+/// Delta satisfies (alpha, alpha Delta^2 / (2 s^2))-RDP for every
+/// alpha > 1; T releases compose additively in the RDP parameter; and
+/// (alpha, r)-RDP implies (r + log(1/delta)/(alpha-1), delta)-DP.
+class RdpAccountant {
+ public:
+  /// `noise_stddev` is the mechanism's s; `l2_sensitivity` its Delta.
+  RdpAccountant(double noise_stddev, double l2_sensitivity);
+
+  /// Record `count` identical releases.
+  void record_steps(size_t count) { steps_ += count; }
+  size_t steps() const { return steps_; }
+
+  /// RDP order-alpha epsilon accumulated so far.
+  double rdp_epsilon(double alpha) const;
+
+  /// Best (eps, delta)-DP conversion over a grid of alpha values.
+  double epsilon_for_delta(double delta) const;
+
+ private:
+  double rho_;  ///< per-step Delta^2 / (2 s^2): eps(alpha) = alpha * rho
+  size_t steps_ = 0;
+};
+
+}  // namespace dpbyz::dp

@@ -1,0 +1,46 @@
+// gaussian_mechanism.hpp — the (eps, delta)-DP Gaussian mechanism (Eq. 6).
+//
+// For per-step budget (eps, delta) in (0,1)^2 and clipped batch gradients
+// (sensitivity 2 G_max / b), the mechanism adds y ~ N(0, I_d s^2) with
+//
+//     s = 2 * G_max * sqrt(2 log(1.25/delta)) / (b * eps)
+//
+// which is exactly the noise scale of §2.3 of the paper (and of Dwork &
+// Roth, Appendix A).  The class also exposes the general
+// s = sensitivity * sqrt(2 log(1.25/delta)) / eps calibration.
+#pragma once
+
+#include "dp/mechanism.hpp"
+
+namespace dpbyz {
+
+class GaussianMechanism final : public NoiseMechanism {
+ public:
+  /// General calibration from an explicit L2 sensitivity.
+  /// Requires eps in (0,1) and delta in (0,1) (the classical analysis of
+  /// the Gaussian mechanism is only valid there; see paper Remark 3).
+  GaussianMechanism(double epsilon, double delta, double l2_sensitivity);
+
+  /// Convenience: the paper's gradient setting (sensitivity 2 G_max / b).
+  static GaussianMechanism for_clipped_gradients(double epsilon, double delta,
+                                                 double g_max, size_t batch_size);
+
+  /// Noise scale s for the paper's gradient setting, without constructing
+  /// a mechanism (used by the theory module's closed-form predictions).
+  static double noise_scale(double epsilon, double delta, double g_max,
+                            size_t batch_size);
+
+  Vector perturb(const Vector& gradient, Rng& rng) const override;
+  double noise_stddev() const override { return s_; }
+  std::string describe() const override;
+
+  double epsilon() const { return epsilon_; }
+  double delta() const { return delta_; }
+
+ private:
+  double epsilon_;
+  double delta_;
+  double s_;
+};
+
+}  // namespace dpbyz

@@ -1,0 +1,36 @@
+#include "dp/laplace_mechanism.hpp"
+
+#include <cmath>
+
+#include "dp/sensitivity.hpp"
+#include "utils/errors.hpp"
+#include "utils/strings.hpp"
+
+namespace dpbyz {
+
+LaplaceMechanism::LaplaceMechanism(double epsilon, double l1_sensitivity)
+    : epsilon_(epsilon) {
+  require(epsilon > 0, "LaplaceMechanism: epsilon must be positive");
+  require(l1_sensitivity > 0, "LaplaceMechanism: sensitivity must be positive");
+  scale_ = l1_sensitivity / epsilon;
+}
+
+LaplaceMechanism LaplaceMechanism::for_clipped_gradients(double epsilon, double g_max,
+                                                         size_t batch_size, size_t dim) {
+  return LaplaceMechanism(epsilon, dp::l1_sensitivity(g_max, batch_size, dim));
+}
+
+Vector LaplaceMechanism::perturb(const Vector& gradient, Rng& rng) const {
+  Vector out = gradient;
+  for (double& x : out) x += rng.laplace(0.0, scale_);
+  return out;
+}
+
+double LaplaceMechanism::noise_stddev() const { return std::sqrt(2.0) * scale_; }
+
+std::string LaplaceMechanism::describe() const {
+  return "laplace(eps=" + strings::format_double(epsilon_) +
+         ", scale=" + strings::format_double(scale_) + ")";
+}
+
+}  // namespace dpbyz

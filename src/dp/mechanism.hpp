@@ -1,0 +1,52 @@
+// mechanism.hpp — the local-randomizer interface.
+//
+// In the paper's honest-but-curious model (§2.3), "every worker W_i
+// designs its own local randomizer M_i to send a perturbed version of its
+// gradient to the untrusted server"; the system is (eps, delta)-DP iff
+// every local randomizer is.  A NoiseMechanism encapsulates that
+// randomizer: given a clipped gradient, it returns the sanitized vector
+// o_t = g_t + y_t (Eq. 7).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "math/rng.hpp"
+#include "math/vector_ops.hpp"
+
+namespace dpbyz {
+
+/// Local DP randomizer applied by each honest worker before sending.
+class NoiseMechanism {
+ public:
+  virtual ~NoiseMechanism() = default;
+
+  /// Sanitize a gradient: returns g + y with fresh noise y from `rng`.
+  virtual Vector perturb(const Vector& gradient, Rng& rng) const = 0;
+
+  /// Per-coordinate standard deviation of the injected noise (the `s` of
+  /// Eq. 6 for the Gaussian mechanism; sqrt(2)*scale for Laplace).
+  virtual double noise_stddev() const = 0;
+
+  /// Total noise variance added to a d-dimensional gradient:
+  /// E||y||^2 = d * noise_stddev()^2.  This is the term that enters the
+  /// VN-ratio numerator in Eq. (8).
+  double total_noise_variance(size_t d) const {
+    const double s = noise_stddev();
+    return static_cast<double>(d) * s * s;
+  }
+
+  /// Human-readable description for logs/tables.
+  virtual std::string describe() const = 0;
+};
+
+/// The degenerate "no privacy" mechanism: identity, zero noise.  Using an
+/// explicit object (instead of a null pointer) keeps worker code uniform.
+class NoNoise final : public NoiseMechanism {
+ public:
+  Vector perturb(const Vector& gradient, Rng&) const override { return gradient; }
+  double noise_stddev() const override { return 0.0; }
+  std::string describe() const override { return "none"; }
+};
+
+}  // namespace dpbyz

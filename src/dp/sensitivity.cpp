@@ -1,0 +1,20 @@
+#include "dp/sensitivity.hpp"
+
+#include <cmath>
+
+#include "utils/errors.hpp"
+
+namespace dpbyz::dp {
+
+double l2_sensitivity(double g_max, size_t batch_size) {
+  require(g_max > 0, "l2_sensitivity: G_max must be positive");
+  require(batch_size > 0, "l2_sensitivity: batch size must be positive");
+  return 2.0 * g_max / static_cast<double>(batch_size);
+}
+
+double l1_sensitivity(double g_max, size_t batch_size, size_t dim) {
+  require(dim > 0, "l1_sensitivity: dim must be positive");
+  return l2_sensitivity(g_max, batch_size) * std::sqrt(static_cast<double>(dim));
+}
+
+}  // namespace dpbyz::dp

@@ -1,0 +1,21 @@
+// sensitivity.hpp — sensitivity calculus for clipped mini-batch gradients.
+//
+// Two batches are adjacent when they differ in at most one sample (§2.3).
+// With per-sample gradients clipped to L2 norm G_max, replacing one sample
+// in a batch of size b changes the averaged gradient h(xi) by at most
+// 2 G_max / b in L2 (Eq. 5) and 2 G_max / b * sqrt(d)-free in L1 only via
+// the norm inequality ||v||_1 <= sqrt(d) ||v||_2 — so Laplace calibration
+// carries an extra sqrt(d) (documented at the call site).
+#pragma once
+
+#include <cstddef>
+
+namespace dpbyz::dp {
+
+/// L2 sensitivity of the clipped averaged batch gradient: 2 * G_max / b.
+double l2_sensitivity(double g_max, size_t batch_size);
+
+/// L1 sensitivity upper bound via ||v||_1 <= sqrt(d) ||v||_2.
+double l1_sensitivity(double g_max, size_t batch_size, size_t dim);
+
+}  // namespace dpbyz::dp

@@ -1,0 +1,68 @@
+#include "math/matrix.hpp"
+
+#include "utils/errors.hpp"
+
+namespace dpbyz {
+
+Matrix::Matrix(size_t rows, size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::from_rows(const std::vector<Vector>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    require(rows[r].size() == m.cols_, "Matrix::from_rows: ragged rows");
+    for (size_t c = 0; c < m.cols_; ++c) m.at(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+double& Matrix::at(size_t r, size_t c) {
+  require(r < rows_ && c < cols_, "Matrix::at: index out of range");
+  return data_[r * cols_ + c];
+}
+
+double Matrix::at(size_t r, size_t c) const {
+  require(r < rows_ && c < cols_, "Matrix::at: index out of range");
+  return data_[r * cols_ + c];
+}
+
+std::span<const double> Matrix::row(size_t r) const {
+  require(r < rows_, "Matrix::row: index out of range");
+  return {data_.data() + r * cols_, cols_};
+}
+
+std::span<double> Matrix::row(size_t r) {
+  require(r < rows_, "Matrix::row: index out of range");
+  return {data_.data() + r * cols_, cols_};
+}
+
+Vector Matrix::row_copy(size_t r) const {
+  const auto view = row(r);
+  return Vector(view.begin(), view.end());
+}
+
+Vector Matrix::multiply(const Vector& x) const {
+  require(x.size() == cols_, "Matrix::multiply: dimension mismatch");
+  Vector out(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row_ptr = data_.data() + r * cols_;
+    double acc = 0.0;
+    for (size_t c = 0; c < cols_; ++c) acc += row_ptr[c] * x[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+Matrix Matrix::select_rows(std::span<const size_t> idx) const {
+  Matrix out(idx.size(), cols_);
+  for (size_t r = 0; r < idx.size(); ++r) {
+    require(idx[r] < rows_, "Matrix::select_rows: index out of range");
+    const auto src = row(idx[r]);
+    auto dst = out.row(r);
+    for (size_t c = 0; c < cols_; ++c) dst[c] = src[c];
+  }
+  return out;
+}
+
+}  // namespace dpbyz

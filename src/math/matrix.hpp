@@ -1,0 +1,56 @@
+// matrix.hpp — row-major dense matrix used as the dataset feature store.
+//
+// The matrix is intentionally minimal: datasets are read-mostly, and the
+// only hot operations are row access (mini-batch gradient computation) and
+// matrix-vector products (full-dataset loss evaluation).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "math/vector_ops.hpp"
+
+namespace dpbyz {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix filled with `fill`.
+  Matrix(size_t rows, size_t cols, double fill = 0.0);
+
+  /// Build from row vectors; all rows must have equal length.
+  static Matrix from_rows(const std::vector<Vector>& rows);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0; }
+
+  double& at(size_t r, size_t c);
+  double at(size_t r, size_t c) const;
+
+  /// Contiguous view of row `r`.
+  std::span<const double> row(size_t r) const;
+  std::span<double> row(size_t r);
+
+  /// Copy of row `r` as a Vector.
+  Vector row_copy(size_t r) const;
+
+  /// Matrix-vector product (x must have size cols()).
+  Vector multiply(const Vector& x) const;
+
+  /// New matrix containing the rows selected by `idx`, in order.
+  Matrix select_rows(std::span<const size_t> idx) const;
+
+  /// Raw storage (row-major), exposed for serialization.
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace dpbyz

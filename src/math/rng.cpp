@@ -1,0 +1,90 @@
+#include "math/rng.hpp"
+
+#include <cmath>
+
+#include "utils/errors.hpp"
+
+namespace dpbyz {
+
+uint64_t splitmix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+namespace {
+/// FNV-1a over the label, then mixed; gives a stable 64-bit key per label.
+uint64_t hash_label(const std::string& label) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : label) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return splitmix64(h);
+}
+}  // namespace
+
+Rng::Rng(uint64_t seed) : seed_(seed), engine_(splitmix64(seed)) {}
+
+Rng Rng::derive(const std::string& label) const {
+  return Rng(splitmix64(seed_ ^ hash_label(label)));
+}
+
+Rng Rng::derive(uint64_t index) const {
+  return Rng(splitmix64(seed_ + 0x9e3779b97f4a7c15ULL * (index + 1)));
+}
+
+size_t Rng::uniform_index(size_t n) {
+  require(n > 0, "Rng::uniform_index: n must be positive");
+  std::uniform_int_distribution<size_t> dist(0, n - 1);
+  return dist(engine_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+double Rng::laplace(double mu, double scale) {
+  require(scale > 0, "Rng::laplace: scale must be positive");
+  // Inverse CDF: X = mu - scale * sign(u) * log(1 - 2|u|), u ~ U(-1/2, 1/2).
+  const double u = uniform(-0.5, 0.5);
+  const double sign = (u >= 0.0) ? 1.0 : -1.0;
+  return mu - scale * sign * std::log(1.0 - 2.0 * std::abs(u));
+}
+
+bool Rng::bernoulli(double p) {
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+Vector Rng::normal_vector(size_t d, double stddev) {
+  Vector out(d);
+  std::normal_distribution<double> dist(0.0, stddev);
+  for (double& x : out) x = dist(engine_);
+  return out;
+}
+
+Vector Rng::laplace_vector(size_t d, double scale) {
+  Vector out(d);
+  for (double& x : out) x = laplace(0.0, scale);
+  return out;
+}
+
+std::vector<size_t> Rng::permutation(size_t n) {
+  std::vector<size_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = i;
+  for (size_t i = n; i > 1; --i) {
+    std::uniform_int_distribution<size_t> dist(0, i - 1);
+    std::swap(idx[i - 1], idx[dist(engine_)]);
+  }
+  return idx;
+}
+
+}  // namespace dpbyz

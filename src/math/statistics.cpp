@@ -1,0 +1,118 @@
+#include "math/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "utils/errors.hpp"
+
+namespace dpbyz::stats {
+
+double mean(std::span<const double> xs) {
+  require(!xs.empty(), "stats::mean: empty sample");
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double quantile(std::vector<double> xs, double p) {
+  require(!xs.empty(), "stats::quantile: empty sample");
+  require(p >= 0.0 && p <= 1.0, "stats::quantile: p must be in [0,1]");
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  const double pos = p * static_cast<double>(xs.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double median(std::vector<double> xs) { return quantile(std::move(xs), 0.5); }
+
+double normal_quantile(double p) {
+  require(p > 0.0 && p < 1.0, "stats::normal_quantile: p must be in (0,1)");
+  auto cdf = [](double x) { return 0.5 * (1.0 + std::erf(x / std::sqrt(2.0))); };
+  double lo = -40.0, hi = 40.0;
+  // ~160 bisections: interval 80 / 2^160 — far below any double epsilon;
+  // stop early once the bracket is tight.
+  while (hi - lo > 1e-12) {
+    const double mid = 0.5 * (lo + hi);
+    if (cdf(mid) < p)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+Vector coordinate_mean(std::span<const Vector> vs) { return vec::mean(vs); }
+
+Vector coordinate_stddev(std::span<const Vector> vs) {
+  require(!vs.empty(), "stats::coordinate_stddev: empty sample");
+  const size_t d = vs[0].size();
+  const Vector m = vec::mean(vs);
+  Vector out(d, 0.0);
+  for (const Vector& v : vs) {
+    require(v.size() == d, "stats::coordinate_stddev: dimension mismatch");
+    for (size_t i = 0; i < d; ++i) {
+      const double diff = v[i] - m[i];
+      out[i] += diff * diff;
+    }
+  }
+  const double inv_n = 1.0 / static_cast<double>(vs.size());
+  for (double& x : out) x = std::sqrt(x * inv_n);
+  return out;
+}
+
+Vector coordinate_median(std::span<const Vector> vs) {
+  require(!vs.empty(), "stats::coordinate_median: empty sample");
+  const size_t d = vs[0].size();
+  Vector out(d);
+  std::vector<double> column(vs.size());
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t k = 0; k < vs.size(); ++k) {
+      require(vs[k].size() == d, "stats::coordinate_median: dimension mismatch");
+      column[k] = vs[k][i];
+    }
+    out[i] = median(column);
+  }
+  return out;
+}
+
+double total_variance(std::span<const Vector> vs) {
+  require(!vs.empty(), "stats::total_variance: empty sample");
+  const Vector m = vec::mean(vs);
+  double acc = 0.0;
+  for (const Vector& v : vs) acc += vec::dist_sq(v, m);
+  return acc / static_cast<double>(vs.size());
+}
+
+void RunningStat::push(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace dpbyz::stats

@@ -1,0 +1,73 @@
+// statistics.hpp — scalar and vector statistics used across the library.
+//
+// Two groups of consumers:
+//   * attacks need the coordinate-wise mean/stddev of the honest gradient
+//     distribution (A Little Is Enough forges mean - nu * sigma);
+//   * the theory module needs empirical variance and VN-ratio estimates
+//     (Eq. 2 / Eq. 8 of the paper).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "math/vector_ops.hpp"
+
+namespace dpbyz::stats {
+
+/// Mean of a non-empty scalar sample.
+double mean(std::span<const double> xs);
+
+/// Unbiased (n-1) sample variance; 0 for samples of size < 2.
+double variance(std::span<const double> xs);
+
+/// Unbiased sample standard deviation.
+double stddev(std::span<const double> xs);
+
+/// p-quantile (p in [0,1]) with linear interpolation between order stats.
+double quantile(std::vector<double> xs, double p);
+
+/// Median (0.5-quantile).
+double median(std::vector<double> xs);
+
+/// Standard-normal quantile Phi^{-1}(p) for p in (0, 1), via bisection on
+/// the erf-based CDF (absolute error < 1e-10).  Used by the auto-
+/// calibrated "A Little Is Enough" factor.
+double normal_quantile(double p);
+
+/// Coordinate-wise mean of equal-dimension vectors.
+Vector coordinate_mean(std::span<const Vector> vs);
+
+/// Coordinate-wise *population* standard deviation (divide by n).
+/// This matches the sigma_t used by the "A Little Is Enough" attack, which
+/// estimates the dispersion of the submitted honest gradients themselves.
+Vector coordinate_stddev(std::span<const Vector> vs);
+
+/// Coordinate-wise median of equal-dimension vectors.
+Vector coordinate_median(std::span<const Vector> vs);
+
+/// Empirical E[ ||G - E[G]||^2 ]: the trace of the covariance of the
+/// sample (sum over coordinates of per-coordinate population variance).
+double total_variance(std::span<const Vector> vs);
+
+/// Welford running mean/variance accumulator for streaming scalars.
+class RunningStat {
+ public:
+  void push(double x);
+  size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 when count < 2).
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace dpbyz::stats

@@ -1,0 +1,128 @@
+#include "math/vector_ops.hpp"
+
+#include <cmath>
+
+#include "utils/errors.hpp"
+
+namespace dpbyz::vec {
+
+namespace {
+void require_same_dim(const Vector& a, const Vector& b, const char* op) {
+  require(a.size() == b.size(), std::string("vec::") + op + ": dimension mismatch");
+}
+}  // namespace
+
+Vector zeros(size_t d) { return Vector(d, 0.0); }
+
+Vector add(const Vector& a, const Vector& b) {
+  require_same_dim(a, b, "add");
+  Vector out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vector sub(const Vector& a, const Vector& b) {
+  require_same_dim(a, b, "sub");
+  Vector out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vector scale(const Vector& a, double s) {
+  Vector out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] * s;
+  return out;
+}
+
+void add_inplace(Vector& a, const Vector& b) {
+  require_same_dim(a, b, "add_inplace");
+  for (size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+}
+
+void sub_inplace(Vector& a, const Vector& b) {
+  require_same_dim(a, b, "sub_inplace");
+  for (size_t i = 0; i < a.size(); ++i) a[i] -= b[i];
+}
+
+void scale_inplace(Vector& a, double s) {
+  for (double& x : a) x *= s;
+}
+
+void axpy_inplace(Vector& a, double s, const Vector& b) {
+  require_same_dim(a, b, "axpy_inplace");
+  for (size_t i = 0; i < a.size(); ++i) a[i] += s * b[i];
+}
+
+double dot(const Vector& a, const Vector& b) {
+  require_same_dim(a, b, "dot");
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double norm_sq(const Vector& a) {
+  double acc = 0.0;
+  for (double x : a) acc += x * x;
+  return acc;
+}
+
+double norm(const Vector& a) { return std::sqrt(norm_sq(a)); }
+
+double norm_l1(const Vector& a) {
+  double acc = 0.0;
+  for (double x : a) acc += std::abs(x);
+  return acc;
+}
+
+double norm_inf(const Vector& a) {
+  double acc = 0.0;
+  for (double x : a) acc = std::max(acc, std::abs(x));
+  return acc;
+}
+
+double dist_sq(const Vector& a, const Vector& b) {
+  require_same_dim(a, b, "dist_sq");
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+double dist(const Vector& a, const Vector& b) { return std::sqrt(dist_sq(a, b)); }
+
+Vector mean(std::span<const Vector> vs) {
+  require(!vs.empty(), "vec::mean: empty input");
+  Vector out = zeros(vs[0].size());
+  for (const Vector& v : vs) add_inplace(out, v);
+  scale_inplace(out, 1.0 / static_cast<double>(vs.size()));
+  return out;
+}
+
+Vector mean_of(std::span<const Vector> vs, std::span<const size_t> idx) {
+  require(!idx.empty(), "vec::mean_of: empty selection");
+  require(!vs.empty(), "vec::mean_of: empty input");
+  Vector out = zeros(vs[0].size());
+  for (size_t i : idx) {
+    require(i < vs.size(), "vec::mean_of: index out of range");
+    add_inplace(out, vs[i]);
+  }
+  scale_inplace(out, 1.0 / static_cast<double>(idx.size()));
+  return out;
+}
+
+bool all_finite(const Vector& a) {
+  for (double x : a)
+    if (!std::isfinite(x)) return false;
+  return true;
+}
+
+bool approx_equal(const Vector& a, const Vector& b, double tol) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i)
+    if (std::abs(a[i] - b[i]) > tol) return false;
+  return true;
+}
+
+}  // namespace dpbyz::vec

@@ -1,0 +1,78 @@
+// vector_ops.hpp — dense vector arithmetic for gradients and model weights.
+//
+// Gradients throughout dpbyz are plain `std::vector<double>` ("Vector").
+// The model sizes in this reproduction (d = 69 up to a few 1e4 in the
+// dimension sweeps) do not justify an expression-template library; simple
+// loops are fully vectorized by the compiler at -O2 and keep the code
+// auditable against the paper's equations.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dpbyz {
+
+using Vector = std::vector<double>;
+
+namespace vec {
+
+/// A zero vector of dimension `d`.
+Vector zeros(size_t d);
+
+/// Element-wise a + b.  Dimensions must match.
+Vector add(const Vector& a, const Vector& b);
+
+/// Element-wise a - b.  Dimensions must match.
+Vector sub(const Vector& a, const Vector& b);
+
+/// Scalar multiple s * a.
+Vector scale(const Vector& a, double s);
+
+/// In-place a += b.
+void add_inplace(Vector& a, const Vector& b);
+
+/// In-place a -= b.
+void sub_inplace(Vector& a, const Vector& b);
+
+/// In-place a *= s.
+void scale_inplace(Vector& a, double s);
+
+/// In-place a += s * b (BLAS axpy).
+void axpy_inplace(Vector& a, double s, const Vector& b);
+
+/// Inner product <a, b>.
+double dot(const Vector& a, const Vector& b);
+
+/// Squared L2 norm.
+double norm_sq(const Vector& a);
+
+/// L2 norm.
+double norm(const Vector& a);
+
+/// L1 norm.
+double norm_l1(const Vector& a);
+
+/// L-infinity norm.
+double norm_inf(const Vector& a);
+
+/// Squared L2 distance ||a - b||^2 without allocating a temporary.
+double dist_sq(const Vector& a, const Vector& b);
+
+/// L2 distance ||a - b||.
+double dist(const Vector& a, const Vector& b);
+
+/// Arithmetic mean of a non-empty set of equal-dimension vectors.
+Vector mean(std::span<const Vector> vs);
+
+/// Mean of the subset of `vs` selected by `idx` (indices into vs).
+Vector mean_of(std::span<const Vector> vs, std::span<const size_t> idx);
+
+/// True iff every component is finite (no NaN/Inf).
+bool all_finite(const Vector& a);
+
+/// True iff ||a - b||_inf <= tol.
+bool approx_equal(const Vector& a, const Vector& b, double tol = 1e-12);
+
+}  // namespace vec
+}  // namespace dpbyz

@@ -1,0 +1,21 @@
+// clipping.hpp — L2 gradient clipping (Assumption 1 enforcement).
+//
+// The paper calibrates DP noise assuming ||grad|| <= G_max, "typically
+// enforced via gradient clipping" (§3).  Workers clip the mini-batch
+// gradient to G_max *before* adding noise (§5.1: "Each worker adds a
+// privacy noise only after clipping the original gradient"), which bounds
+// the sensitivity of the batch-gradient map by 2 G_max / b (Eq. 5).
+#pragma once
+
+#include "math/vector_ops.hpp"
+
+namespace dpbyz {
+
+/// Scale `g` down to L2 norm `max_norm` iff it exceeds it; identity
+/// otherwise.  max_norm must be positive.
+Vector clip_l2(const Vector& g, double max_norm);
+
+/// In-place variant; returns the pre-clip norm (useful for diagnostics).
+double clip_l2_inplace(Vector& g, double max_norm);
+
+}  // namespace dpbyz

@@ -1,0 +1,128 @@
+#include "models/linear_model.hpp"
+
+#include <cmath>
+
+#include "utils/errors.hpp"
+
+namespace dpbyz {
+
+double Model::full_loss(const Vector& w, const Dataset& data) const {
+  std::vector<size_t> all(data.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  return batch_loss(w, data, all);
+}
+
+double Model::accuracy(const Vector&, const Dataset&) const {
+  return std::nan("");
+}
+
+double sigmoid(double z) {
+  if (z >= 0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+const char* to_string(LinearLoss loss) {
+  switch (loss) {
+    case LinearLoss::kMseOnSigmoid: return "mse_sigmoid";
+    case LinearLoss::kLeastSquares: return "least_squares";
+    case LinearLoss::kLogistic: return "logistic";
+  }
+  return "unknown";
+}
+
+LinearModel::LinearModel(size_t num_features, LinearLoss loss)
+    : num_features_(num_features), loss_(loss) {
+  require(num_features > 0, "LinearModel: need at least one feature");
+}
+
+double LinearModel::score(const Vector& w, std::span<const double> x) const {
+  require(w.size() == dim(), "LinearModel::score: wrong parameter dimension");
+  require(x.size() == num_features_, "LinearModel::score: wrong feature dimension");
+  double z = w[num_features_];  // bias
+  for (size_t j = 0; j < num_features_; ++j) z += w[j] * x[j];
+  return z;
+}
+
+double LinearModel::predict(const Vector& w, std::span<const double> x) const {
+  const double z = score(w, x);
+  return loss_ == LinearLoss::kLeastSquares ? z : sigmoid(z);
+}
+
+Vector LinearModel::batch_gradient(const Vector& w, const Dataset& data,
+                                   std::span<const size_t> batch) const {
+  require(!batch.empty(), "LinearModel::batch_gradient: empty batch");
+  require(data.labeled(), "LinearModel::batch_gradient: dataset must be labeled");
+  Vector g(dim(), 0.0);
+  for (size_t i : batch) {
+    const auto x = data.x(i);
+    const double y = data.y(i);
+    const double z = score(w, x);
+    // dL/dz for each loss kind.
+    double dz = 0.0;
+    switch (loss_) {
+      case LinearLoss::kMseOnSigmoid: {
+        const double p = sigmoid(z);
+        dz = 2.0 * (p - y) * p * (1.0 - p);
+        break;
+      }
+      case LinearLoss::kLeastSquares:
+        dz = 2.0 * (z - y);
+        break;
+      case LinearLoss::kLogistic:
+        dz = sigmoid(z) - y;
+        break;
+    }
+    for (size_t j = 0; j < num_features_; ++j) g[j] += dz * x[j];
+    g[num_features_] += dz;  // bias input is 1
+  }
+  vec::scale_inplace(g, 1.0 / static_cast<double>(batch.size()));
+  return g;
+}
+
+double LinearModel::batch_loss(const Vector& w, const Dataset& data,
+                               std::span<const size_t> batch) const {
+  require(!batch.empty(), "LinearModel::batch_loss: empty batch");
+  require(data.labeled(), "LinearModel::batch_loss: dataset must be labeled");
+  double acc = 0.0;
+  for (size_t i : batch) {
+    const double z = score(w, data.x(i));
+    const double y = data.y(i);
+    switch (loss_) {
+      case LinearLoss::kMseOnSigmoid: {
+        const double diff = sigmoid(z) - y;
+        acc += diff * diff;
+        break;
+      }
+      case LinearLoss::kLeastSquares: {
+        const double diff = z - y;
+        acc += diff * diff;
+        break;
+      }
+      case LinearLoss::kLogistic: {
+        // Stable: log(1 + exp(-|z|)) + max(z,0) - z*y
+        acc += std::log1p(std::exp(-std::abs(z))) + std::max(z, 0.0) - z * y;
+        break;
+      }
+    }
+  }
+  return acc / static_cast<double>(batch.size());
+}
+
+double LinearModel::accuracy(const Vector& w, const Dataset& data) const {
+  require(data.labeled(), "LinearModel::accuracy: dataset must be labeled");
+  require(data.size() > 0, "LinearModel::accuracy: empty dataset");
+  size_t correct = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    const double z = score(w, data.x(i));
+    const bool predicted_positive = z > 0.0;  // sigma(z) > 0.5 <=> z > 0
+    const bool actual_positive = data.y(i) > 0.5;
+    if (predicted_positive == actual_positive) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+}  // namespace dpbyz

@@ -1,0 +1,46 @@
+#include "models/optimizer.hpp"
+
+#include <cmath>
+
+#include "utils/errors.hpp"
+
+namespace dpbyz {
+
+LrSchedule constant_lr(double gamma) {
+  require(gamma > 0, "constant_lr: gamma must be positive");
+  return [gamma](size_t) { return gamma; };
+}
+
+LrSchedule theorem1_lr(double lambda, double sin_alpha) {
+  require(lambda > 0, "theorem1_lr: lambda must be positive");
+  require(sin_alpha >= 0 && sin_alpha < 1, "theorem1_lr: sin(alpha) must be in [0,1)");
+  const double denom = lambda * (1.0 - sin_alpha);
+  return [denom](size_t t) { return 1.0 / (denom * static_cast<double>(t)); };
+}
+
+SgdOptimizer::SgdOptimizer(size_t dim, LrSchedule schedule, double momentum)
+    : schedule_(std::move(schedule)), momentum_(momentum), velocity_(dim, 0.0) {
+  require(momentum >= 0.0 && momentum < 1.0, "SgdOptimizer: momentum must be in [0,1)");
+  require(static_cast<bool>(schedule_), "SgdOptimizer: schedule must be callable");
+}
+
+void SgdOptimizer::step(Vector& w, const Vector& gradient, size_t t) {
+  require(t >= 1, "SgdOptimizer::step: t is 1-based");
+  require(w.size() == velocity_.size() && gradient.size() == velocity_.size(),
+          "SgdOptimizer::step: dimension mismatch");
+  const double gamma = schedule_(t);
+  if (momentum_ == 0.0) {
+    vec::axpy_inplace(w, -gamma, gradient);
+    return;
+  }
+  for (size_t i = 0; i < w.size(); ++i) {
+    velocity_[i] = momentum_ * velocity_[i] + gradient[i];
+    w[i] -= gamma * velocity_[i];
+  }
+}
+
+void SgdOptimizer::reset() {
+  std::fill(velocity_.begin(), velocity_.end(), 0.0);
+}
+
+}  // namespace dpbyz

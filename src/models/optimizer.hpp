@@ -1,0 +1,45 @@
+// optimizer.hpp — parameter-update rules applied by the server.
+//
+// The base update is Eq. (1): w_{t+1} = w_t - gamma_t * G_t^agg.  The
+// paper's experiments additionally use classical (heavy-ball) momentum
+// 0.99 at the server; Theorem 1 uses the decaying schedule
+// gamma_t = 1 / (lambda (1 - sin alpha) t).  Both are expressed here.
+#pragma once
+
+#include <functional>
+
+#include "math/vector_ops.hpp"
+
+namespace dpbyz {
+
+/// Learning-rate schedule: step index t (1-based) -> gamma_t.
+using LrSchedule = std::function<double(size_t)>;
+
+/// Constant schedule gamma_t = gamma.
+LrSchedule constant_lr(double gamma);
+
+/// Theorem-1 schedule gamma_t = 1 / (lambda (1 - sin alpha) t).
+LrSchedule theorem1_lr(double lambda, double sin_alpha);
+
+/// Heavy-ball SGD:  v_t = momentum * v_{t-1} + g_t;  w -= gamma_t * v_t.
+/// momentum = 0 reduces to plain SGD (Eq. 1 exactly).
+class SgdOptimizer {
+ public:
+  SgdOptimizer(size_t dim, LrSchedule schedule, double momentum = 0.0);
+
+  /// Apply one update in place; `t` is the 1-based step index.
+  void step(Vector& w, const Vector& gradient, size_t t);
+
+  /// Reset the momentum buffer (e.g. between repeated runs).
+  void reset();
+
+  double momentum() const { return momentum_; }
+  const Vector& velocity() const { return velocity_; }
+
+ private:
+  LrSchedule schedule_;
+  double momentum_;
+  Vector velocity_;
+};
+
+}  // namespace dpbyz

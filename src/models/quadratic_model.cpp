@@ -1,0 +1,52 @@
+#include "models/quadratic_model.hpp"
+
+#include "utils/errors.hpp"
+
+namespace dpbyz {
+
+QuadraticModel::QuadraticModel(size_t dim, Vector optimum)
+    : dim_(dim), optimum_(std::move(optimum)) {
+  require(dim_ > 0, "QuadraticModel: dim must be positive");
+  require(optimum_.size() == dim_, "QuadraticModel: optimum dimension mismatch");
+}
+
+Vector QuadraticModel::batch_gradient(const Vector& w, const Dataset& data,
+                                      std::span<const size_t> batch) const {
+  require(!batch.empty(), "QuadraticModel::batch_gradient: empty batch");
+  require(w.size() == dim_, "QuadraticModel::batch_gradient: wrong dimension");
+  require(data.dim() == dim_, "QuadraticModel::batch_gradient: dataset dimension mismatch");
+  // grad Q(w, x) = w - x; batch mean = w - mean(batch x).
+  Vector g(w);
+  Vector batch_mean(dim_, 0.0);
+  for (size_t i : batch) {
+    const auto x = data.x(i);
+    for (size_t j = 0; j < dim_; ++j) batch_mean[j] += x[j];
+  }
+  vec::scale_inplace(batch_mean, 1.0 / static_cast<double>(batch.size()));
+  vec::sub_inplace(g, batch_mean);
+  return g;
+}
+
+double QuadraticModel::batch_loss(const Vector& w, const Dataset& data,
+                                  std::span<const size_t> batch) const {
+  require(!batch.empty(), "QuadraticModel::batch_loss: empty batch");
+  require(w.size() == dim_, "QuadraticModel::batch_loss: wrong dimension");
+  double acc = 0.0;
+  for (size_t i : batch) {
+    const auto x = data.x(i);
+    double dist_sq = 0.0;
+    for (size_t j = 0; j < dim_; ++j) {
+      const double diff = w[j] - x[j];
+      dist_sq += diff * diff;
+    }
+    acc += 0.5 * dist_sq;
+  }
+  return acc / static_cast<double>(batch.size());
+}
+
+double QuadraticModel::excess_loss(const Vector& w) const {
+  require(w.size() == dim_, "QuadraticModel::excess_loss: wrong dimension");
+  return 0.5 * vec::dist_sq(w, optimum_);
+}
+
+}  // namespace dpbyz

@@ -1,0 +1,71 @@
+// gradient_inversion.hpp — the curious server's attack (why DP is needed).
+//
+// The paper motivates worker-side DP with Zhu et al.'s "Deep Leakage from
+// Gradients" [43]: gradients shared in the clear let an honest-but-
+// curious parameter server reconstruct training samples.  For the
+// paper's linear model the leak is *exact*: the per-sample gradient of
+// any of our linear losses is
+//
+//     g = [ dz * x , dz ]            (feature block, bias coordinate)
+//
+// so a single-sample gradient reveals the sample by one division,
+//
+//     x_j = g_j / g_bias,
+//
+// and the label via sign(dz) (dz = p - y times a positive factor for
+// every loss here, so dz < 0 <=> y = 1 when |p - 0.5| < 0.5).
+//
+// This module implements that reconstruction plus batch-mean inversion
+// via ridge-regularized optimization, so the benches can quantify how
+// the Gaussian mechanism's noise floor destroys the attack — the
+// quantitative justification for the paper's privacy model.
+#pragma once
+
+#include <optional>
+
+#include "data/dataset.hpp"
+#include "math/vector_ops.hpp"
+
+namespace dpbyz::privacy {
+
+/// Outcome of inverting one (possibly noise-perturbed) gradient.
+struct InversionResult {
+  Vector reconstructed_features;  ///< estimate of the training sample x
+  bool inferred_label;            ///< estimate of y (true = positive class)
+  double bias_coordinate;         ///< the observed g_bias = dz (diagnostic)
+};
+
+/// Invert a single-sample linear-model gradient (dimension d = features+1,
+/// bias last).  Returns nullopt when |g_bias| < `min_bias` — the gradient
+/// carries no usable signal (dz ~ 0, e.g. a perfectly-fit sample), which a
+/// real attacker would also skip.
+std::optional<InversionResult> invert_single_gradient(const Vector& gradient,
+                                                      double min_bias = 1e-12);
+
+/// Batch gradients leak too, just less sharply: g = (1/b) sum_i dz_i [x_i; 1],
+/// so the feature block over the bias coordinate equals the dz-weighted
+/// *centroid* of the victim batch, sum_i dz_i x_i / sum_i dz_i.  The math
+/// is identical to the single-sample case; this wrapper exists to make
+/// the semantic difference explicit at call sites (for b = 1 the centroid
+/// IS the sample).
+std::optional<InversionResult> invert_batch_gradient(const Vector& gradient,
+                                                     double min_bias = 1e-12);
+
+/// Relative L2 reconstruction error ||x_rec - x_true|| / ||x_true||.
+double reconstruction_error(const Vector& reconstructed, std::span<const double> truth);
+
+/// Metrics of an inversion campaign over many observed gradients.
+struct InversionReport {
+  double mean_relative_error = 0.0;  ///< over invertible gradients
+  double label_accuracy = 0.0;       ///< label-inference accuracy
+  size_t attempted = 0;
+  size_t invertible = 0;  ///< gradients with usable bias coordinate
+};
+
+/// Run the attack over `count` single-sample gradients of `data` computed
+/// at parameters `w`, each perturbed by `noise_stddev` iid Gaussian noise
+/// per coordinate (0 = gradients in the clear).  `loss` selects the model.
+InversionReport attack_linear_model(const Dataset& data, const Vector& w,
+                                    double noise_stddev, size_t count, uint64_t seed);
+
+}  // namespace dpbyz::privacy

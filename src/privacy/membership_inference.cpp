@@ -1,0 +1,73 @@
+#include "privacy/membership_inference.hpp"
+
+#include <algorithm>
+
+#include "utils/errors.hpp"
+
+namespace dpbyz::privacy {
+
+MembershipReport membership_inference(const Model& model, const Vector& w,
+                                      const Dataset& members, const Dataset& non_members,
+                                      size_t per_side) {
+  require(members.size() > 0 && non_members.size() > 0,
+          "membership_inference: both sides must be non-empty");
+  const size_t m = std::min(per_side, members.size());
+  const size_t n = std::min(per_side, non_members.size());
+
+  // Per-sample losses; lower loss => more likely member.
+  std::vector<double> member_loss(m), non_member_loss(n);
+  for (size_t i = 0; i < m; ++i) {
+    const std::vector<size_t> one{i};
+    member_loss[i] = model.batch_loss(w, members, one);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const std::vector<size_t> one{i};
+    non_member_loss[i] = model.batch_loss(w, non_members, one);
+  }
+
+  MembershipReport report;
+  double acc = 0.0;
+  for (double l : member_loss) acc += l;
+  report.member_mean_loss = acc / static_cast<double>(m);
+  acc = 0.0;
+  for (double l : non_member_loss) acc += l;
+  report.non_member_mean_loss = acc / static_cast<double>(n);
+
+  // AUC by pairwise comparison (exact Mann-Whitney U):
+  // P(member_loss < non_member_loss) + 0.5 P(=).
+  double wins = 0.0;
+  std::vector<double> sorted_non = non_member_loss;
+  std::sort(sorted_non.begin(), sorted_non.end());
+  for (double ml : member_loss) {
+    const auto lo = std::lower_bound(sorted_non.begin(), sorted_non.end(), ml);
+    const auto hi = std::upper_bound(sorted_non.begin(), sorted_non.end(), ml);
+    const double greater = static_cast<double>(sorted_non.end() - hi);
+    const double equal = static_cast<double>(hi - lo);
+    wins += greater + 0.5 * equal;
+  }
+  report.auc = wins / (static_cast<double>(m) * static_cast<double>(n));
+
+  // Best threshold accuracy: scan the merged loss values.
+  std::vector<std::pair<double, bool>> all;  // (loss, is_member)
+  all.reserve(m + n);
+  for (double l : member_loss) all.emplace_back(l, true);
+  for (double l : non_member_loss) all.emplace_back(l, false);
+  std::sort(all.begin(), all.end());
+  // Classify "member" iff loss <= threshold; sweep thresholds between
+  // consecutive points.  Weight sides equally (balanced accuracy).
+  double best = 0.5;
+  double members_below = 0.0, non_members_below = 0.0;
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (all[i].second)
+      members_below += 1.0;
+    else
+      non_members_below += 1.0;
+    const double tpr = members_below / static_cast<double>(m);
+    const double fpr = non_members_below / static_cast<double>(n);
+    best = std::max(best, 0.5 * (tpr + (1.0 - fpr)));
+  }
+  report.best_accuracy = best;
+  return report;
+}
+
+}  // namespace dpbyz::privacy

@@ -1,0 +1,35 @@
+// membership_inference.hpp — loss-threshold membership inference.
+//
+// The second privacy threat the paper cites ([29, 31]): given a trained
+// model, an adversary asks "was this sample in the training set?".  The
+// classical black-box test (Yeom et al.) thresholds the per-sample loss:
+// members tend to have lower loss than non-members.  We implement the
+// standard AUC evaluation of that signal so benches can show how DP
+// training shrinks the member/non-member gap — complementing the
+// gradient-inversion view of why workers sanitize.
+#pragma once
+
+#include "data/dataset.hpp"
+#include "models/model.hpp"
+
+namespace dpbyz::privacy {
+
+/// Result of a loss-threshold membership-inference evaluation.
+struct MembershipReport {
+  /// Area under the ROC curve of the score "-loss(sample)" for
+  /// member-vs-non-member classification.  0.5 = no leak, 1.0 = total.
+  double auc = 0.5;
+  /// Best achievable accuracy over all thresholds (balanced classes).
+  double best_accuracy = 0.5;
+  double member_mean_loss = 0.0;
+  double non_member_mean_loss = 0.0;
+};
+
+/// Evaluate the attack for `model` at parameters `w`: `members` are
+/// training samples, `non_members` are held-out samples from the same
+/// distribution.  Uses up to `per_side` samples from each side.
+MembershipReport membership_inference(const Model& model, const Vector& w,
+                                      const Dataset& members, const Dataset& non_members,
+                                      size_t per_side = 1000);
+
+}  // namespace dpbyz::privacy

@@ -1,0 +1,132 @@
+#include "theory/conditions.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "aggregation/kf_table.hpp"
+#include "dp/gaussian_mechanism.hpp"
+#include "utils/errors.hpp"
+
+namespace dpbyz::theory {
+
+double dp_constant(double epsilon, double delta) {
+  require(epsilon > 0 && epsilon < 1, "dp_constant: epsilon must be in (0,1)");
+  require(delta > 0 && delta < 1, "dp_constant: delta must be in (0,1)");
+  return epsilon / std::sqrt(std::log(1.25 / delta));
+}
+
+bool vn_condition_possible(double k_f, size_t d, size_t batch_size, double epsilon,
+                           double delta) {
+  require(k_f > 0, "vn_condition_possible: k_F must be positive");
+  const double c = dp_constant(epsilon, delta);
+  const double needed = std::sqrt(8.0 * static_cast<double>(d)) /
+                        (c * static_cast<double>(batch_size));
+  return k_f >= needed;
+}
+
+bool vn_condition_possible(const std::string& gar, size_t n, size_t f, size_t d,
+                           size_t batch_size, double epsilon, double delta) {
+  double k_f;
+  if (gar == "krum" || gar == "bulyan" || gar == "multi-krum")
+    k_f = kf::krum(n, f);
+  else if (gar == "mda")
+    k_f = kf::mda(n, f);
+  else if (gar == "median")
+    k_f = kf::median(n, f);
+  else if (gar == "meamed")
+    k_f = kf::meamed(n, f);
+  else if (gar == "trimmed-mean")
+    k_f = kf::trimmed_mean(n, f);
+  else if (gar == "phocas")
+    k_f = kf::phocas(n, f);
+  else
+    throw std::invalid_argument("vn_condition_possible: no k_F for GAR '" + gar + "'");
+  return vn_condition_possible(k_f, d, batch_size, epsilon, delta);
+}
+
+double mda_max_byzantine_fraction(size_t d, size_t batch_size, double epsilon,
+                                  double delta) {
+  const double c = dp_constant(epsilon, delta);
+  const double cb = c * static_cast<double>(batch_size);
+  return cb / (8.0 * std::sqrt(static_cast<double>(d)) + cb);
+}
+
+double mda_min_batch(size_t n, size_t f, size_t d, double epsilon, double delta) {
+  const double c = dp_constant(epsilon, delta);
+  return std::sqrt(8.0 * static_cast<double>(d)) / (c * kf::mda(n, f));
+}
+
+double krum_min_batch(size_t n, size_t f, size_t d, double epsilon, double delta) {
+  const double c = dp_constant(epsilon, delta);
+  const double fd = static_cast<double>(f);
+  return std::sqrt(16.0 * static_cast<double>(d) * (static_cast<double>(n) + fd * fd)) / c;
+}
+
+double median_min_batch(size_t n, size_t d, double epsilon, double delta) {
+  const double c = dp_constant(epsilon, delta);
+  return std::sqrt(4.0 * static_cast<double>(d) * (static_cast<double>(n) + 1.0)) / c;
+}
+
+double meamed_min_batch(size_t n, size_t d, double epsilon, double delta) {
+  const double c = dp_constant(epsilon, delta);
+  return std::sqrt(40.0 * static_cast<double>(d) * (static_cast<double>(n) + 1.0)) / c;
+}
+
+double trimmed_mean_max_byzantine_fraction(size_t d, size_t batch_size, double epsilon,
+                                           double delta) {
+  const double c = dp_constant(epsilon, delta);
+  const double cb_sq = c * c * static_cast<double>(batch_size) * static_cast<double>(batch_size);
+  return cb_sq / (16.0 * static_cast<double>(d) + 2.0 * cb_sq);
+}
+
+double phocas_max_byzantine_fraction(size_t d, size_t batch_size, double epsilon,
+                                     double delta) {
+  const double c = dp_constant(epsilon, delta);
+  const double cb_sq = c * c * static_cast<double>(batch_size) * static_cast<double>(batch_size);
+  return cb_sq / (64.0 * static_cast<double>(d) + 2.0 * cb_sq);
+}
+
+namespace {
+double noise_scale_sq(const Theorem1Params& p) {
+  const double s =
+      GaussianMechanism::noise_scale(p.epsilon, p.delta, p.g_max, p.batch_size);
+  return s * s;
+}
+
+double variance_budget(const Theorem1Params& p, bool with_dp) {
+  const double base = p.sigma * p.sigma / static_cast<double>(p.batch_size);
+  const double dp_term = with_dp ? static_cast<double>(p.d) * noise_scale_sq(p) : 0.0;
+  return base + dp_term;
+}
+}  // namespace
+
+double theorem1_upper_bound(const Theorem1Params& p) {
+  require(p.steps >= 1, "theorem1_upper_bound: T must be positive");
+  require(p.lambda > 0 && p.mu > 0, "theorem1_upper_bound: bad lambda/mu");
+  require(p.sin_alpha >= 0 && p.sin_alpha < 1, "theorem1_upper_bound: bad sin_alpha");
+  const double one_minus = 1.0 - p.sin_alpha;
+  const double prefactor = p.mu * p.c / (2.0 * p.lambda * p.lambda * one_minus * one_minus);
+  return (prefactor / static_cast<double>(p.steps + 1)) *
+         (variance_budget(p, /*with_dp=*/true) + p.g_max * p.g_max);
+}
+
+double theorem1_lower_bound(const Theorem1Params& p) {
+  require(p.steps >= 1, "theorem1_lower_bound: T must be positive");
+  return variance_budget(p, /*with_dp=*/true) / (2.0 * static_cast<double>(p.steps));
+}
+
+double theorem1_rate(const Theorem1Params& p) {
+  const double b = static_cast<double>(p.batch_size);
+  return static_cast<double>(p.d) * std::log(1.0 / p.delta) /
+         (static_cast<double>(p.steps) * b * b * p.epsilon * p.epsilon);
+}
+
+double no_dp_upper_bound(const Theorem1Params& p) {
+  require(p.steps >= 1, "no_dp_upper_bound: T must be positive");
+  const double one_minus = 1.0 - p.sin_alpha;
+  const double prefactor = p.mu * p.c / (2.0 * p.lambda * p.lambda * one_minus * one_minus);
+  return (prefactor / static_cast<double>(p.steps + 1)) *
+         (variance_budget(p, /*with_dp=*/false) + p.g_max * p.g_max);
+}
+
+}  // namespace dpbyz::theory

@@ -1,0 +1,93 @@
+// conditions.hpp — closed-form calculators for the paper's Table 1,
+// Propositions 1–3, and Theorem 1.
+//
+// Everything here is arithmetic on the paper's formulas; the benches pair
+// these predictions with Monte-Carlo measurements from vn_ratio.hpp and
+// the quadratic trainer to show the shapes agree.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace dpbyz::theory {
+
+/// C = eps / sqrt(log(1.25/delta)) — the "negligible constant" of the
+/// proofs of Propositions 1-3.
+double dp_constant(double epsilon, double delta);
+
+/// Eq. (13): the VN-ratio condition *cannot* hold (for any data
+/// distribution) when 1/k_F > b * C / sqrt(8 d), because the DP noise
+/// term alone already pushes the ratio past the threshold.  Returns true
+/// when the condition is still *possibly* satisfiable, i.e.
+/// k_F(n,f) >= sqrt(8 d) / (C b).
+bool vn_condition_possible(double k_f, size_t d, size_t batch_size, double epsilon,
+                           double delta);
+
+/// Name-dispatched variant using the paper's k_F table ("krum", "bulyan",
+/// "mda", "median", "meamed", "trimmed-mean", "phocas").
+bool vn_condition_possible(const std::string& gar, size_t n, size_t f, size_t d,
+                           size_t batch_size, double epsilon, double delta);
+
+// --- Proposition 1 (MDA) ----------------------------------------------------
+
+/// Maximum Byzantine fraction tau = f/n for which the VN condition can
+/// hold with MDA:  tau <= C b / (8 sqrt(d) + C b).
+double mda_max_byzantine_fraction(size_t d, size_t batch_size, double epsilon,
+                                  double delta);
+
+/// Minimum batch size for MDA at a given (n, f):  b >= sqrt(8 d)/(C k_F).
+double mda_min_batch(size_t n, size_t f, size_t d, double epsilon, double delta);
+
+// --- Proposition 2 (Krum / Bulyan / Median / Meamed) -------------------------
+
+/// Minimum batch size satisfying Eq. (13) for each GAR family, using the
+/// sufficient forms from the proof:
+///   krum/bulyan: sqrt(16 d (n + f^2)) / C
+///   median     : sqrt(4 d (n + 1)) / C
+///   meamed     : sqrt(40 d (n + 1)) / C
+double krum_min_batch(size_t n, size_t f, size_t d, double epsilon, double delta);
+double median_min_batch(size_t n, size_t d, double epsilon, double delta);
+double meamed_min_batch(size_t n, size_t d, double epsilon, double delta);
+
+// --- Proposition 3 (Trimmed Mean / Phocas) -----------------------------------
+
+/// Maximum tau for Trimmed Mean:  tau <= C^2 b^2 / (16 d + 2 C^2 b^2).
+double trimmed_mean_max_byzantine_fraction(size_t d, size_t batch_size, double epsilon,
+                                           double delta);
+
+/// Maximum tau for Phocas:  tau <= C^2 b^2 / (64 d + 2 C^2 b^2).
+double phocas_max_byzantine_fraction(size_t d, size_t batch_size, double epsilon,
+                                     double delta);
+
+// --- Theorem 1 ---------------------------------------------------------------
+
+/// Parameters of the strongly-convex analysis.
+struct Theorem1Params {
+  size_t d;          ///< model size
+  size_t steps;      ///< T
+  size_t batch_size; ///< b
+  double epsilon;
+  double delta;
+  double sigma;      ///< gradient-noise stddev (Assumption 4)
+  double g_max;      ///< Assumption 1 bound
+  double lambda = 1.0;     ///< strong convexity (Assumption 2)
+  double mu = 1.0;         ///< smoothness (Assumption 3)
+  double sin_alpha = 0.0;  ///< resilience angle
+  double c = 1.0;          ///< the constant of Eq. (11)
+};
+
+/// Upper bound (Eq. 12):
+///   (1/(T+1)) * (mu c / (2 lambda^2 (1 - sin a)^2)) * (sigma^2/b + d s^2 + G_max^2).
+double theorem1_upper_bound(const Theorem1Params& p);
+
+/// Cramér–Rao lower bound:  (sigma^2/b + d s^2) / (2 T).
+double theorem1_lower_bound(const Theorem1Params& p);
+
+/// The dominant rate d log(1/delta) / (T b^2 eps^2) — the Theta(.) shape
+/// both bounds share; useful for normalized scaling plots.
+double theorem1_rate(const Theorem1Params& p);
+
+/// Same bound without DP noise (s = 0): O(1/T), d-independent.
+double no_dp_upper_bound(const Theorem1Params& p);
+
+}  // namespace dpbyz::theory

@@ -1,0 +1,50 @@
+// vn_ratio.hpp — empirical and analytic variance-to-norm (VN) ratios.
+//
+// The VN ratio condition (paper Eq. 2) is the only known sufficient test
+// for (alpha, f)-Byzantine resilience of statistically-robust GARs:
+//
+//     sqrt(E||G - E[G]||^2) / ||E[G]||  <=  k_F(n, f).
+//
+// With DP noise the numerator gains the additive term
+// 8 d G_max^2 log(1.25/delta) / (eps^2 b^2)  (Eq. 8).  This module
+// estimates both sides empirically from Monte-Carlo gradient samples and
+// evaluates the analytic noisy ratio, so benches can show measured-vs-
+// predicted agreement.
+#pragma once
+
+#include <cstddef>
+
+#include "data/dataset.hpp"
+#include "dp/mechanism.hpp"
+#include "math/rng.hpp"
+#include "models/model.hpp"
+
+namespace dpbyz::theory {
+
+/// Monte-Carlo estimate of the honest gradient distribution at fixed w.
+struct VnEstimate {
+  double variance;   ///< E || G - E[G] ||^2  (total, summed over coords)
+  double mean_norm;  ///< || E[G] ||
+  double ratio;      ///< sqrt(variance) / mean_norm
+};
+
+/// Sample `num_samples` independent honest submissions (batch -> gradient
+/// -> clip -> mechanism) at parameters `w` and estimate the VN quantities.
+/// Use NoNoise for the clean (pre-DP) ratio.
+VnEstimate estimate_vn_ratio(const Model& model, const Dataset& data, const Vector& w,
+                             size_t batch_size, double clip_norm,
+                             const NoiseMechanism& mechanism, size_t num_samples,
+                             Rng& rng);
+
+/// Analytic noisy VN ratio (Eq. 8 numerator over the same denominator):
+/// sqrt(clean_variance + d * s^2) / mean_norm, with s the Gaussian-
+/// mechanism scale for (eps, delta, G_max, b).
+double noisy_vn_ratio(double clean_variance, double mean_norm, size_t d, double g_max,
+                      size_t batch_size, double epsilon, double delta);
+
+/// The DP-noise variance term 8 d G_max^2 log(1.25/delta) / (eps b)^2
+/// — i.e. d * s^2 — isolated for tables.
+double dp_variance_term(size_t d, double g_max, size_t batch_size, double epsilon,
+                        double delta);
+
+}  // namespace dpbyz::theory

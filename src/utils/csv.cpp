@@ -1,0 +1,77 @@
+#include "utils/csv.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "utils/errors.hpp"
+#include "utils/strings.hpp"
+
+namespace dpbyz::csv {
+
+Writer::Writer(const std::string& path, const std::vector<std::string>& header)
+    : path_(path), arity_(header.size()) {
+  require(!header.empty(), "csv::Writer: header must not be empty");
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  auto* stream = new std::ofstream(path);
+  if (!stream->is_open()) {
+    delete stream;
+    throw std::runtime_error("csv::Writer: cannot open " + path);
+  }
+  out_ = stream;
+  *stream << strings::join(header, ",") << '\n';
+}
+
+Writer::~Writer() { close(); }
+
+void Writer::row(const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) cells.push_back(strings::format_double(v, 12));
+  row_strings(cells);
+}
+
+void Writer::row_strings(const std::vector<std::string>& cells) {
+  require(cells.size() == arity_,
+          "csv::Writer: row arity mismatch in " + path_);
+  auto* stream = static_cast<std::ofstream*>(out_);
+  check_internal(stream != nullptr, "csv::Writer used after close()");
+  *stream << strings::join(cells, ",") << '\n';
+}
+
+void Writer::close() {
+  if (out_ != nullptr) {
+    auto* stream = static_cast<std::ofstream*>(out_);
+    stream->flush();
+    delete stream;
+    out_ = nullptr;
+  }
+}
+
+size_t Table::col(const std::string& name) const {
+  for (size_t i = 0; i < header.size(); ++i)
+    if (header[i] == name) return i;
+  throw std::invalid_argument("csv::Table: no column named " + name);
+}
+
+Table read(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) throw std::runtime_error("csv::read: cannot open " + path);
+  Table t;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto cells = strings::split(line, ',');
+    if (first) {
+      t.header = std::move(cells);
+      first = false;
+    } else {
+      t.rows.push_back(std::move(cells));
+    }
+  }
+  return t;
+}
+
+}  // namespace dpbyz::csv

@@ -1,0 +1,57 @@
+// csv.hpp — minimal CSV writing/reading used by the benchmark harness to
+// dump reproducible per-step series (loss/accuracy curves, sweep tables).
+//
+// The format is deliberately simple: comma-separated, no quoting (none of
+// our payloads contain commas), '\n' line endings, first row is a header.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dpbyz::csv {
+
+/// Streaming CSV writer.  Creates parent directories on demand.
+///
+/// Usage:
+///   Writer w("bench_out/fig2.csv", {"step", "loss", "acc"});
+///   w.row({1.0, 0.25, 0.91});
+class Writer {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  /// Throws std::runtime_error if the file cannot be opened.
+  Writer(const std::string& path, const std::vector<std::string>& header);
+  ~Writer();
+
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  /// Write one numeric row; must match the header arity.
+  void row(const std::vector<double>& values);
+
+  /// Write one row of preformatted cells; must match the header arity.
+  void row_strings(const std::vector<std::string>& cells);
+
+  /// Flush and close early (also done by the destructor).
+  void close();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  size_t arity_;
+  void* out_;  // std::ofstream, kept out of the header to slim includes
+};
+
+/// A fully materialized CSV table (for tests and small reads).
+struct Table {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Column index by name; throws std::invalid_argument if absent.
+  size_t col(const std::string& name) const;
+};
+
+/// Read a whole CSV file written by Writer.
+Table read(const std::string& path);
+
+}  // namespace dpbyz::csv

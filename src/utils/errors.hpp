@@ -1,0 +1,27 @@
+// errors.hpp — lightweight precondition checking for the dpbyz library.
+//
+// The library is used both as a research harness (where a violated
+// precondition is a programming error and should abort loudly) and from
+// long-running benchmark drivers (where we want a useful message).  We
+// therefore throw std::invalid_argument / std::logic_error with formatted
+// context instead of asserting, and never continue past a violated check.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dpbyz {
+
+/// Throw std::invalid_argument with `msg` when `cond` is false.
+/// Use for violations of a public API's documented preconditions.
+inline void require(bool cond, const std::string& msg) {
+  if (!cond) throw std::invalid_argument(msg);
+}
+
+/// Throw std::logic_error with `msg` when `cond` is false.
+/// Use for internal invariants that indicate a bug in dpbyz itself.
+inline void check_internal(bool cond, const std::string& msg) {
+  if (!cond) throw std::logic_error("dpbyz internal error: " + msg);
+}
+
+}  // namespace dpbyz

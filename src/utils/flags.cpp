@@ -1,0 +1,77 @@
+#include "utils/flags.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "utils/strings.hpp"
+
+namespace dpbyz::flags {
+
+Parser::Parser(int argc, const char* const* argv, std::vector<std::string> spec) {
+  auto known = [&spec](const std::string& name) {
+    return std::find(spec.begin(), spec.end(), name) != spec.end();
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!strings::starts_with(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    std::string name, value;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      // `--flag value` form: consume the next token unless it is a flag.
+      if (i + 1 < argc && !strings::starts_with(argv[i + 1], "--")) {
+        value = argv[++i];
+      } else {
+        value = "true";  // bare boolean flag
+      }
+    }
+    if (!known(name))
+      throw std::invalid_argument("unknown flag --" + name);
+    values_[name] = value;
+  }
+}
+
+bool Parser::has(const std::string& name) const { return values_.count(name) > 0; }
+
+std::string Parser::get_string(const std::string& name, const std::string& fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+int64_t Parser::get_int(const std::string& name, int64_t fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stoll(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + " expects an integer, got '" + it->second + "'");
+  }
+}
+
+double Parser::get_double(const std::string& name, double fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + " expects a number, got '" + it->second + "'");
+  }
+}
+
+bool Parser::get_bool(const std::string& name, bool fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const auto v = strings::to_lower(it->second);
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw std::invalid_argument("flag --" + name + " expects a boolean, got '" + it->second + "'");
+}
+
+}  // namespace dpbyz::flags

@@ -1,0 +1,54 @@
+#include "utils/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "utils/strings.hpp"
+
+namespace dpbyz::table {
+
+Printer::Printer(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Printer::row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Printer::row_numeric(const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) cells.push_back(strings::format_double(v, precision));
+  row(std::move(cells));
+}
+
+std::string Printer::str() const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (size_t c = 0; c < r.size(); ++c) width[c] = std::max(width[c], r[c].size());
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      out << cell << std::string(width[c] - cell.size(), ' ');
+      out << (c + 1 < header_.size() ? "  " : "");
+    }
+    out << '\n';
+  };
+  emit(header_);
+  size_t total = 0;
+  for (size_t c = 0; c < header_.size(); ++c) total += width[c] + (c + 1 < header_.size() ? 2 : 0);
+  out << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) emit(r);
+  return out.str();
+}
+
+void Printer::print() const { std::fputs(str().c_str(), stdout); }
+
+void banner(const std::string& title) {
+  std::printf("\n### %s\n", title.c_str());
+}
+
+}  // namespace dpbyz::table

@@ -1,0 +1,37 @@
+// table.hpp — aligned ASCII table printing for benchmark output.
+//
+// The reproduction benches print the same rows/series the paper reports;
+// this helper keeps that output readable in a terminal and diffable in CI.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dpbyz::table {
+
+/// Column-aligned text table.  All formatting happens at print time.
+class Printer {
+ public:
+  explicit Printer(std::vector<std::string> header);
+
+  /// Append a row of preformatted cells (padded/truncated to header arity).
+  void row(std::vector<std::string> cells);
+
+  /// Append a numeric row, formatting each value with `precision` digits.
+  void row_numeric(const std::vector<double>& values, int precision = 5);
+
+  /// Render the table with a separator under the header.
+  std::string str() const;
+
+  /// Render and write to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a "### title" section banner to stdout.
+void banner(const std::string& title);
+
+}  // namespace dpbyz::table

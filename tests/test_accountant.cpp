@@ -1,0 +1,103 @@
+// Unit tests for dp/accountant (composition theorems + RDP).
+#include "dp/accountant.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dpbyz {
+namespace {
+
+TEST(BasicComposition, AddsLinearly) {
+  const auto b = dp::basic_composition(0.2, 1e-6, 1000);
+  EXPECT_DOUBLE_EQ(b.epsilon, 200.0);
+  EXPECT_DOUBLE_EQ(b.delta, 1e-3);
+}
+
+TEST(BasicComposition, ZeroStepsIsFree) {
+  const auto b = dp::basic_composition(0.2, 1e-6, 0);
+  EXPECT_DOUBLE_EQ(b.epsilon, 0.0);
+  EXPECT_DOUBLE_EQ(b.delta, 0.0);
+}
+
+TEST(AdvancedComposition, MatchesFormula) {
+  const double eps = 0.1, delta = 1e-7, dp_slack = 1e-5;
+  const size_t t = 100;
+  const auto b = dp::advanced_composition(eps, delta, t, dp_slack);
+  const double expected_eps =
+      std::sqrt(2.0 * t * std::log(1.0 / dp_slack)) * eps + t * eps * (std::exp(eps) - 1.0);
+  EXPECT_DOUBLE_EQ(b.epsilon, expected_eps);
+  EXPECT_DOUBLE_EQ(b.delta, t * delta + dp_slack);
+}
+
+TEST(AdvancedComposition, BeatsBasicForSmallEpsManySteps) {
+  const double eps = 0.01, delta = 1e-8;
+  const size_t t = 10000;
+  const auto basic = dp::basic_composition(eps, delta, t);
+  const auto adv = dp::advanced_composition(eps, delta, t, 1e-6);
+  EXPECT_LT(adv.epsilon, basic.epsilon);
+}
+
+TEST(AdvancedComposition, RejectsBadSlack) {
+  EXPECT_THROW(dp::advanced_composition(0.1, 1e-7, 10, 0.0), std::invalid_argument);
+  EXPECT_THROW(dp::advanced_composition(0.1, 1e-7, 10, 1.0), std::invalid_argument);
+}
+
+TEST(RdpAccountant, SingleStepMatchesGaussianRdp) {
+  // eps(alpha) = alpha Delta^2/(2 s^2); with Delta = 1, s = 2: rho = 1/8.
+  dp::RdpAccountant acc(2.0, 1.0);
+  acc.record_steps(1);
+  EXPECT_DOUBLE_EQ(acc.rdp_epsilon(2.0), 2.0 / 8.0);
+  EXPECT_DOUBLE_EQ(acc.rdp_epsilon(10.0), 10.0 / 8.0);
+}
+
+TEST(RdpAccountant, ComposesAdditively) {
+  dp::RdpAccountant acc(2.0, 1.0);
+  acc.record_steps(5);
+  acc.record_steps(5);
+  EXPECT_EQ(acc.steps(), 10u);
+  EXPECT_DOUBLE_EQ(acc.rdp_epsilon(2.0), 10.0 * 2.0 / 8.0);
+}
+
+TEST(RdpAccountant, ConversionNearAnalyticOptimum) {
+  // eps* = T rho + 2 sqrt(T rho log(1/delta)) at the optimal alpha.
+  dp::RdpAccountant acc(2.0, 1.0);
+  const size_t t = 100;
+  acc.record_steps(t);
+  const double rho = 0.125;
+  const double delta = 1e-5;
+  const double analytic =
+      t * rho + 2.0 * std::sqrt(t * rho * std::log(1.0 / delta));
+  const double eps = acc.epsilon_for_delta(delta);
+  EXPECT_NEAR(eps, analytic, 0.05 * analytic);
+  EXPECT_GE(eps, analytic - 1e-9);  // grid search cannot beat the optimum
+}
+
+TEST(RdpAccountant, TighterThanBasicCompositionForLongTraining) {
+  // The paper's setting: per-step eps = 0.2 with delta = 1e-6 over 1000
+  // steps.  Basic composition gives eps = 200; RDP should be far tighter.
+  const double g_max = 1e-2;
+  const size_t b = 50;
+  const double sens = 2.0 * g_max / b;
+  // Per-step Gaussian noise for (0.2, 1e-6).
+  const double s = sens * std::sqrt(2.0 * std::log(1.25 / 1e-6)) / 0.2;
+  dp::RdpAccountant acc(s, sens);
+  acc.record_steps(1000);
+  EXPECT_LT(acc.epsilon_for_delta(1e-5), 200.0);
+}
+
+TEST(RdpAccountant, ZeroStepsMeansZeroEpsilon) {
+  dp::RdpAccountant acc(1.0, 1.0);
+  EXPECT_DOUBLE_EQ(acc.epsilon_for_delta(1e-5), 0.0);
+}
+
+TEST(RdpAccountant, ValidatesConstruction) {
+  EXPECT_THROW(dp::RdpAccountant(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(dp::RdpAccountant(1.0, 0.0), std::invalid_argument);
+  dp::RdpAccountant acc(1.0, 1.0);
+  EXPECT_THROW(acc.rdp_epsilon(1.0), std::invalid_argument);
+  EXPECT_THROW(acc.epsilon_for_delta(0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dpbyz

@@ -1,0 +1,121 @@
+// Property-based tests run over EVERY registered attack (TEST_P sweep):
+// dimension preservation, finiteness, determinism for the deterministic
+// attacks, seed-sensitivity for the stochastic one, and scale behavior.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attacks/attack.hpp"
+#include "math/statistics.hpp"
+
+namespace dpbyz {
+namespace {
+
+class AttackPropertyTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::unique_ptr<Attack> make() const { return make_attack(GetParam(), std::nan("")); }
+
+  static std::vector<Vector> honest_sample(size_t count, size_t dim, uint64_t seed) {
+    Rng rng(seed);
+    std::vector<Vector> g;
+    g.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      Vector v = rng.normal_vector(dim, 0.2);
+      v[0] += 1.0;  // non-zero mean direction
+      g.push_back(std::move(v));
+    }
+    return g;
+  }
+};
+
+TEST_P(AttackPropertyTest, PreservesDimension) {
+  const auto attack = make();
+  for (size_t dim : {1u, 3u, 69u}) {
+    const auto honest = honest_sample(6, dim, 1);
+    Rng rng(9);
+    const AttackContext ctx{honest, 5, 1};
+    EXPECT_EQ(attack->forge(ctx, rng).size(), dim);
+  }
+}
+
+TEST_P(AttackPropertyTest, ProducesFiniteVectors) {
+  const auto attack = make();
+  for (uint64_t seed : {1, 2, 3}) {
+    const auto honest = honest_sample(6, 10, seed);
+    Rng rng(seed);
+    const AttackContext ctx{honest, 5, 1};
+    EXPECT_TRUE(vec::all_finite(attack->forge(ctx, rng)));
+  }
+}
+
+TEST_P(AttackPropertyTest, DeterministicGivenRngState) {
+  const auto attack = make();
+  const auto honest = honest_sample(6, 8, 4);
+  Rng a(7), b(7);
+  const AttackContext ctx{honest, 5, 3};
+  EXPECT_EQ(attack->forge(ctx, a), attack->forge(ctx, b));
+}
+
+TEST_P(AttackPropertyTest, NameRoundTripsThroughFactory) {
+  EXPECT_EQ(make()->name(), GetParam());
+}
+
+TEST_P(AttackPropertyTest, SingleHonestGradientIsHandled) {
+  // Degenerate but legal: only one honest worker observed (sigma = 0).
+  const auto attack = make();
+  const auto honest = honest_sample(1, 5, 2);
+  Rng rng(1);
+  const AttackContext ctx{honest, 1, 1};
+  const Vector forged = attack->forge(ctx, rng);
+  EXPECT_EQ(forged.size(), 5u);
+  EXPECT_TRUE(vec::all_finite(forged));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAttacks, AttackPropertyTest,
+                         ::testing::ValuesIn(attack_names()));
+
+TEST(AttackScaling, LittleOffsetScalesWithNu) {
+  const auto honest = [] {
+    Rng rng(3);
+    std::vector<Vector> g;
+    for (int i = 0; i < 8; ++i) g.push_back(rng.normal_vector(6, 0.5));
+    return g;
+  }();
+  const Vector mean = stats::coordinate_mean(honest);
+  Rng rng(1);
+  const AttackContext ctx{honest, 5, 1};
+  const Vector weak = make_attack("little", 0.5)->forge(ctx, rng);
+  const Vector strong = make_attack("little", 2.0)->forge(ctx, rng);
+  EXPECT_NEAR(vec::dist(strong, mean) / vec::dist(weak, mean), 4.0, 1e-9);
+}
+
+TEST(AttackScaling, EmpireNuOneIsExactZero) {
+  // (1 - nu) g_t with nu = 1 is the zero vector — the degenerate middle
+  // of the Fall-of-Empires family.
+  const auto honest = [] {
+    Rng rng(3);
+    std::vector<Vector> g;
+    for (int i = 0; i < 4; ++i) g.push_back(rng.normal_vector(3, 1.0));
+    return g;
+  }();
+  Rng rng(1);
+  const AttackContext ctx{honest, 2, 1};
+  const Vector forged = make_attack("empire", 1.0)->forge(ctx, rng);
+  EXPECT_TRUE(vec::approx_equal(forged, vec::zeros(3), 1e-12));
+}
+
+TEST(AttackScaling, RandomAttackVariesAcrossCalls) {
+  const auto honest = [] {
+    Rng rng(3);
+    std::vector<Vector> g;
+    for (int i = 0; i < 4; ++i) g.push_back(rng.normal_vector(3, 1.0));
+    return g;
+  }();
+  const auto attack = make_attack("random", std::nan(""));
+  Rng rng(5);
+  const AttackContext ctx{honest, 2, 1};
+  EXPECT_NE(attack->forge(ctx, rng), attack->forge(ctx, rng));
+}
+
+}  // namespace
+}  // namespace dpbyz

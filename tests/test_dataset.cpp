@@ -1,0 +1,79 @@
+// Unit tests for data/dataset.
+#include "data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+namespace dpbyz {
+namespace {
+
+Dataset tiny() {
+  return Dataset(Matrix::from_rows({{0.0, 0.0}, {1.0, 1.0}, {2.0, 2.0}, {3.0, 3.0}}),
+                 Vector{0.0, 1.0, 0.0, 1.0});
+}
+
+TEST(Dataset, ShapeAccessors) {
+  const Dataset d = tiny();
+  EXPECT_EQ(d.size(), 4u);
+  EXPECT_EQ(d.dim(), 2u);
+  EXPECT_TRUE(d.labeled());
+  EXPECT_EQ(d.y(1), 1.0);
+  EXPECT_EQ(d.x(2)[0], 2.0);
+}
+
+TEST(Dataset, UnlabeledIsAllowed) {
+  const Dataset d(Matrix(3, 2), Vector{});
+  EXPECT_FALSE(d.labeled());
+  EXPECT_THROW(d.y(0), std::invalid_argument);
+}
+
+TEST(Dataset, LabelCountMismatchThrows) {
+  EXPECT_THROW(Dataset(Matrix(3, 2), Vector{1.0}), std::invalid_argument);
+}
+
+TEST(Dataset, SubsetPreservesRowsAndLabels) {
+  const Dataset d = tiny();
+  const std::vector<size_t> idx{3, 0};
+  const Dataset s = d.subset(idx);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.x(0)[0], 3.0);
+  EXPECT_EQ(s.y(0), 1.0);
+  EXPECT_EQ(s.x(1)[0], 0.0);
+  EXPECT_EQ(s.y(1), 0.0);
+}
+
+TEST(Dataset, SplitPartitionsWithoutOverlap) {
+  const Dataset d = tiny();
+  Rng rng(1);
+  auto [train, test] = d.split(3, rng);
+  EXPECT_EQ(train.size(), 3u);
+  EXPECT_EQ(test.size(), 1u);
+  // Every original first-coordinate value appears exactly once overall.
+  std::multiset<double> seen;
+  for (size_t i = 0; i < train.size(); ++i) seen.insert(train.x(i)[0]);
+  for (size_t i = 0; i < test.size(); ++i) seen.insert(test.x(i)[0]);
+  EXPECT_EQ(seen, (std::multiset<double>{0.0, 1.0, 2.0, 3.0}));
+}
+
+TEST(Dataset, SplitIsDeterministicInSeed) {
+  const Dataset d = tiny();
+  Rng a(9), b(9);
+  auto [ta, sa] = d.split(2, a);
+  auto [tb, sb] = d.split(2, b);
+  for (size_t i = 0; i < 2; ++i) EXPECT_EQ(ta.x(i)[0], tb.x(i)[0]);
+}
+
+TEST(Dataset, SplitTooLargeThrows) {
+  const Dataset d = tiny();
+  Rng rng(1);
+  EXPECT_THROW(d.split(5, rng), std::invalid_argument);
+}
+
+TEST(Dataset, PositiveFraction) {
+  EXPECT_DOUBLE_EQ(tiny().positive_fraction(), 0.5);
+}
+
+}  // namespace
+}  // namespace dpbyz

@@ -1,0 +1,114 @@
+// Unit tests for the experiment presets (PhishingExperiment,
+// QuadraticExperiment) and the mechanism factory.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/experiment.hpp"
+
+namespace dpbyz {
+namespace {
+
+TEST(PhishingPreset, SplitSizesMatchPaper) {
+  const PhishingExperiment exp(42);
+  EXPECT_EQ(exp.train().size(), 8400u);
+  EXPECT_EQ(exp.test().size(), 2655u);
+  EXPECT_EQ(exp.train().size() + exp.test().size(), 11055u);
+  EXPECT_EQ(exp.model().dim(), 69u);
+  EXPECT_EQ(exp.model().loss_kind(), LinearLoss::kMseOnSigmoid);
+}
+
+TEST(PhishingPreset, DataSeedChangesDataNotShape) {
+  const PhishingExperiment a(42), b(43);
+  EXPECT_EQ(a.train().size(), b.train().size());
+  EXPECT_NE(a.train().features().data(), b.train().features().data());
+}
+
+TEST(PhishingPreset, RunsAreReproducible) {
+  const PhishingExperiment exp(42);
+  ExperimentConfig c;
+  c.steps = 30;
+  const RunResult r1 = exp.run(c);
+  const RunResult r2 = exp.run(c);
+  EXPECT_EQ(r1.final_parameters, r2.final_parameters);
+  EXPECT_EQ(r1.train_loss, r2.train_loss);
+}
+
+TEST(PhishingPreset, RunSeedsUsesSeedsOneThroughK) {
+  const PhishingExperiment exp(42);
+  ExperimentConfig c;
+  c.steps = 30;
+  const auto runs = exp.run_seeds(c, 2);
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0].final_parameters, exp.run(c.with_seed(1)).final_parameters);
+  EXPECT_EQ(runs[1].final_parameters, exp.run(c.with_seed(2)).final_parameters);
+  EXPECT_THROW(exp.run_seeds(c, 0), std::invalid_argument);
+}
+
+TEST(QuadraticPreset, OptimumAchievesZeroExcessLoss) {
+  QuadraticExperiment task(16, 1.0, 42, 1000);
+  EXPECT_DOUBLE_EQ(task.model().excess_loss(task.model().optimum()), 0.0);
+  EXPECT_EQ(task.data().dim(), 16u);
+}
+
+TEST(QuadraticPreset, BenignTrainingApproachesOptimum) {
+  QuadraticExperiment task(8, 1.0, 42, 4000);
+  ExperimentConfig c;
+  c.num_workers = 4;
+  c.num_byzantine = 0;
+  c.gar = "average";
+  c.batch_size = 20;
+  c.steps = 500;
+  c.momentum = 0.0;
+  c.lr_schedule = "theorem1";
+  c.learning_rate = 1.0;
+  c.clip_norm = 3.0;
+  c.clip_enabled = false;
+  c.eval_every = 500;
+  const double err = task.run_excess_loss(c);
+  // Theoretical value ~ sigma^2/(2 b T n) ~ 2.5e-5; leave slack.
+  EXPECT_LT(err, 1e-3);
+}
+
+TEST(QuadraticPreset, MeanExcessLossAveragesSeeds) {
+  QuadraticExperiment task(4, 1.0, 42, 500);
+  ExperimentConfig c;
+  c.num_workers = 2;
+  c.num_byzantine = 0;
+  c.gar = "average";
+  c.batch_size = 5;
+  c.steps = 50;
+  c.momentum = 0.0;
+  c.clip_norm = 3.0;
+  c.eval_every = 50;
+  c.learning_rate = 0.1;
+  const double a = task.run_excess_loss(c.with_seed(1));
+  const double b = task.run_excess_loss(c.with_seed(2));
+  EXPECT_NEAR(task.mean_excess_loss(c, 2), 0.5 * (a + b), 1e-12);
+}
+
+TEST(MechanismFactory, BuildsEachKind) {
+  ExperimentConfig c;
+  EXPECT_EQ(make_mechanism(c, 69)->describe(), "none");
+  c.dp_enabled = true;
+  c.mechanism = "gaussian";
+  EXPECT_NE(make_mechanism(c, 69)->describe().find("gaussian"), std::string::npos);
+  c.mechanism = "laplace";
+  EXPECT_NE(make_mechanism(c, 69)->describe().find("laplace"), std::string::npos);
+  c.mechanism = "nope";
+  EXPECT_THROW(make_mechanism(c, 69), std::invalid_argument);
+}
+
+TEST(MechanismFactory, LaplaceUsesDimensionDependentSensitivity) {
+  ExperimentConfig c;
+  c.dp_enabled = true;
+  c.mechanism = "laplace";
+  c.epsilon = 0.5;
+  const auto small = make_mechanism(c, 16);
+  const auto large = make_mechanism(c, 64);
+  // L1 sensitivity scales with sqrt(d): 64/16 = 4x => 2x noise.
+  EXPECT_NEAR(large->noise_stddev() / small->noise_stddev(), 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace dpbyz

@@ -1,0 +1,216 @@
+// Integration tests: end-to-end training runs asserting the paper's
+// qualitative claims on shortened schedules.
+//
+// These are the "does the whole pipeline reproduce the phenomenon" tests;
+// the benches regenerate the full figures.  Thresholds are deliberately
+// loose — they encode orderings (who converges, who does not), never
+// absolute numbers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/experiment.hpp"
+#include "theory/conditions.hpp"
+
+namespace dpbyz {
+namespace {
+
+const PhishingExperiment& phishing() {
+  static const PhishingExperiment exp(42);
+  return exp;
+}
+
+ExperimentConfig short_paper_config() {
+  ExperimentConfig c;  // paper defaults (n=11, f=5, mda, b=50, ...)
+  c.steps = 300;
+  return c;
+}
+
+TEST(PhishingIntegration, DatasetHasPaperShape) {
+  EXPECT_EQ(phishing().train().size(), 8400u);
+  EXPECT_EQ(phishing().test().size(), 2655u);
+  EXPECT_EQ(phishing().model().dim(), 69u);
+}
+
+TEST(PhishingIntegration, BenignBaselineConverges) {
+  // (a) no DP, no attack: high accuracy quickly (paper: minimum loss in
+  // under 100 steps at b = 50).
+  auto c = short_paper_config();
+  const RunResult r = phishing().run(c);
+  EXPECT_GT(r.final_accuracy, 0.85);
+  EXPECT_LT(r.min_train_loss, 0.1);
+}
+
+TEST(PhishingIntegration, MdaResistsAttacksWithoutDp) {
+  // (b) attack, no DP: MDA keeps training on track for both paper attacks.
+  const RunResult baseline = phishing().run(short_paper_config());
+  for (const char* attack : {"little", "empire"}) {
+    const RunResult r = phishing().run(short_paper_config().with_attack(attack));
+    EXPECT_GT(r.final_accuracy, baseline.final_accuracy - 0.1) << attack;
+  }
+}
+
+TEST(PhishingIntegration, DpAloneIsTolerableAtBatch50) {
+  // (c) DP eps = 0.2, no attack, b = 50: "the unattacked case remains
+  // essentially unaffected" (Fig. 2).
+  const RunResult baseline = phishing().run(short_paper_config());
+  const RunResult r = phishing().run(short_paper_config().with_dp(0.2));
+  EXPECT_GT(r.final_accuracy, baseline.final_accuracy - 0.1);
+}
+
+TEST(PhishingIntegration, DpPlusAttackDegradesAtBatch50) {
+  // (d) the headline antagonism: DP + attack at b = 50 visibly hurts
+  // compared to attack-only, for at least one of the two paper attacks
+  // (Fig. 2 shows "the protection provided by MDA is noticeably lowered").
+  double worst_gap = 0.0;
+  for (const char* attack : {"little", "empire"}) {
+    const RunResult attacked = phishing().run(short_paper_config().with_attack(attack));
+    const RunResult both =
+        phishing().run(short_paper_config().with_dp(0.2).with_attack(attack));
+    worst_gap = std::max(worst_gap, attacked.final_accuracy - both.final_accuracy);
+  }
+  EXPECT_GT(worst_gap, 0.03);
+}
+
+TEST(PhishingIntegration, LargeBatchResolvesTheAntagonism) {
+  // Fig. 4: at b = 500 all four configurations converge to comparable
+  // accuracy.  Uses a longer horizon than the other tests: the figure's
+  // claim is about the converged state (T = 1000 in the paper).
+  auto c = short_paper_config().with_batch(500);
+  c.steps = 800;
+  const RunResult both = phishing().run(c.with_dp(0.2).with_attack("little"));
+  const RunResult baseline = phishing().run(c);
+  EXPECT_GT(both.final_accuracy, baseline.final_accuracy - 0.05);
+}
+
+TEST(PhishingIntegration, SmallBatchWithDpHampersEvenUnattacked) {
+  // Fig. 3: at b = 10, adding noise "significantly hampers the training
+  // even without attack" relative to b = 50.
+  const RunResult b50 = phishing().run(short_paper_config().with_dp(0.2));
+  const RunResult b10 = phishing().run(short_paper_config().with_batch(10).with_dp(0.2));
+  EXPECT_GT(b50.final_accuracy, b10.final_accuracy - 1e-9);
+  const RunResult b10_attacked =
+      phishing().run(short_paper_config().with_batch(10).with_dp(0.2).with_attack("little"));
+  EXPECT_LT(b10_attacked.final_accuracy, b50.final_accuracy + 1e-9);
+}
+
+TEST(PhishingIntegration, MultiSeedRunsAreIndependentlySeeded) {
+  auto c = short_paper_config();
+  c.steps = 60;
+  const auto runs = phishing().run_seeds(c, 3);
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_NE(runs[0].final_parameters, runs[1].final_parameters);
+  const auto acc = summarize_accuracy(runs);
+  EXPECT_EQ(acc.steps.back(), 60u);
+}
+
+TEST(QuadraticIntegration, ErrorScalesLinearlyWithDimensionUnderDp) {
+  // Theorem 1: with DP the excess loss grows ~ linearly in d (the d s^2
+  // term dominates); without DP it is d-independent.
+  ExperimentConfig c;
+  c.num_workers = 4;
+  c.num_byzantine = 0;
+  c.gar = "average";
+  c.batch_size = 10;
+  c.steps = 400;
+  c.momentum = 0.0;
+  c.lr_schedule = "theorem1";
+  c.learning_rate = 1.0;  // 1/(lambda (1 - sin alpha)) with lambda = 1
+  c.clip_norm = 3.0;      // G_max: the mechanism's assumed gradient bound
+  c.clip_enabled = false; // Theorem 1 assumes the bound (see config.hpp)
+  c.eval_every = 400;
+
+  const double sigma = 1.0;
+  QuadraticExperiment small(8, sigma, 42, 4000);
+  QuadraticExperiment large(64, sigma, 42, 4000);
+
+  const auto dp = c.with_dp(0.5);
+  const double err_small = small.mean_excess_loss(dp, 3);
+  const double err_large = large.mean_excess_loss(dp, 3);
+  // d grew 8x; allow a generous band around linear scaling.
+  EXPECT_GT(err_large / err_small, 3.0);
+
+  const double clean_small = small.mean_excess_loss(c, 3);
+  const double clean_large = large.mean_excess_loss(c, 3);
+  EXPECT_LT(clean_large / clean_small, 3.0);
+  // And DP must be strictly worse than no-DP at the same d.
+  EXPECT_GT(err_large, clean_large);
+}
+
+TEST(QuadraticIntegration, ErrorDecaysWithSteps) {
+  ExperimentConfig c;
+  c.num_workers = 4;
+  c.num_byzantine = 0;
+  c.gar = "average";
+  c.batch_size = 10;
+  c.momentum = 0.0;
+  c.lr_schedule = "theorem1";
+  c.learning_rate = 1.0;
+  c.clip_norm = 3.0;
+  c.clip_enabled = false;
+  c.eval_every = 10000;
+
+  QuadraticExperiment task(16, 1.0, 42, 4000);
+  const auto dp = c.with_dp(0.5);
+  auto short_run = dp;
+  short_run.steps = 100;
+  auto long_run = dp;
+  long_run.steps = 800;
+  const double err_short = task.mean_excess_loss(short_run, 3);
+  const double err_long = task.mean_excess_loss(long_run, 3);
+  // T grew 8x; expect substantial decay (Theta(1/T) in theory).
+  EXPECT_GT(err_short / err_long, 3.0);
+}
+
+TEST(QuadraticIntegration, MeasuredErrorRespectsTheorem1Bounds) {
+  // The measured excess loss must sit above the Cramér–Rao lower bound
+  // (up to Monte-Carlo slack).  The paper's upper bound holds for the
+  // worst case; we check the lower bound which is distribution-exact.
+  ExperimentConfig c;
+  c.num_workers = 4;
+  c.num_byzantine = 0;
+  c.gar = "average";
+  c.batch_size = 10;
+  c.steps = 300;
+  c.momentum = 0.0;
+  c.lr_schedule = "theorem1";
+  c.learning_rate = 1.0;
+  c.clip_norm = 3.0;
+  c.clip_enabled = false;
+  c.eval_every = 10000;
+  const auto dp = c.with_dp(0.5);
+
+  const size_t d = 32;
+  QuadraticExperiment task(d, 1.0, 42, 4000);
+  const double measured = task.mean_excess_loss(dp, 5);
+
+  theory::Theorem1Params p;
+  p.d = d;
+  p.steps = c.steps;
+  p.batch_size = c.batch_size;
+  p.epsilon = dp.epsilon;
+  p.delta = dp.delta;
+  p.sigma = 1.0;
+  p.g_max = c.clip_norm;
+  // The lower bound is for a single worker's observations; n workers
+  // average n iid noisy gradients, improving the information rate by n.
+  const double lower =
+      theory::theorem1_lower_bound(p) / static_cast<double>(c.num_workers);
+  EXPECT_GT(measured, 0.2 * lower);
+}
+
+TEST(TheoryIntegration, Table1OrderingHoldsAtModerateDimension) {
+  // At the paper's experimental scale (d = 69) the VN condition already
+  // fails at b = 50 for every GAR — the sufficient-condition theory is
+  // conservative, which the paper acknowledges (resilience still mostly
+  // holds empirically at b = 500, Fig. 4).  MDA remains the *least*
+  // demanding rule: its minimum batch is the smallest.
+  EXPECT_FALSE(theory::vn_condition_possible("mda", 11, 5, 69, 50, 0.2, 1e-6));
+  const double mda_b = theory::mda_min_batch(11, 5, 69, 0.2, 1e-6);
+  const double krum_b = theory::krum_min_batch(11, 4, 69, 0.2, 1e-6);
+  EXPECT_LT(mda_b, krum_b);
+  EXPECT_GT(krum_b, 1000.0);
+}
+
+}  // namespace
+}  // namespace dpbyz

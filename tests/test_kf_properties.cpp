@@ -1,0 +1,129 @@
+// Property tests for the k_F(n, f) table — parameterized sweeps over the
+// (n, f) grid checking the qualitative facts the paper's analysis uses:
+// every constant decreases in f (more Byzantine tolerance demanded =>
+// tighter variance requirement) and the resulting Table-1 thresholds are
+// monotone in d and b.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aggregation/kf_table.hpp"
+#include "theory/conditions.hpp"
+
+namespace dpbyz {
+namespace {
+
+class KfGridTest : public ::testing::TestWithParam<size_t> {};  // param = n
+
+TEST_P(KfGridTest, MdaDecreasesInF) {
+  const size_t n = GetParam();
+  double prev = std::numeric_limits<double>::infinity();
+  for (size_t f = 1; 2 * f + 1 <= n; ++f) {
+    const double k = kf::mda(n, f);
+    EXPECT_LT(k, prev) << "n=" << n << " f=" << f;
+    EXPECT_GT(k, 0.0);
+    prev = k;
+  }
+}
+
+TEST_P(KfGridTest, KrumDecreasesInF) {
+  const size_t n = GetParam();
+  double prev = std::numeric_limits<double>::infinity();
+  for (size_t f = 1; n > 2 * f + 2; ++f) {
+    const double k = kf::krum(n, f);
+    EXPECT_LT(k, prev) << "n=" << n << " f=" << f;
+    EXPECT_GT(k, 0.0);
+    prev = k;
+  }
+}
+
+TEST_P(KfGridTest, TrimmedMeanAndPhocasDecreaseInF) {
+  const size_t n = GetParam();
+  double prev_tm = std::numeric_limits<double>::infinity();
+  double prev_ph = std::numeric_limits<double>::infinity();
+  for (size_t f = 1; n > 2 * f; ++f) {
+    EXPECT_LT(kf::trimmed_mean(n, f), prev_tm);
+    EXPECT_LT(kf::phocas(n, f), prev_ph);
+    prev_tm = kf::trimmed_mean(n, f);
+    prev_ph = kf::phocas(n, f);
+  }
+}
+
+TEST_P(KfGridTest, MedianFamilyDecreasesInFViaNMinusF) {
+  const size_t n = GetParam();
+  // k = 1/sqrt(n - f) grows in f?  No: n - f shrinks => 1/sqrt grows.
+  // The median constant *increases* with f — its tolerance constraint
+  // lives in the 2f <= n - 1 admissibility bound instead.  Check the
+  // exact formula rather than a false monotonicity.
+  for (size_t f = 1; 2 * f <= n - 1; ++f) {
+    EXPECT_DOUBLE_EQ(kf::median(n, f), 1.0 / std::sqrt(static_cast<double>(n - f)));
+    EXPECT_DOUBLE_EQ(kf::meamed(n, f),
+                     kf::median(n, f) / std::sqrt(10.0));
+  }
+}
+
+TEST_P(KfGridTest, KrumEtaExceedsNPlusFSquared) {
+  // The proof of Proposition 2 uses eta(n, f) > n + f^2; verify on the grid.
+  const size_t n = GetParam();
+  for (size_t f = 1; n > 2 * f + 2; ++f) {
+    EXPECT_GT(kf::krum_eta(n, f),
+              static_cast<double>(n) + static_cast<double>(f) * static_cast<double>(f))
+        << "n=" << n << " f=" << f;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CommitteeSizes, KfGridTest,
+                         ::testing::Values(7, 11, 15, 25, 51, 101));
+
+class ThresholdMonotonicityTest : public ::testing::TestWithParam<double> {};  // eps
+
+TEST_P(ThresholdMonotonicityTest, MdaTauDecreasesInDIncreasesInB) {
+  const double eps = GetParam();
+  const double delta = 1e-6;
+  for (size_t b : {10u, 100u, 1000u}) {
+    double prev = 1.0;
+    for (size_t d : {100u, 10000u, 1000000u}) {
+      const double tau = theory::mda_max_byzantine_fraction(d, b, eps, delta);
+      EXPECT_LT(tau, prev);
+      EXPECT_GT(tau, 0.0);
+      prev = tau;
+    }
+  }
+  for (size_t d : {100u, 10000u}) {
+    double prev = 0.0;
+    for (size_t b : {10u, 100u, 1000u}) {
+      const double tau = theory::mda_max_byzantine_fraction(d, b, eps, delta);
+      EXPECT_GT(tau, prev);
+      prev = tau;
+    }
+  }
+}
+
+TEST_P(ThresholdMonotonicityTest, MinBatchesScaleAsSqrtD) {
+  const double eps = GetParam();
+  const double delta = 1e-6;
+  const double r_mda = theory::mda_min_batch(11, 5, 40000, eps, delta) /
+                       theory::mda_min_batch(11, 5, 400, eps, delta);
+  const double r_krum = theory::krum_min_batch(11, 4, 40000, eps, delta) /
+                        theory::krum_min_batch(11, 4, 400, eps, delta);
+  EXPECT_NEAR(r_mda, 10.0, 1e-9);   // d x100 => b_min x10
+  EXPECT_NEAR(r_krum, 10.0, 1e-9);
+}
+
+TEST_P(ThresholdMonotonicityTest, StrongerPrivacyTightensEverything) {
+  const double eps = GetParam();
+  const double delta = 1e-6;
+  const double eps_tighter = eps / 2.0;
+  EXPECT_LT(theory::mda_max_byzantine_fraction(1000, 50, eps_tighter, delta),
+            theory::mda_max_byzantine_fraction(1000, 50, eps, delta));
+  EXPECT_GT(theory::mda_min_batch(11, 5, 1000, eps_tighter, delta),
+            theory::mda_min_batch(11, 5, 1000, eps, delta));
+  EXPECT_LT(theory::trimmed_mean_max_byzantine_fraction(1000, 50, eps_tighter, delta),
+            theory::trimmed_mean_max_byzantine_fraction(1000, 50, eps, delta));
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, ThresholdMonotonicityTest,
+                         ::testing::Values(0.1, 0.2, 0.5, 0.9));
+
+}  // namespace
+}  // namespace dpbyz

@@ -1,0 +1,110 @@
+// Unit tests for data/libsvm_io.
+#include "data/libsvm_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "data/synthetic.hpp"
+
+namespace dpbyz {
+namespace {
+
+TEST(LibsvmIo, ParsesBasicRecords) {
+  std::istringstream in(
+      "1 1:0.5 3:1\n"
+      "0 2:0.25\n");
+  const Dataset d = read_libsvm(in);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.dim(), 3u);  // inferred from max index
+  EXPECT_EQ(d.y(0), 1.0);
+  EXPECT_EQ(d.x(0)[0], 0.5);
+  EXPECT_EQ(d.x(0)[1], 0.0);  // omitted => zero
+  EXPECT_EQ(d.x(0)[2], 1.0);
+  EXPECT_EQ(d.y(1), 0.0);
+  EXPECT_EQ(d.x(1)[1], 0.25);
+}
+
+TEST(LibsvmIo, MapsLabelConventions) {
+  std::istringstream in(
+      "+1 1:1\n"
+      "-1 1:1\n"
+      "2 1:1\n");
+  const Dataset d = read_libsvm(in);
+  EXPECT_EQ(d.y(0), 1.0);
+  EXPECT_EQ(d.y(1), 0.0);
+  EXPECT_EQ(d.y(2), 0.0);
+}
+
+TEST(LibsvmIo, SkipsCommentsAndBlankLines) {
+  std::istringstream in(
+      "# header comment\n"
+      "\n"
+      "1 1:2\n"
+      "   \n");
+  const Dataset d = read_libsvm(in);
+  EXPECT_EQ(d.size(), 1u);
+}
+
+TEST(LibsvmIo, ExplicitDimensionPadsAndValidates) {
+  std::istringstream in("1 1:1\n");
+  const Dataset d = read_libsvm(in, 10);
+  EXPECT_EQ(d.dim(), 10u);
+
+  std::istringstream bad("1 11:1\n");
+  EXPECT_THROW(read_libsvm(bad, 10), std::invalid_argument);
+}
+
+TEST(LibsvmIo, RejectsMalformedInput) {
+  std::istringstream bad_label("abc 1:1\n");
+  EXPECT_THROW(read_libsvm(bad_label), std::invalid_argument);
+  std::istringstream bad_pair("1 1=0.5\n");
+  EXPECT_THROW(read_libsvm(bad_pair), std::invalid_argument);
+  std::istringstream zero_index("1 0:0.5\n");
+  EXPECT_THROW(read_libsvm(zero_index), std::invalid_argument);
+  std::istringstream decreasing("1 3:1 2:1\n");
+  EXPECT_THROW(read_libsvm(decreasing), std::invalid_argument);
+  std::istringstream multiclass("3 1:1\n");
+  EXPECT_THROW(read_libsvm(multiclass), std::invalid_argument);
+  std::istringstream empty("");
+  EXPECT_THROW(read_libsvm(empty), std::invalid_argument);
+}
+
+TEST(LibsvmIo, WriteReadRoundTrip) {
+  BlobsConfig cfg;
+  cfg.num_samples = 50;
+  cfg.num_features = 7;
+  const Dataset original = make_blobs(cfg, 3);
+
+  std::stringstream buffer;
+  write_libsvm(buffer, original);
+  const Dataset back = read_libsvm(buffer, cfg.num_features);
+
+  ASSERT_EQ(back.size(), original.size());
+  ASSERT_EQ(back.dim(), original.dim());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(back.y(i), original.y(i)) << i;
+    for (size_t j = 0; j < original.dim(); ++j)
+      EXPECT_NEAR(back.x(i)[j], original.x(i)[j], 1e-9) << i << "," << j;
+  }
+}
+
+TEST(LibsvmIo, PhishingLikeRoundTripPreservesTraining) {
+  // The intended use: dump the synthetic stand-in, reload it, train on it.
+  PhishingLikeConfig cfg;
+  cfg.num_samples = 200;
+  const Dataset original = make_phishing_like(cfg, 42);
+  std::stringstream buffer;
+  write_libsvm(buffer, original);
+  const Dataset back = read_libsvm(buffer, cfg.num_features);
+  EXPECT_EQ(back.size(), original.size());
+  EXPECT_EQ(back.dim(), original.dim());
+  EXPECT_DOUBLE_EQ(back.positive_fraction(), original.positive_fraction());
+}
+
+TEST(LibsvmIo, MissingFileThrows) {
+  EXPECT_THROW(read_libsvm_file("/nonexistent/path.libsvm"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dpbyz

@@ -1,0 +1,73 @@
+// Unit tests for math/matrix.
+#include "math/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dpbyz {
+namespace {
+
+TEST(Matrix, ConstructionAndFill) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_FALSE(m.empty());
+  for (size_t r = 0; r < 2; ++r)
+    for (size_t c = 0; c < 3; ++c) EXPECT_EQ(m.at(r, c), 1.5);
+}
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+}
+
+TEST(Matrix, FromRowsRoundTrips) {
+  const std::vector<Vector> rows{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix m = Matrix::from_rows(rows);
+  EXPECT_EQ(m.row_copy(0), rows[0]);
+  EXPECT_EQ(m.row_copy(1), rows[1]);
+}
+
+TEST(Matrix, FromRowsRejectsRagged) {
+  const std::vector<Vector> rows{{1.0, 2.0}, {3.0}};
+  EXPECT_THROW(Matrix::from_rows(rows), std::invalid_argument);
+}
+
+TEST(Matrix, RowViewIsWritable) {
+  Matrix m(1, 2);
+  auto row = m.row(0);
+  row[1] = 7.0;
+  EXPECT_EQ(m.at(0, 1), 7.0);
+}
+
+TEST(Matrix, MultiplyMatchesManualComputation) {
+  Matrix m = Matrix::from_rows({{1.0, 2.0}, {3.0, -1.0}});
+  const Vector x{2.0, 1.0};
+  EXPECT_EQ(m.multiply(x), (Vector{4.0, 5.0}));
+}
+
+TEST(Matrix, MultiplyDimensionMismatchThrows) {
+  Matrix m(2, 3);
+  EXPECT_THROW(m.multiply(Vector{1.0}), std::invalid_argument);
+}
+
+TEST(Matrix, SelectRowsPreservesOrder) {
+  Matrix m = Matrix::from_rows({{0.0}, {1.0}, {2.0}});
+  const std::vector<size_t> idx{2, 0};
+  const Matrix s = m.select_rows(idx);
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_EQ(s.at(0, 0), 2.0);
+  EXPECT_EQ(s.at(1, 0), 0.0);
+}
+
+TEST(Matrix, OutOfRangeAccessThrows) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), std::invalid_argument);
+  EXPECT_THROW(m.at(0, 2), std::invalid_argument);
+  EXPECT_THROW(m.row(5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dpbyz

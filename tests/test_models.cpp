@@ -1,0 +1,174 @@
+// Unit tests for models: linear model gradients (checked against finite
+// differences), quadratic model, clipping.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.hpp"
+#include "models/clipping.hpp"
+#include "models/linear_model.hpp"
+#include "models/quadratic_model.hpp"
+
+namespace dpbyz {
+namespace {
+
+Dataset tiny_classification() {
+  return Dataset(Matrix::from_rows({{1.0, 0.0}, {0.0, 1.0}, {1.0, 1.0}, {0.0, 0.0}}),
+                 Vector{1.0, 0.0, 1.0, 0.0});
+}
+
+std::vector<size_t> all_rows(const Dataset& d) {
+  std::vector<size_t> idx(d.size());
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  return idx;
+}
+
+/// Central finite-difference gradient of model.batch_loss at w.
+Vector numerical_gradient(const Model& m, const Vector& w, const Dataset& d,
+                          const std::vector<size_t>& batch, double h = 1e-6) {
+  Vector g(w.size());
+  Vector wp = w;
+  for (size_t i = 0; i < w.size(); ++i) {
+    wp[i] = w[i] + h;
+    const double up = m.batch_loss(wp, d, batch);
+    wp[i] = w[i] - h;
+    const double down = m.batch_loss(wp, d, batch);
+    wp[i] = w[i];
+    g[i] = (up - down) / (2.0 * h);
+  }
+  return g;
+}
+
+class LinearModelGradientTest : public ::testing::TestWithParam<LinearLoss> {};
+
+TEST_P(LinearModelGradientTest, AnalyticMatchesFiniteDifference) {
+  const Dataset d = tiny_classification();
+  const LinearModel m(2, GetParam());
+  const auto batch = all_rows(d);
+  // Probe several parameter points, including non-zero bias.
+  const std::vector<Vector> points{
+      {0.0, 0.0, 0.0}, {0.5, -0.3, 0.2}, {-1.0, 2.0, -0.5}};
+  for (const Vector& w : points) {
+    const Vector analytic = m.batch_gradient(w, d, batch);
+    const Vector numeric = numerical_gradient(m, w, d, batch);
+    for (size_t i = 0; i < w.size(); ++i)
+      EXPECT_NEAR(analytic[i], numeric[i], 1e-5)
+          << "loss=" << to_string(GetParam()) << " coord=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLosses, LinearModelGradientTest,
+                         ::testing::Values(LinearLoss::kMseOnSigmoid,
+                                           LinearLoss::kLeastSquares,
+                                           LinearLoss::kLogistic));
+
+TEST(LinearModel, DimIncludesBias) {
+  const LinearModel m(68, LinearLoss::kMseOnSigmoid);
+  EXPECT_EQ(m.dim(), 69u);  // the paper's d = 69
+}
+
+TEST(LinearModel, PerfectSeparationGivesFullAccuracy) {
+  const Dataset d = tiny_classification();  // label = x0
+  const LinearModel m(2, LinearLoss::kMseOnSigmoid);
+  const Vector w{10.0, 0.0, -5.0};  // sign(10*x0 - 5) == label
+  EXPECT_DOUBLE_EQ(m.accuracy(w, d), 1.0);
+}
+
+TEST(LinearModel, ZeroParamsGiveMajorityClassAccuracy) {
+  const Dataset d = tiny_classification();
+  const LinearModel m(2, LinearLoss::kMseOnSigmoid);
+  const Vector w(3, 0.0);  // score 0 -> predicts negative for all
+  EXPECT_DOUBLE_EQ(m.accuracy(w, d), 0.5);
+}
+
+TEST(LinearModel, BatchGradientAveragesPerSampleGradients) {
+  const Dataset d = tiny_classification();
+  const LinearModel m(2, LinearLoss::kLeastSquares);
+  const Vector w{0.1, 0.2, 0.3};
+  const std::vector<size_t> b01{0, 1};
+  const std::vector<size_t> b0{0}, b1{1};
+  const Vector g01 = m.batch_gradient(w, d, b01);
+  const Vector g0 = m.batch_gradient(w, d, b0);
+  const Vector g1 = m.batch_gradient(w, d, b1);
+  for (size_t i = 0; i < w.size(); ++i)
+    EXPECT_NEAR(g01[i], 0.5 * (g0[i] + g1[i]), 1e-12);
+}
+
+TEST(LinearModel, EmptyBatchThrows) {
+  const Dataset d = tiny_classification();
+  const LinearModel m(2, LinearLoss::kMseOnSigmoid);
+  const std::vector<size_t> empty;
+  EXPECT_THROW(m.batch_gradient(Vector(3, 0.0), d, empty), std::invalid_argument);
+  EXPECT_THROW(m.batch_loss(Vector(3, 0.0), d, empty), std::invalid_argument);
+}
+
+TEST(LinearModel, WrongParameterDimensionThrows) {
+  const Dataset d = tiny_classification();
+  const LinearModel m(2, LinearLoss::kMseOnSigmoid);
+  const std::vector<size_t> batch{0};
+  EXPECT_THROW(m.batch_gradient(Vector(2, 0.0), d, batch), std::invalid_argument);
+}
+
+TEST(Sigmoid, StableAtExtremes) {
+  EXPECT_NEAR(sigmoid(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(sigmoid(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(sigmoid(-1000.0), 0.0, 1e-12);
+  EXPECT_TRUE(std::isfinite(sigmoid(-1e308)));
+}
+
+TEST(QuadraticModel, GradientIsWMinusBatchMean) {
+  const size_t dim = 3;
+  QuadraticModel m(dim, Vector{1.0, 2.0, 3.0});
+  const Dataset d(Matrix::from_rows({{0.0, 0.0, 0.0}, {2.0, 2.0, 2.0}}), Vector{});
+  const Vector w{1.0, 1.0, 1.0};
+  const std::vector<size_t> batch{0, 1};
+  // batch mean = (1,1,1); gradient = w - mean = 0.
+  EXPECT_EQ(m.batch_gradient(w, d, batch), (Vector{0.0, 0.0, 0.0}));
+}
+
+TEST(QuadraticModel, ExcessLossIsHalfSquaredDistance) {
+  QuadraticModel m(2, Vector{3.0, 4.0});
+  EXPECT_DOUBLE_EQ(m.excess_loss(Vector{0.0, 0.0}), 12.5);
+  EXPECT_DOUBLE_EQ(m.excess_loss(Vector{3.0, 4.0}), 0.0);
+}
+
+TEST(QuadraticModel, GradientMatchesFiniteDifference) {
+  GaussianMeanConfig cfg;
+  cfg.dim = 4;
+  cfg.num_samples = 10;
+  const auto g = make_gaussian_mean(cfg, 3);
+  QuadraticModel m(cfg.dim, g.mean);
+  const std::vector<size_t> batch{0, 3, 7};
+  const Vector w{0.5, -0.5, 1.0, 0.0};
+  const Vector analytic = m.batch_gradient(w, g.data, batch);
+  const Vector numeric = numerical_gradient(m, w, g.data, batch);
+  for (size_t i = 0; i < w.size(); ++i) EXPECT_NEAR(analytic[i], numeric[i], 1e-5);
+}
+
+TEST(QuadraticModel, AccuracyIsNan) {
+  QuadraticModel m(2, Vector{0.0, 0.0});
+  const Dataset d(Matrix(3, 2), Vector{});
+  EXPECT_TRUE(std::isnan(m.accuracy(Vector{0.0, 0.0}, d)));
+}
+
+TEST(Clipping, LeavesShortVectorsUntouched) {
+  const Vector g{0.3, 0.4};  // norm 0.5
+  EXPECT_EQ(clip_l2(g, 1.0), g);
+}
+
+TEST(Clipping, ScalesLongVectorsToBound) {
+  Vector g{3.0, 4.0};  // norm 5
+  const double pre = clip_l2_inplace(g, 1.0);
+  EXPECT_DOUBLE_EQ(pre, 5.0);
+  EXPECT_NEAR(vec::norm(g), 1.0, 1e-12);
+  // Direction preserved.
+  EXPECT_NEAR(g[0] / g[1], 0.75, 1e-12);
+}
+
+TEST(Clipping, RejectsNonPositiveBound) {
+  Vector g{1.0};
+  EXPECT_THROW(clip_l2_inplace(g, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dpbyz

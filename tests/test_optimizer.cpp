@@ -1,0 +1,75 @@
+// Unit tests for models/optimizer (SGD + momentum, LR schedules).
+#include "models/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dpbyz {
+namespace {
+
+TEST(LrSchedules, ConstantIsConstant) {
+  const auto lr = constant_lr(2.0);
+  EXPECT_DOUBLE_EQ(lr(1), 2.0);
+  EXPECT_DOUBLE_EQ(lr(1000), 2.0);
+}
+
+TEST(LrSchedules, Theorem1Decays) {
+  // gamma_t = 1 / (lambda (1 - sin a) t) with lambda = 2, sin a = 0.5.
+  const auto lr = theorem1_lr(2.0, 0.5);
+  EXPECT_DOUBLE_EQ(lr(1), 1.0);
+  EXPECT_DOUBLE_EQ(lr(10), 0.1);
+}
+
+TEST(LrSchedules, RejectBadParameters) {
+  EXPECT_THROW(constant_lr(0.0), std::invalid_argument);
+  EXPECT_THROW(theorem1_lr(0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(theorem1_lr(1.0, 1.0), std::invalid_argument);
+}
+
+TEST(SgdOptimizer, PlainSgdMatchesEquationOne) {
+  SgdOptimizer opt(2, constant_lr(0.5), 0.0);
+  Vector w{1.0, 1.0};
+  opt.step(w, Vector{2.0, -4.0}, 1);
+  EXPECT_EQ(w, (Vector{0.0, 3.0}));  // w - 0.5 * g
+}
+
+TEST(SgdOptimizer, MomentumAccumulatesVelocity) {
+  SgdOptimizer opt(1, constant_lr(1.0), 0.5);
+  Vector w{0.0};
+  opt.step(w, Vector{1.0}, 1);  // v = 1.0, w = -1.0
+  EXPECT_DOUBLE_EQ(w[0], -1.0);
+  opt.step(w, Vector{1.0}, 2);  // v = 1.5, w = -2.5
+  EXPECT_DOUBLE_EQ(w[0], -2.5);
+  EXPECT_DOUBLE_EQ(opt.velocity()[0], 1.5);
+}
+
+TEST(SgdOptimizer, ResetClearsVelocity) {
+  SgdOptimizer opt(1, constant_lr(1.0), 0.9);
+  Vector w{0.0};
+  opt.step(w, Vector{1.0}, 1);
+  opt.reset();
+  EXPECT_EQ(opt.velocity()[0], 0.0);
+  Vector w2{0.0};
+  opt.step(w2, Vector{1.0}, 1);
+  EXPECT_DOUBLE_EQ(w2[0], -1.0);  // same as a fresh optimizer
+}
+
+TEST(SgdOptimizer, UsesScheduleByStepIndex) {
+  SgdOptimizer opt(1, theorem1_lr(1.0, 0.0), 0.0);
+  Vector w{0.0};
+  opt.step(w, Vector{1.0}, 4);  // gamma_4 = 0.25
+  EXPECT_DOUBLE_EQ(w[0], -0.25);
+}
+
+TEST(SgdOptimizer, ValidatesInputs) {
+  EXPECT_THROW(SgdOptimizer(1, constant_lr(1.0), 1.0), std::invalid_argument);
+  EXPECT_THROW(SgdOptimizer(1, constant_lr(1.0), -0.1), std::invalid_argument);
+  SgdOptimizer opt(2, constant_lr(1.0), 0.0);
+  Vector w{0.0, 0.0};
+  EXPECT_THROW(opt.step(w, Vector{1.0}, 1), std::invalid_argument);
+  EXPECT_THROW(opt.step(w, Vector{1.0, 1.0}, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dpbyz

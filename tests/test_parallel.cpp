@@ -1,0 +1,78 @@
+// Tests for utils/parallel and the parallel multi-seed runner.
+#include "utils/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/experiment.hpp"
+
+namespace dpbyz {
+namespace {
+
+TEST(ParallelMap, PreservesIndexOrder) {
+  const auto out = parallel_map(100, [](size_t i) { return i * i; }, 8);
+  ASSERT_EQ(out.size(), 100u);
+  for (size_t i = 0; i < 100; ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ParallelMap, EmptyAndSingleton) {
+  EXPECT_TRUE(parallel_map(0, [](size_t) { return 1; }).empty());
+  const auto one = parallel_map(1, [](size_t i) { return i + 7; }, 4);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 7u);
+}
+
+TEST(ParallelMap, RunsEveryTaskExactlyOnce) {
+  std::atomic<int> calls{0};
+  const auto out = parallel_map(
+      50,
+      [&calls](size_t i) {
+        calls.fetch_add(1);
+        return i;
+      },
+      4);
+  EXPECT_EQ(calls.load(), 50);
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), size_t{0}), size_t{50 * 49 / 2});
+}
+
+TEST(ParallelMap, MoreThreadsThanTasksIsFine) {
+  const auto out = parallel_map(3, [](size_t i) { return i; }, 64);
+  EXPECT_EQ(out, (std::vector<size_t>{0, 1, 2}));
+}
+
+TEST(ParallelMap, PropagatesFirstException) {
+  EXPECT_THROW(parallel_map(
+                   20,
+                   [](size_t i) -> int {
+                     if (i == 7) throw std::runtime_error("task 7 failed");
+                     return 0;
+                   },
+                   4),
+               std::runtime_error);
+}
+
+TEST(ParallelMap, SerialFallbackMatches) {
+  const auto serial = parallel_map(20, [](size_t i) { return 3 * i + 1; }, 1);
+  const auto parallel = parallel_map(20, [](size_t i) { return 3 * i + 1; }, 4);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelSeeds, BitIdenticalToSerialRuns) {
+  const PhishingExperiment exp(42);
+  ExperimentConfig c;
+  c.steps = 40;
+  c.eval_every = 20;
+  const auto serial = exp.run_seeds(c, 3);
+  const auto parallel = exp.run_seeds_parallel(c, 3, 3);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(parallel[i].final_parameters, serial[i].final_parameters) << i;
+    EXPECT_EQ(parallel[i].train_loss, serial[i].train_loss) << i;
+  }
+}
+
+}  // namespace
+}  // namespace dpbyz

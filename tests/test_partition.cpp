@@ -1,0 +1,152 @@
+// Unit tests for data/partition and the heterogeneous-worker trainer path.
+#include "data/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "core/trainer.hpp"
+#include "data/synthetic.hpp"
+#include "models/linear_model.hpp"
+
+namespace dpbyz {
+namespace {
+
+Dataset labeled_dataset(size_t n, uint64_t seed) {
+  BlobsConfig cfg;
+  cfg.num_samples = n;
+  cfg.num_features = 4;
+  return make_blobs(cfg, seed);
+}
+
+/// All shards together must cover every row exactly once (checked via the
+/// multiset of first-feature values, which are almost surely distinct).
+void expect_exact_cover(const Dataset& data, const std::vector<Dataset>& shards) {
+  std::multiset<double> original, covered;
+  for (size_t i = 0; i < data.size(); ++i) original.insert(data.x(i)[0]);
+  size_t total = 0;
+  for (const auto& s : shards) {
+    total += s.size();
+    for (size_t i = 0; i < s.size(); ++i) covered.insert(s.x(i)[0]);
+  }
+  EXPECT_EQ(total, data.size());
+  EXPECT_EQ(covered, original);
+}
+
+TEST(Partition, IidShardsCoverAndBalance) {
+  const Dataset data = labeled_dataset(103, 1);
+  Rng rng(7);
+  const auto shards = partition_iid(data, 5, rng);
+  ASSERT_EQ(shards.size(), 5u);
+  expect_exact_cover(data, shards);
+  for (const auto& s : shards) {
+    EXPECT_GE(s.size(), 20u);
+    EXPECT_LE(s.size(), 21u);
+  }
+}
+
+TEST(Partition, IidIsDeterministicInRng) {
+  const Dataset data = labeled_dataset(40, 1);
+  Rng a(3), b(3);
+  const auto sa = partition_iid(data, 4, a);
+  const auto sb = partition_iid(data, 4, b);
+  for (size_t k = 0; k < 4; ++k)
+    EXPECT_EQ(sa[k].features().data(), sb[k].features().data());
+}
+
+TEST(Partition, ContiguousPreservesOrder) {
+  const Dataset data = labeled_dataset(10, 2);
+  const auto shards = partition_contiguous(data, 2);
+  ASSERT_EQ(shards.size(), 2u);
+  EXPECT_EQ(shards[0].size(), 5u);
+  EXPECT_EQ(shards[0].x(0)[0], data.x(0)[0]);
+  EXPECT_EQ(shards[1].x(0)[0], data.x(5)[0]);
+  expect_exact_cover(data, shards);
+}
+
+TEST(Partition, LabelSkewProducesSkewedShards) {
+  const Dataset data = labeled_dataset(1000, 3);  // blobs are ~balanced
+  Rng rng(5);
+  const auto shards = partition_label_skew(data, 4, 0.9, rng);
+  ASSERT_EQ(shards.size(), 4u);
+  expect_exact_cover(data, shards);
+  // Early shards must show strong majority skew (best-effort late ones may
+  // be diluted by pool exhaustion).
+  const double p0 = shards[0].positive_fraction();
+  const double p1 = shards[1].positive_fraction();
+  EXPECT_LT(p0, 0.25);  // shard 0's majority is class 0
+  EXPECT_GT(p1, 0.75);  // shard 1's majority is class 1
+}
+
+TEST(Partition, LabelSkewHandlesImbalanceBestEffort) {
+  // 80/20 imbalanced labels: construction must still cover exactly.
+  Matrix x(100, 2, 1.0);
+  Vector y(100, 1.0);
+  for (size_t i = 0; i < 20; ++i) y[i] = 0.0;
+  const Dataset data(std::move(x), std::move(y));
+  Rng rng(1);
+  const auto shards = partition_label_skew(data, 5, 0.8, rng);
+  size_t total = 0;
+  for (const auto& s : shards) total += s.size();
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(Partition, Validation) {
+  const Dataset data = labeled_dataset(10, 4);
+  Rng rng(1);
+  EXPECT_THROW(partition_iid(data, 0, rng), std::invalid_argument);
+  EXPECT_THROW(partition_iid(data, 11, rng), std::invalid_argument);
+  EXPECT_THROW(partition_label_skew(data, 2, 0.4, rng), std::invalid_argument);
+  const Dataset unlabeled(Matrix(10, 2), Vector{});
+  EXPECT_THROW(partition_label_skew(unlabeled, 2, 0.8, rng), std::invalid_argument);
+}
+
+TEST(HeterogeneousTraining, AllPartitionModesRunAndConverge) {
+  BlobsConfig cfg;
+  cfg.num_samples = 600;
+  cfg.num_features = 6;
+  cfg.separation = 4.0;
+  const Dataset full = make_blobs(cfg, 8);
+  Rng rng(9);
+  auto [train, test] = full.split(450, rng);
+  const LinearModel model(6, LinearLoss::kMseOnSigmoid);
+
+  for (const char* mode : {"shared", "iid", "contiguous", "label-skew"}) {
+    ExperimentConfig c;
+    c.steps = 150;
+    c.batch_size = 10;
+    c.eval_every = 150;
+    c.data_partition = mode;
+    const RunResult r = Trainer(c, model, train, test).run();
+    EXPECT_TRUE(vec::all_finite(r.final_parameters)) << mode;
+    EXPECT_GT(r.final_accuracy, 0.7) << mode;  // blobs are easy even sharded
+  }
+}
+
+TEST(HeterogeneousTraining, PartitionChangesTrajectory) {
+  BlobsConfig cfg;
+  cfg.num_samples = 400;
+  cfg.num_features = 5;
+  const Dataset full = make_blobs(cfg, 8);
+  Rng rng(9);
+  auto [train, test] = full.split(300, rng);
+  const LinearModel model(5, LinearLoss::kMseOnSigmoid);
+  ExperimentConfig c;
+  c.steps = 50;
+  c.eval_every = 50;
+  c.batch_size = 8;
+  const RunResult shared = Trainer(c, model, train, test).run();
+  c.data_partition = "iid";
+  const RunResult sharded = Trainer(c, model, train, test).run();
+  EXPECT_NE(shared.final_parameters, sharded.final_parameters);
+}
+
+TEST(HeterogeneousTraining, InvalidModeRejected) {
+  ExperimentConfig c;
+  c.data_partition = "dirichlet";
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dpbyz

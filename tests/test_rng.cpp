@@ -1,0 +1,119 @@
+// Unit + statistical tests for math/rng.
+#include "math/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/statistics.hpp"
+
+namespace dpbyz {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.uniform() == b.uniform()) ++equal;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, DeriveByLabelIsDeterministicAndDecorrelated) {
+  Rng root(42);
+  Rng a = root.derive("alpha");
+  Rng a2 = root.derive("alpha");
+  Rng b = root.derive("beta");
+  EXPECT_EQ(a.uniform(), a2.uniform());
+  EXPECT_NE(a.seed(), b.seed());
+}
+
+TEST(Rng, DeriveDoesNotAdvanceParent) {
+  Rng root(42);
+  Rng probe(42);
+  (void)root.derive("x");
+  (void)root.derive(5);
+  EXPECT_EQ(root.uniform(), probe.uniform());
+}
+
+TEST(Rng, DeriveByIndexDistinct) {
+  Rng root(42);
+  EXPECT_NE(root.derive(uint64_t{0}).seed(), root.derive(uint64_t{1}).seed());
+}
+
+TEST(Rng, UniformIndexStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.uniform_index(10), 10u);
+}
+
+TEST(Rng, UniformIndexZeroThrows) {
+  Rng rng(3);
+  EXPECT_THROW(rng.uniform_index(0), std::invalid_argument);
+}
+
+TEST(Rng, NormalMomentsApproximatelyCorrect) {
+  Rng rng(11);
+  stats::RunningStat s;
+  for (int i = 0; i < 50000; ++i) s.push(rng.normal(2.0, 3.0));
+  EXPECT_NEAR(s.mean(), 2.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 3.0, 0.1);
+}
+
+TEST(Rng, LaplaceMomentsApproximatelyCorrect) {
+  Rng rng(13);
+  stats::RunningStat s;
+  const double scale = 2.0;
+  for (int i = 0; i < 50000; ++i) s.push(rng.laplace(1.0, scale));
+  EXPECT_NEAR(s.mean(), 1.0, 0.1);
+  // Var[Laplace(scale)] = 2 scale^2 -> stddev = sqrt(2)*scale.
+  EXPECT_NEAR(s.stddev(), std::sqrt(2.0) * scale, 0.15);
+}
+
+TEST(Rng, LaplaceRejectsNonPositiveScale) {
+  Rng rng(1);
+  EXPECT_THROW(rng.laplace(0.0, 0.0), std::invalid_argument);
+}
+
+TEST(Rng, NormalVectorShapeAndSpread) {
+  Rng rng(5);
+  const Vector v = rng.normal_vector(10000, 0.5);
+  ASSERT_EQ(v.size(), 10000u);
+  EXPECT_NEAR(stats::stddev(v), 0.5, 0.05);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(9);
+  auto p = rng.permutation(100);
+  std::sort(p.begin(), p.end());
+  for (size_t i = 0; i < 100; ++i) EXPECT_EQ(p[i], i);
+}
+
+TEST(Rng, PermutationsVaryAcrossDraws) {
+  Rng rng(9);
+  EXPECT_NE(rng.permutation(50), rng.permutation(50));
+}
+
+TEST(Rng, BernoulliRespectsProbability) {
+  Rng rng(17);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(Splitmix, IsDeterministicAndMixes) {
+  EXPECT_EQ(splitmix64(1), splitmix64(1));
+  EXPECT_NE(splitmix64(1), splitmix64(2));
+  // Nearby inputs should differ in many bits.
+  const uint64_t diff = splitmix64(100) ^ splitmix64(101);
+  EXPECT_GT(__builtin_popcountll(diff), 16);
+}
+
+}  // namespace
+}  // namespace dpbyz

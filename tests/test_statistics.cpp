@@ -1,0 +1,116 @@
+// Unit tests for math/statistics.
+#include "math/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "math/rng.hpp"
+
+namespace dpbyz {
+namespace {
+
+TEST(Statistics, MeanAndVariance) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(stats::mean(xs), 2.5);
+  // Unbiased variance of {1,2,3,4} is 5/3.
+  EXPECT_NEAR(stats::variance(xs), 5.0 / 3.0, 1e-12);
+  EXPECT_NEAR(stats::stddev(xs), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Statistics, VarianceOfSingletonIsZero) {
+  const std::vector<double> xs{42.0};
+  EXPECT_EQ(stats::variance(xs), 0.0);
+}
+
+TEST(Statistics, EmptyMeanThrows) {
+  const std::vector<double> xs;
+  EXPECT_THROW(stats::mean(xs), std::invalid_argument);
+}
+
+TEST(Statistics, QuantileInterpolates) {
+  std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(stats::quantile(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(stats::quantile(xs, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(stats::quantile(xs, 0.25), 2.5);
+}
+
+TEST(Statistics, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(stats::median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(stats::median({4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(Statistics, QuantileRejectsBadP) {
+  EXPECT_THROW(stats::quantile({1.0}, -0.1), std::invalid_argument);
+  EXPECT_THROW(stats::quantile({1.0}, 1.1), std::invalid_argument);
+}
+
+TEST(Statistics, NormalQuantileMatchesKnownValues) {
+  EXPECT_NEAR(stats::normal_quantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(stats::normal_quantile(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(stats::normal_quantile(0.025), -1.959964, 1e-5);
+  EXPECT_NEAR(stats::normal_quantile(0.8413447), 1.0, 1e-4);
+  EXPECT_THROW(stats::normal_quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(stats::normal_quantile(1.0), std::invalid_argument);
+}
+
+TEST(Statistics, NormalQuantileInvertsCdf) {
+  for (double p : {0.01, 0.1, 0.3, 0.6, 0.9, 0.99}) {
+    const double x = stats::normal_quantile(p);
+    const double cdf = 0.5 * (1.0 + std::erf(x / std::sqrt(2.0)));
+    EXPECT_NEAR(cdf, p, 1e-9);
+  }
+}
+
+TEST(Statistics, CoordinateMeanAndStddev) {
+  const std::vector<Vector> vs{{0.0, 1.0}, {2.0, 1.0}};
+  EXPECT_EQ(stats::coordinate_mean(vs), (Vector{1.0, 1.0}));
+  const Vector sd = stats::coordinate_stddev(vs);
+  EXPECT_DOUBLE_EQ(sd[0], 1.0);  // population stddev of {0,2}
+  EXPECT_DOUBLE_EQ(sd[1], 0.0);
+}
+
+TEST(Statistics, CoordinateMedianPerCoordinate) {
+  const std::vector<Vector> vs{{0.0, 5.0}, {1.0, -5.0}, {100.0, 0.0}};
+  EXPECT_EQ(stats::coordinate_median(vs), (Vector{1.0, 0.0}));
+}
+
+TEST(Statistics, TotalVarianceMatchesCoordinateDecomposition) {
+  // total_variance = sum over coords of population variance.
+  const std::vector<Vector> vs{{0.0, 0.0}, {2.0, 4.0}};
+  // coord 0: mean 1, pop var 1; coord 1: mean 2, pop var 4 => total 5.
+  EXPECT_DOUBLE_EQ(stats::total_variance(vs), 5.0);
+}
+
+TEST(Statistics, RunningStatMatchesBatchComputation) {
+  Rng rng(3);
+  std::vector<double> xs;
+  stats::RunningStat rs;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    xs.push_back(x);
+    rs.push(x);
+  }
+  EXPECT_EQ(rs.count(), 1000u);
+  EXPECT_NEAR(rs.mean(), stats::mean(xs), 1e-10);
+  EXPECT_NEAR(rs.variance(), stats::variance(xs), 1e-8);
+  EXPECT_EQ(rs.min(), *std::min_element(xs.begin(), xs.end()));
+  EXPECT_EQ(rs.max(), *std::max_element(xs.begin(), xs.end()));
+}
+
+TEST(Statistics, RunningStatEmptyIsSafe) {
+  stats::RunningStat rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+}
+
+TEST(Statistics, DimensionMismatchThrows) {
+  const std::vector<Vector> vs{{1.0, 2.0}, {1.0}};
+  EXPECT_THROW(stats::coordinate_stddev(vs), std::invalid_argument);
+  EXPECT_THROW(stats::coordinate_median(vs), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dpbyz

@@ -1,0 +1,234 @@
+// Unit tests for the theory module: VN ratios, Propositions 1-3
+// calculators and the Theorem 1 bounds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.hpp"
+#include "dp/gaussian_mechanism.hpp"
+#include "models/linear_model.hpp"
+#include "theory/conditions.hpp"
+#include "theory/vn_ratio.hpp"
+
+namespace dpbyz {
+namespace {
+
+TEST(DpConstant, MatchesDefinition) {
+  const double eps = 0.2, delta = 1e-6;
+  EXPECT_DOUBLE_EQ(theory::dp_constant(eps, delta),
+                   eps / std::sqrt(std::log(1.25 / delta)));
+  EXPECT_THROW(theory::dp_constant(1.5, delta), std::invalid_argument);
+}
+
+TEST(VnCondition, ImpossibleAtPaperSettingPossibleWithHugeBatch) {
+  // Paper setting: eps = 0.2, delta = 1e-6, MDA at n = 11, f = 5.
+  // Even at the tiny d = 69 the DP term rules the condition out at
+  // b = 50 (MDA's min batch is ~1040 there) — which is exactly why
+  // Fig. 2 shows DP+attack degrading despite MDA.  A large enough batch
+  // restores it; ResNet-50 scale is impossible at any practical batch.
+  EXPECT_FALSE(theory::vn_condition_possible("mda", 11, 5, 69, 50, 0.2, 1e-6));
+  EXPECT_TRUE(theory::vn_condition_possible("mda", 11, 5, 69, 2000, 0.2, 1e-6));
+  EXPECT_FALSE(
+      theory::vn_condition_possible("mda", 11, 5, 25'600'000, 50, 0.2, 1e-6));
+  // Consistency: min_batch is the exact crossover of the predicate.
+  const double b_min = theory::mda_min_batch(11, 5, 69, 0.2, 1e-6);
+  EXPECT_GT(b_min, 50.0);
+  EXPECT_LT(b_min, 2000.0);
+  EXPECT_TRUE(theory::vn_condition_possible(
+      "mda", 11, 5, 69, static_cast<size_t>(std::ceil(b_min)) + 1, 0.2, 1e-6));
+  EXPECT_FALSE(theory::vn_condition_possible(
+      "mda", 11, 5, 69, static_cast<size_t>(b_min * 0.9), 0.2, 1e-6));
+}
+
+TEST(VnCondition, MonotoneInBatchAndDimension) {
+  // Larger batches help; larger models hurt.
+  const double eps = 0.2, delta = 1e-6;
+  bool prev = theory::vn_condition_possible("mda", 11, 5, 100000, 10, eps, delta);
+  for (size_t b : {100, 1000, 10000}) {
+    const bool now = theory::vn_condition_possible("mda", 11, 5, 100000, b, eps, delta);
+    EXPECT_TRUE(!prev || now);  // once possible, stays possible as b grows
+    prev = now;
+  }
+}
+
+TEST(Proposition1, MdaTauThresholdFormula) {
+  const size_t d = 10000, b = 50;
+  const double eps = 0.2, delta = 1e-6;
+  const double c = theory::dp_constant(eps, delta);
+  const double expected = c * b / (8.0 * std::sqrt(static_cast<double>(d)) + c * b);
+  EXPECT_DOUBLE_EQ(theory::mda_max_byzantine_fraction(d, b, eps, delta), expected);
+}
+
+TEST(Proposition1, ResNet50NeedsImpracticalBatch) {
+  // Paper §3: "if we consider the ResNet-50 model where d = 25.6e6
+  // parameters, then we need a batch size b > 5000".
+  const double b_min = theory::mda_min_batch(11, 5, 25'600'000, 0.2, 1e-6);
+  EXPECT_GT(b_min, 5000.0);
+}
+
+TEST(Proposition1, TauThresholdVanishesWithDimension) {
+  const double t1 = theory::mda_max_byzantine_fraction(1e2, 50, 0.2, 1e-6);
+  const double t2 = theory::mda_max_byzantine_fraction(1e4, 50, 0.2, 1e-6);
+  const double t3 = theory::mda_max_byzantine_fraction(1e6, 50, 0.2, 1e-6);
+  EXPECT_GT(t1, t2);
+  EXPECT_GT(t2, t3);
+  // Scaling ~ 1/sqrt(d): two decades of d shrink tau by ~10x.
+  EXPECT_NEAR(t2 / t3, 10.0, 1.5);
+}
+
+TEST(Proposition2, MinBatchGrowsAsSqrtNd) {
+  const double eps = 0.2, delta = 1e-6;
+  const double b1 = theory::krum_min_batch(11, 4, 100, eps, delta);
+  const double b2 = theory::krum_min_batch(11, 4, 10000, eps, delta);
+  EXPECT_NEAR(b2 / b1, 10.0, 1e-9);  // b ~ sqrt(d)
+  // Meamed needs sqrt(10) more than Median at the same (n, d).
+  const double bm = theory::median_min_batch(11, 1000, eps, delta);
+  const double bmm = theory::meamed_min_batch(11, 1000, eps, delta);
+  EXPECT_NEAR(bmm / bm, std::sqrt(10.0), 1e-9);
+}
+
+TEST(Proposition3, TrimmedMeanAndPhocasTauFormulas) {
+  const size_t d = 10000, b = 50;
+  const double eps = 0.2, delta = 1e-6;
+  const double c = theory::dp_constant(eps, delta);
+  const double cb2 = c * c * b * b;
+  EXPECT_DOUBLE_EQ(theory::trimmed_mean_max_byzantine_fraction(d, b, eps, delta),
+                   cb2 / (16.0 * d + 2.0 * cb2));
+  EXPECT_DOUBLE_EQ(theory::phocas_max_byzantine_fraction(d, b, eps, delta),
+                   cb2 / (64.0 * d + 2.0 * cb2));
+  // Phocas's threshold is strictly smaller (64 d vs 16 d in denominator).
+  EXPECT_LT(theory::phocas_max_byzantine_fraction(d, b, eps, delta),
+            theory::trimmed_mean_max_byzantine_fraction(d, b, eps, delta));
+}
+
+TEST(Theorem1, UpperBoundMatchesClosedForm) {
+  theory::Theorem1Params p;
+  p.d = 100;
+  p.steps = 1000;
+  p.batch_size = 10;
+  p.epsilon = 0.5;
+  p.delta = 1e-6;
+  p.sigma = 1.0;
+  p.g_max = 1.0;
+  const double s = GaussianMechanism::noise_scale(p.epsilon, p.delta, p.g_max,
+                                                  p.batch_size);
+  const double expected =
+      (1.0 / 1001.0) * 0.5 * (1.0 / p.batch_size + p.d * s * s + 1.0);
+  EXPECT_NEAR(theory::theorem1_upper_bound(p), expected, 1e-12);
+}
+
+TEST(Theorem1, BoundsBracketAndScaleWithD) {
+  theory::Theorem1Params p;
+  p.steps = 500;
+  p.batch_size = 20;
+  p.epsilon = 0.3;
+  p.delta = 1e-6;
+  p.sigma = 1.0;
+  p.g_max = 1.0;
+  // The Eq. (11) constant c is GAR-dependent and > 1 in general; with
+  // c = 1 the two Theta-matching bounds can cross by O(1/T) slack.
+  p.c = 2.0;
+  for (size_t d : {10, 100, 1000}) {
+    p.d = d;
+    EXPECT_LT(theory::theorem1_lower_bound(p), theory::theorem1_upper_bound(p));
+  }
+  // Upper bound grows linearly in d once the DP term dominates.
+  p.d = 1000;
+  const double u1 = theory::theorem1_upper_bound(p);
+  p.d = 2000;
+  const double u2 = theory::theorem1_upper_bound(p);
+  EXPECT_NEAR(u2 / u1, 2.0, 0.1);
+}
+
+TEST(Theorem1, NoDpBoundIsDimensionIndependent) {
+  theory::Theorem1Params p;
+  p.steps = 500;
+  p.batch_size = 20;
+  p.epsilon = 0.3;
+  p.delta = 1e-6;
+  p.sigma = 1.0;
+  p.g_max = 1.0;
+  p.d = 10;
+  const double a = theory::no_dp_upper_bound(p);
+  p.d = 100000;
+  const double b = theory::no_dp_upper_bound(p);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Theorem1, RateHasThetaShape) {
+  theory::Theorem1Params p;
+  p.d = 100;
+  p.steps = 100;
+  p.batch_size = 10;
+  p.epsilon = 0.5;
+  p.delta = 1e-6;
+  p.sigma = 1.0;
+  p.g_max = 1.0;
+  const double base = theory::theorem1_rate(p);
+  p.d *= 3;
+  EXPECT_NEAR(theory::theorem1_rate(p) / base, 3.0, 1e-9);  // linear in d
+  p.d /= 3;
+  p.steps *= 2;
+  EXPECT_NEAR(theory::theorem1_rate(p) / base, 0.5, 1e-9);  // 1/T
+  p.steps /= 2;
+  p.batch_size *= 2;
+  EXPECT_NEAR(theory::theorem1_rate(p) / base, 0.25, 1e-9);  // 1/b^2
+  p.batch_size /= 2;
+  p.epsilon *= 2.0;
+  EXPECT_NEAR(theory::theorem1_rate(p) / base, 0.25, 1e-9);  // 1/eps^2
+}
+
+TEST(VnRatio, DpTermMatchesEquationEight) {
+  // 8 d G^2 log(1.25/delta) / (eps b)^2 == d * s^2.
+  const size_t d = 69, b = 50;
+  const double g = 1e-2, eps = 0.2, delta = 1e-6;
+  const double direct =
+      8.0 * d * g * g * std::log(1.25 / delta) / (eps * eps * b * b);
+  EXPECT_NEAR(theory::dp_variance_term(d, g, b, eps, delta), direct, 1e-15);
+}
+
+TEST(VnRatio, EmpiricalMatchesAnalyticOnSyntheticTask) {
+  // Estimate the clean VN ratio, then check that adding DP noise moves the
+  // empirical ratio close to the Eq. 8 prediction.
+  BlobsConfig bc;
+  bc.num_samples = 2000;
+  bc.num_features = 10;
+  const Dataset data = make_blobs(bc, 4);
+  const LinearModel model(10, LinearLoss::kMseOnSigmoid);
+  const Vector w(model.dim(), 0.0);
+  const size_t batch = 20;
+  const double g_max = 1e-2, eps = 0.2, delta = 1e-6;
+
+  Rng rng(1);
+  NoNoise none;
+  const auto clean =
+      theory::estimate_vn_ratio(model, data, w, batch, g_max, none, 4000, rng);
+
+  const auto mech = GaussianMechanism::for_clipped_gradients(eps, delta, g_max, batch);
+  Rng rng2(2);
+  const auto noisy =
+      theory::estimate_vn_ratio(model, data, w, batch, g_max, mech, 4000, rng2);
+
+  const double predicted = theory::noisy_vn_ratio(clean.variance, clean.mean_norm,
+                                                  model.dim(), g_max, batch, eps, delta);
+  EXPECT_NEAR(noisy.ratio, predicted, 0.15 * predicted);
+  // Noise must strictly inflate the ratio.
+  EXPECT_GT(noisy.ratio, clean.ratio);
+}
+
+TEST(VnRatio, ValidatesInputs) {
+  BlobsConfig bc;
+  bc.num_samples = 10;
+  const Dataset data = make_blobs(bc, 4);
+  const LinearModel model(bc.num_features, LinearLoss::kMseOnSigmoid);
+  Rng rng(1);
+  NoNoise none;
+  EXPECT_THROW(theory::estimate_vn_ratio(model, data, Vector(model.dim(), 0.0), 5,
+                                         1e-2, none, 1, rng),
+               std::invalid_argument);
+  EXPECT_THROW(theory::noisy_vn_ratio(1.0, 0.0, 10, 1e-2, 10, 0.2, 1e-6),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dpbyz
