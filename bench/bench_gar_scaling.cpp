@@ -1,0 +1,220 @@
+// bench_gar_scaling — the GradientBatch refactor's headline numbers.
+//
+// Sweeps (n, d) in {10, 25, 50} x {1e3, 1e4, 1e5} over Krum / MDA /
+// Bulyan / average and, for every admissible configuration, measures
+//   * the view-based batch kernel (aggregate(GradientBatch, workspace)),
+//   * the seed implementation preserved in aggregation/reference_gars,
+//   * the number of heap allocations one batch-path call performs AFTER
+//     the workspace has warmed up (counted by overriding global
+//     operator new — must be zero),
+//   * bit-identity of the two outputs.
+//
+// Results go to stdout as a table and to BENCH_gar_scaling.json in the
+// working directory.  Flags: --fast (skip d = 1e5), --budget-ms M
+// (per-measurement time budget, default 300).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "aggregation/aggregator.hpp"
+#include "aggregation/mda.hpp"
+#include "aggregation/reference_gars.hpp"
+#include "math/gradient_batch.hpp"
+#include "math/rng.hpp"
+
+// ---- global allocation counter -------------------------------------------
+// Replacing the global allocation functions lets the bench *prove* the
+// zero-allocation claim instead of asserting it.  Counting is toggled only
+// around the measured call.
+
+namespace {
+std::atomic<size_t> g_alloc_count{0};
+std::atomic<bool> g_count_allocs{false};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (g_count_allocs.load(std::memory_order_relaxed))
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+// ---- bench ----------------------------------------------------------------
+
+namespace {
+
+using dpbyz::GradientBatch;
+using dpbyz::Rng;
+using dpbyz::Vector;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::vector<Vector> make_gradients(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vector> g;
+  g.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Vector v = rng.normal_vector(d, 1.0);
+    v[0] += 1.0;
+    g.push_back(std::move(v));
+  }
+  return g;
+}
+
+Vector run_reference(const std::string& gar, std::span<const Vector> g, size_t n, size_t f) {
+  if (gar == "average") return dpbyz::reference::average(g);
+  if (gar == "krum") return dpbyz::reference::krum(g, f);
+  if (gar == "mda") return dpbyz::reference::mda(g, f);
+  if (gar == "bulyan") return dpbyz::reference::bulyan(g, n, f);
+  throw std::invalid_argument("run_reference: unknown GAR '" + gar + "'");
+}
+
+/// Largest admissible f per rule at this n (MDA capped so the exact
+/// subset search stays tractable across the whole sweep).
+size_t pick_f(const std::string& gar, size_t n) {
+  if (gar == "average") return 0;
+  if (gar == "krum") return (n - 3) / 2;
+  if (gar == "bulyan") return (n - 3) / 4;
+  if (gar == "mda") return 2;
+  return 0;
+}
+
+/// Median wall time of one call, with `budget_s` seconds to spend.
+template <typename Fn>
+double time_call(Fn fn, double budget_s) {
+  // One untimed call decides how many reps the budget affords.
+  const auto probe_start = Clock::now();
+  fn();
+  const double probe = seconds_since(probe_start);
+  size_t reps = probe > 0 ? static_cast<size_t>(budget_s / probe) : 50;
+  if (reps < 1) reps = 1;
+  if (reps > 50) reps = 50;
+
+  std::vector<double> times(reps);
+  for (size_t r = 0; r < reps; ++r) {
+    const auto start = Clock::now();
+    fn();
+    times[r] = seconds_since(start);
+  }
+  std::sort(times.begin(), times.end());
+  return times[reps / 2];
+}
+
+struct Row {
+  std::string gar;
+  size_t n, d, f;
+  double new_s, ref_s;
+  size_t allocs;
+  bool identical;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool fast = false;
+  double budget_ms = 300.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fast") == 0) fast = true;
+    if (std::strcmp(argv[i], "--budget-ms") == 0 && i + 1 < argc)
+      budget_ms = std::atof(argv[++i]);
+  }
+  const double budget_s = budget_ms / 1000.0;
+
+  const std::vector<std::string> gars{"average", "krum", "mda", "bulyan"};
+  const std::vector<size_t> ns{10, 25, 50};
+  std::vector<size_t> ds{1000, 10000, 100000};
+  if (fast) ds.pop_back();
+
+  std::vector<Row> rows;
+  std::printf("%-8s %4s %7s %4s | %12s %12s %8s | %7s %10s\n", "gar", "n", "d", "f",
+              "batch (ms)", "seed (ms)", "speedup", "allocs", "identical");
+  std::printf("---------------------------------------------------------------------------------\n");
+
+  for (const auto& gar : gars) {
+    for (size_t n : ns) {
+      for (size_t d : ds) {
+        const size_t f = pick_f(gar, n);
+        if (gar != "average" && f == 0) continue;
+        if (gar == "mda" && dpbyz::Mda::subset_count(n, f) > dpbyz::Mda::kMaxSubsets)
+          continue;
+
+        const auto gradients = make_gradients(n, d, 42);
+        const GradientBatch batch = GradientBatch::from_vectors(gradients);
+        const auto agg = dpbyz::make_aggregator(gar, n, f);
+        dpbyz::AggregatorWorkspace ws;
+
+        // Warm up the workspace, then prove the steady state is
+        // allocation-free.
+        agg->aggregate(batch, ws);
+        g_alloc_count.store(0);
+        g_count_allocs.store(true);
+        agg->aggregate(batch, ws);
+        g_count_allocs.store(false);
+        const size_t allocs = g_alloc_count.load();
+
+        const auto view = agg->aggregate(batch, ws);
+        const Vector got(view.begin(), view.end());
+        const Vector want = run_reference(gar, gradients, n, f);
+        const bool identical = got == want;
+
+        const double new_s =
+            time_call([&] { agg->aggregate(batch, ws); }, budget_s);
+        // The seed aggregate() validated finiteness/dimensions on every
+        // call (Aggregator::validate_inputs) before running the GAR, and
+        // the batch path above still does; include that cost on the
+        // reference side for a like-for-like comparison.
+        const double ref_s = time_call(
+            [&] {
+              for (const Vector& g : gradients)
+                if (g.size() != d || !dpbyz::vec::all_finite(g))
+                  throw std::invalid_argument("malformed gradient");
+              run_reference(gar, gradients, n, f);
+            },
+            budget_s);
+
+        rows.push_back({gar, n, d, f, new_s, ref_s, allocs, identical});
+        std::printf("%-8s %4zu %7zu %4zu | %12.3f %12.3f %7.2fx | %7zu %10s\n",
+                    gar.c_str(), n, d, f, new_s * 1e3, ref_s * 1e3, ref_s / new_s,
+                    allocs, identical ? "yes" : "NO");
+        std::fflush(stdout);
+      }
+    }
+  }
+
+  FILE* out = std::fopen("BENCH_gar_scaling.json", "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot open BENCH_gar_scaling.json for writing\n");
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"gar_scaling\",\n  \"results\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(out,
+                 "    {\"gar\": \"%s\", \"n\": %zu, \"d\": %zu, \"f\": %zu, "
+                 "\"batch_ms\": %.6f, \"seed_ms\": %.6f, \"speedup\": %.3f, "
+                 "\"allocs_after_warmup\": %zu, \"bit_identical\": %s}%s\n",
+                 r.gar.c_str(), r.n, r.d, r.f, r.new_s * 1e3, r.ref_s * 1e3,
+                 r.ref_s / r.new_s, r.allocs, r.identical ? "true" : "false",
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("\nwrote BENCH_gar_scaling.json (%zu configurations)\n", rows.size());
+  return 0;
+}

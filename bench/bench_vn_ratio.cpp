@@ -71,8 +71,14 @@ int main(int argc, char** argv) {
       {"bulyan", {11, 2}}};
   for (const auto& [name, nf] : gars) {
     const auto agg = make_aggregator(name, nf.first, nf.second);
-    kt.row({name, "(" + std::to_string(nf.first) + ", " + std::to_string(nf.second) + ")",
-            strings::format_double(agg->vn_threshold(), 4)});
+    // Built up with += (a `const char* + std::string&&` chain trips a
+    // gcc-12 -Wrestrict false positive under -O3).
+    std::string topology = "(";
+    topology += std::to_string(nf.first);
+    topology += ", ";
+    topology += std::to_string(nf.second);
+    topology += ")";
+    kt.row({name, topology, strings::format_double(agg->vn_threshold(), 4)});
   }
   kt.print();
   std::printf(

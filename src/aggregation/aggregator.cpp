@@ -23,6 +23,35 @@ Aggregator::Aggregator(size_t n, size_t f) : n_(n), f_(f) {
 
 double Aggregator::vn_threshold() const { return std::nan(""); }
 
+std::span<const double> Aggregator::aggregate(const GradientBatch& batch,
+                                              AggregatorWorkspace& ws) const {
+  validate_batch(batch);
+  ws.reserve(batch.rows(), batch.dim());
+  ws.output.resize(batch.dim());
+  aggregate_into(batch, ws);
+  return ws.output;
+}
+
+Vector Aggregator::aggregate(std::span<const Vector> gradients) const {
+  // No validate_inputs here: from_vectors enforces equal dimensions and
+  // the forwarded aggregate() re-validates count/dim/finiteness, so a
+  // second full O(n*d) scan would buy nothing.
+  const GradientBatch batch = GradientBatch::from_vectors(gradients);
+  AggregatorWorkspace ws;
+  const auto view = aggregate(batch, ws);
+  return Vector(view.begin(), view.end());
+}
+
+void Aggregator::validate_batch(const GradientBatch& batch) const {
+  if (batch.rows() != n_)  // message built lazily: this runs every step
+    throw std::invalid_argument(
+        "Aggregator::aggregate: expected exactly n gradients (name=" + name() + ")");
+  require(batch.dim() > 0, "Aggregator::aggregate: zero-dimensional gradients");
+  require(batch.all_finite(),
+          "Aggregator::aggregate: non-finite gradient component (a real "
+          "server drops such submissions as malformed)");
+}
+
 void Aggregator::validate_inputs(std::span<const Vector> gradients) const {
   require(gradients.size() == n_,
           "Aggregator::aggregate: expected exactly n gradients (name=" + name() + ")");

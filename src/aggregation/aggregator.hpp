@@ -8,6 +8,21 @@
 //
 // All GARs here are *statistically robust* in the paper's sense (Remark 2):
 // they filter attacks using only the submitted gradients.
+//
+// Kernel contract (the hot path):
+//   * inputs arrive as a contiguous GradientBatch (one row per worker);
+//   * all scratch, including the result, lives in a caller-owned
+//     AggregatorWorkspace — after the workspace has warmed up at a given
+//     (n, d), aggregate(batch, ws) performs zero heap allocations;
+//   * the returned view aliases ws.output and stays valid until the next
+//     aggregate call on the same workspace;
+//   * implementations are permutation-invariant in the batch rows and
+//     bit-identical to the seed std::span<const Vector> implementations
+//     (preserved in aggregation/reference_gars.hpp and enforced by the
+//     golden tests).
+// The std::span<const Vector> overload is the legacy convenience path: it
+// packs the vectors into a temporary batch and forwards — correct but
+// allocating, for tests and cold call sites only.
 #pragma once
 
 #include <memory>
@@ -15,6 +30,8 @@
 #include <string>
 #include <vector>
 
+#include "aggregation/workspace.hpp"
+#include "math/gradient_batch.hpp"
 #include "math/vector_ops.hpp"
 
 namespace dpbyz {
@@ -26,9 +43,14 @@ class Aggregator {
   Aggregator(size_t n, size_t f);
   virtual ~Aggregator() = default;
 
-  /// Aggregate exactly n() gradients of equal dimension.
-  /// Implementations must be permutation-invariant in their inputs.
-  virtual Vector aggregate(std::span<const Vector> gradients) const = 0;
+  /// Aggregate the batch's n() rows into ws.output and return a view of
+  /// it.  Zero heap allocations once `ws` has warmed up at this (n, d).
+  std::span<const double> aggregate(const GradientBatch& batch,
+                                    AggregatorWorkspace& ws) const;
+
+  /// Legacy convenience: packs `gradients` into a temporary batch and
+  /// forwards to the view path (allocates; not for the hot loop).
+  Vector aggregate(std::span<const Vector> gradients) const;
 
   /// Short identifier ("krum", "mda", ...), stable across versions.
   virtual std::string name() const = 0;
@@ -43,10 +65,18 @@ class Aggregator {
   size_t f() const { return f_; }
 
  protected:
-  /// Shared input validation: count == n, equal dims, no NaN/Inf rejection
-  /// (Byzantine inputs may be anything *finite*; non-finite values are
-  /// rejected to keep downstream arithmetic well-defined — a real server
-  /// would drop such gradients as trivially malformed).
+  /// Implementations write the aggregate into ws.output (already sized to
+  /// batch.dim()); inputs are validated before this is called.
+  virtual void aggregate_into(const GradientBatch& batch,
+                              AggregatorWorkspace& ws) const = 0;
+
+  /// Shared input validation: rows == n, dim > 0, no NaN/Inf (Byzantine
+  /// inputs may be anything *finite*; non-finite values are rejected to
+  /// keep downstream arithmetic well-defined — a real server would drop
+  /// such gradients as trivially malformed).
+  void validate_batch(const GradientBatch& batch) const;
+
+  /// Legacy-path validation with the same rules, on owning vectors.
   void validate_inputs(std::span<const Vector> gradients) const;
 
  private:

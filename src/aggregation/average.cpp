@@ -6,9 +6,8 @@ namespace dpbyz {
 
 Average::Average(size_t n, size_t f) : Aggregator(n, f) {}
 
-Vector Average::aggregate(std::span<const Vector> gradients) const {
-  validate_inputs(gradients);
-  return vec::mean(gradients);
+void Average::aggregate_into(const GradientBatch& batch, AggregatorWorkspace& ws) const {
+  mean_rows_into(batch, ws.output);
 }
 
 double Average::vn_threshold() const { return std::nan(""); }

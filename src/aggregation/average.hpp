@@ -17,11 +17,13 @@ class Average final : public Aggregator {
   /// f is accepted for bookkeeping but offers no protection.
   Average(size_t n, size_t f = 0);
 
-  Vector aggregate(std::span<const Vector> gradients) const override;
   std::string name() const override { return "average"; }
   /// No VN-ratio constant exists: averaging is not (alpha, f)-resilient
   /// for any f >= 1.  Returns NaN.
   double vn_threshold() const override;
+
+ protected:
+  void aggregate_into(const GradientBatch& batch, AggregatorWorkspace& ws) const override;
 };
 
 }  // namespace dpbyz

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "aggregation/kf_table.hpp"
 #include "aggregation/krum.hpp"
@@ -14,57 +15,65 @@ Bulyan::Bulyan(size_t n, size_t f) : Aggregator(n, f) {
   require(n >= 4 * f + 3, "Bulyan: requires n >= 4f + 3");
 }
 
-std::vector<size_t> Bulyan::select_indices(std::span<const Vector> gradients) const {
-  validate_inputs(gradients);
+void Bulyan::select_indices_view(const GradientBatch& batch, AggregatorWorkspace& ws) const {
+  const size_t count = batch.rows();
   const size_t theta = n() - 2 * f();
 
-  std::vector<size_t> remaining(gradients.size());
-  for (size_t i = 0; i < remaining.size(); ++i) remaining[i] = i;
-  std::vector<size_t> selected;
-  selected.reserve(theta);
+  // One distance matrix for the whole selection: every inner Krum round
+  // rescores the surviving pool from it instead of recomputing O(n²d)
+  // distances over copied vectors.
+  ws.dist_sq.resize(count * count);
+  pairwise_dist_sq(batch, ws.dist_sq);
 
-  std::vector<Vector> pool(gradients.begin(), gradients.end());
-  while (selected.size() < theta) {
+  ws.active.resize(count);
+  std::iota(ws.active.begin(), ws.active.end(), size_t{0});
+  ws.selected.clear();
+
+  while (ws.selected.size() < theta) {
     // Iterated Krum over the shrinking pool.  The pool bottoms out at
     // n - theta + 1 = 2f + 1 elements, below plain Krum's n >= 2f + 3
-    // admissibility, so we use the clamped krum_scores helper (the
-    // standard implementation choice, cf. Garfield / the authors' code).
-    const auto scores = krum_scores(pool, f());
-    const size_t winner = krum_argmin(pool, scores);
-    selected.push_back(remaining[winner]);
-    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(winner));
-    remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(winner));
+    // admissibility, so we use the clamped scoring helper (the standard
+    // implementation choice, cf. Garfield / the authors' code).
+    ws.scores.resize(ws.active.size());
+    krum_scores_from_matrix(ws.dist_sq, count, ws.active, f(), ws.scores, ws.row);
+    const size_t winner = krum_argmin_view(batch, ws.active, ws.scores);
+    ws.selected.push_back(ws.active[winner]);
+    ws.active.erase(ws.active.begin() + static_cast<std::ptrdiff_t>(winner));
   }
-  return selected;
 }
 
-Vector Bulyan::aggregate(std::span<const Vector> gradients) const {
-  const auto selected = select_indices(gradients);
-  const size_t theta = selected.size();
+std::vector<size_t> Bulyan::select_indices(std::span<const Vector> gradients) const {
+  validate_inputs(gradients);
+  const GradientBatch batch = GradientBatch::from_vectors(gradients);
+  AggregatorWorkspace ws;
+  ws.reserve(batch.rows(), batch.dim());
+  select_indices_view(batch, ws);
+  return ws.selected;
+}
+
+void Bulyan::aggregate_into(const GradientBatch& batch, AggregatorWorkspace& ws) const {
+  select_indices_view(batch, ws);
+  const size_t theta = ws.selected.size();
   const size_t beta = theta - 2 * f();
   check_internal(beta >= 1, "Bulyan: beta must be positive");
 
-  std::vector<Vector> chosen;
-  chosen.reserve(theta);
-  for (size_t i : selected) chosen.push_back(gradients[i]);
-
-  const size_t d = chosen[0].size();
-  Vector out(d);
-  std::vector<std::pair<double, double>> by_closeness(theta);  // (|v - med|, v)
-  std::vector<double> column(theta);
+  const size_t d = batch.dim();
+  ws.column.resize(theta);
+  ws.column_sorted.resize(theta);
+  ws.by_closeness.resize(theta);
   for (size_t c = 0; c < d; ++c) {
-    for (size_t i = 0; i < theta; ++i) column[i] = chosen[i][c];
-    const double med = stats::median(column);
+    for (size_t i = 0; i < theta; ++i) ws.column[i] = batch.row(ws.selected[i])[c];
+    std::copy(ws.column.begin(), ws.column.end(), ws.column_sorted.begin());
+    const double med = stats::median_inplace(ws.column_sorted);
     for (size_t i = 0; i < theta; ++i)
-      by_closeness[i] = {std::abs(column[i] - med), column[i]};
-    std::nth_element(by_closeness.begin(),
-                     by_closeness.begin() + static_cast<std::ptrdiff_t>(beta - 1),
-                     by_closeness.end());
+      ws.by_closeness[i] = {std::abs(ws.column[i] - med), ws.column[i]};
+    std::nth_element(ws.by_closeness.begin(),
+                     ws.by_closeness.begin() + static_cast<std::ptrdiff_t>(beta - 1),
+                     ws.by_closeness.end());
     double acc = 0.0;
-    for (size_t i = 0; i < beta; ++i) acc += by_closeness[i].second;
-    out[c] = acc / static_cast<double>(beta);
+    for (size_t i = 0; i < beta; ++i) acc += ws.by_closeness[i].second;
+    ws.output[c] = acc / static_cast<double>(beta);
   }
-  return out;
 }
 
 double Bulyan::vn_threshold() const { return kf::krum(n(), f()); }

@@ -10,7 +10,11 @@
 //      attacks that pure Krum admits.
 //
 // Admissibility: n >= 4f + 3 (so that theta >= 2f + 3 keeps every inner
-// Krum call admissible and beta >= 3... beta = theta - 2f >= 3).
+// Krum call admissible and beta = theta - 2f >= 3).
+//
+// The hot path computes the pairwise distance matrix ONCE and rescores the
+// shrinking pool from it — O(n²d + θn²) instead of the seed's θ recomputed
+// O(n²d) matrices — which makes Bulyan's cost essentially one Krum.
 #pragma once
 
 #include "aggregation/aggregator.hpp"
@@ -21,12 +25,18 @@ class Bulyan final : public Aggregator {
  public:
   Bulyan(size_t n, size_t f);
 
-  Vector aggregate(std::span<const Vector> gradients) const override;
   std::string name() const override { return "bulyan"; }
   double vn_threshold() const override;
 
   /// Indices chosen by the iterated-Krum selection stage (size n - 2f).
   std::vector<size_t> select_indices(std::span<const Vector> gradients) const;
+
+  /// Hot-path selection: fills ws.dist_sq and leaves the selected indices
+  /// in ws.selected (selection order).
+  void select_indices_view(const GradientBatch& batch, AggregatorWorkspace& ws) const;
+
+ protected:
+  void aggregate_into(const GradientBatch& batch, AggregatorWorkspace& ws) const override;
 };
 
 }  // namespace dpbyz

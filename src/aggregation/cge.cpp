@@ -11,25 +11,37 @@ Cge::Cge(size_t n, size_t f) : Aggregator(n, f) {
   require(n > 2 * f, "Cge: requires n > 2f");
 }
 
-std::vector<size_t> Cge::select_indices(std::span<const Vector> gradients) const {
-  validate_inputs(gradients);
-  std::vector<double> norms(gradients.size());
-  for (size_t i = 0; i < gradients.size(); ++i) norms[i] = vec::norm_sq(gradients[i]);
+void Cge::select_indices_view(const GradientBatch& batch, AggregatorWorkspace& ws) const {
+  const size_t count = batch.rows();
+  ws.scores.resize(count);
+  for (size_t i = 0; i < count; ++i) ws.scores[i] = vec::norm_sq(batch.row(i));
 
-  std::vector<size_t> order(gradients.size());
-  std::iota(order.begin(), order.end(), size_t{0});
+  ws.selected.resize(count);
+  std::iota(ws.selected.begin(), ws.selected.end(), size_t{0});
   const size_t keep = n() - f();
-  std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(keep),
-                    order.end(), [&](size_t a, size_t b) {
+  const auto& norms = ws.scores;
+  std::partial_sort(ws.selected.begin(),
+                    ws.selected.begin() + static_cast<std::ptrdiff_t>(keep),
+                    ws.selected.end(), [&norms, &batch](size_t a, size_t b) {
                       return norms[a] < norms[b] ||
-                             (norms[a] == norms[b] && gradients[a] < gradients[b]);
+                             (norms[a] == norms[b] &&
+                              vec::lex_less(batch.row(a), batch.row(b)));
                     });
-  order.resize(keep);
-  return order;
+  ws.selected.resize(keep);
 }
 
-Vector Cge::aggregate(std::span<const Vector> gradients) const {
-  return vec::mean_of(gradients, select_indices(gradients));
+std::vector<size_t> Cge::select_indices(std::span<const Vector> gradients) const {
+  validate_inputs(gradients);
+  const GradientBatch batch = GradientBatch::from_vectors(gradients);
+  AggregatorWorkspace ws;
+  ws.reserve(batch.rows(), batch.dim());
+  select_indices_view(batch, ws);
+  return ws.selected;
+}
+
+void Cge::aggregate_into(const GradientBatch& batch, AggregatorWorkspace& ws) const {
+  select_indices_view(batch, ws);
+  mean_rows_of_into(batch, ws.selected, ws.output);
 }
 
 }  // namespace dpbyz

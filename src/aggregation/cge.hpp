@@ -19,12 +19,17 @@ class Cge final : public Aggregator {
   /// Requires n > 2f (a norm-majority of honest gradients).
   Cge(size_t n, size_t f);
 
-  Vector aggregate(std::span<const Vector> gradients) const override;
   std::string name() const override { return "cge"; }
 
   /// Indices of the n - f smallest-norm gradients (ties broken by
   /// lexicographic vector order for permutation invariance).
   std::vector<size_t> select_indices(std::span<const Vector> gradients) const;
+
+  /// Hot-path selection: leaves the kept indices in ws.selected.
+  void select_indices_view(const GradientBatch& batch, AggregatorWorkspace& ws) const;
+
+ protected:
+  void aggregate_into(const GradientBatch& batch, AggregatorWorkspace& ws) const override;
 };
 
 }  // namespace dpbyz

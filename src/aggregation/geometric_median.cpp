@@ -1,5 +1,6 @@
 #include "aggregation/geometric_median.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "utils/errors.hpp"
@@ -12,27 +13,29 @@ GeometricMedian::GeometricMedian(size_t n, size_t f, size_t max_iters, double to
   require(max_iters > 0 && tolerance > 0, "GeometricMedian: bad iteration controls");
 }
 
-Vector GeometricMedian::aggregate(std::span<const Vector> gradients) const {
-  validate_inputs(gradients);
+void GeometricMedian::aggregate_into(const GradientBatch& batch,
+                                     AggregatorWorkspace& ws) const {
   // Weiszfeld: z <- sum_i (g_i / ||z - g_i||) / sum_i (1 / ||z - g_i||),
   // starting from the mean; points coinciding with z get a capped weight
   // to avoid division by zero (standard epsilon-smoothed variant).
-  Vector z = vec::mean(gradients);
+  // z lives in ws.output, the numerator in ws.scratch_d.
+  mean_rows_into(batch, ws.output);
   constexpr double kEps = 1e-12;
+  ws.scratch_d.resize(batch.dim());
   for (size_t iter = 0; iter < max_iters_; ++iter) {
-    Vector numerator(z.size(), 0.0);
+    vec::fill(ws.scratch_d, 0.0);
     double denominator = 0.0;
-    for (const Vector& g : gradients) {
-      const double w = 1.0 / std::max(vec::dist(z, g), kEps);
-      vec::axpy_inplace(numerator, w, g);
+    for (size_t i = 0; i < batch.rows(); ++i) {
+      const auto g = batch.row(i);
+      const double w = 1.0 / std::max(vec::dist(CView(ws.output), g), kEps);
+      vec::axpy_inplace(View(ws.scratch_d), w, g);
       denominator += w;
     }
-    vec::scale_inplace(numerator, 1.0 / denominator);
-    const double shift = vec::dist(numerator, z);
-    z = std::move(numerator);
+    vec::scale_inplace(ws.scratch_d, 1.0 / denominator);
+    const double shift = vec::dist(ws.scratch_d, ws.output);
+    vec::copy(ws.scratch_d, ws.output);
     if (shift <= tolerance_) break;
   }
-  return z;
 }
 
 }  // namespace dpbyz

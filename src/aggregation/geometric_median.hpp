@@ -16,8 +16,10 @@ class GeometricMedian final : public Aggregator {
   /// `max_iters` / `tolerance` control the Weiszfeld fixed-point loop.
   GeometricMedian(size_t n, size_t f, size_t max_iters = 100, double tolerance = 1e-10);
 
-  Vector aggregate(std::span<const Vector> gradients) const override;
   std::string name() const override { return "geometric-median"; }
+
+ protected:
+  void aggregate_into(const GradientBatch& batch, AggregatorWorkspace& ws) const override;
 
  private:
   size_t max_iters_;

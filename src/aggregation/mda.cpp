@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "aggregation/kf_table.hpp"
 #include "utils/errors.hpp"
@@ -27,28 +28,35 @@ Mda::Mda(size_t n, size_t f) : Aggregator(n, f) {
 namespace {
 
 /// Depth-first enumeration of size-m subsets with branch-and-bound on the
-/// running diameter.  `dist` is the full pairwise distance matrix.
+/// running diameter.  `dist` is the flat pairwise matrix of TRUE (square-
+/// rooted) distances — not squared: sqrt rounding can collapse two
+/// distinct squared diameters into one double, and on such a tie the
+/// seed's >= prune keeps the earlier-enumerated subset while a squared-
+/// value search would see a strict ordering and pick the other one,
+/// breaking bit-identity.  `current` / `best` are caller-owned scratch so
+/// the search allocates nothing.
 struct SubsetSearch {
-  SubsetSearch(const std::vector<std::vector<double>>& d, size_t n, size_t m)
-      : dist(d), count(n), target(m) {}
-
-  const std::vector<std::vector<double>>& dist;
-  size_t count;       // total gradients
-  size_t target;      // subset size m = n - f
-  double best_diameter = std::numeric_limits<double>::infinity();
-  std::vector<size_t> best;
-  std::vector<size_t> current;
-
-  void run() {
-    current.reserve(target);
-    descend(0, 0.0);
+  SubsetSearch(std::span<const double> d, size_t n, size_t m, std::vector<size_t>& cur,
+               std::vector<size_t>& bst)
+      : dist(d), count(n), target(m), current(cur), best(bst) {
+    current.clear();
+    best.clear();
   }
+
+  std::span<const double> dist;
+  size_t count;   // total gradients
+  size_t target;  // subset size m = n - f
+  double best_diameter = std::numeric_limits<double>::infinity();
+  std::vector<size_t>& current;
+  std::vector<size_t>& best;
+
+  void run() { descend(0, 0.0); }
 
   void descend(size_t next, double diameter) {
     if (current.size() == target) {
       if (diameter < best_diameter) {
         best_diameter = diameter;
-        best = current;
+        best.assign(current.begin(), current.end());
       }
       return;
     }
@@ -56,7 +64,8 @@ struct SubsetSearch {
     if (count - next < target - current.size()) return;
     for (size_t i = next; i < count; ++i) {
       double new_diameter = diameter;
-      for (size_t j : current) new_diameter = std::max(new_diameter, dist[j][i]);
+      for (size_t j : current)
+        new_diameter = std::max(new_diameter, dist[j * count + i]);
       if (new_diameter >= best_diameter) continue;  // prune
       current.push_back(i);
       descend(i + 1, new_diameter);
@@ -67,23 +76,32 @@ struct SubsetSearch {
 
 }  // namespace
 
-std::vector<size_t> Mda::select_subset(std::span<const Vector> gradients) const {
-  validate_inputs(gradients);
-  const size_t count = gradients.size();
-  std::vector<std::vector<double>> dist(count, std::vector<double>(count, 0.0));
-  for (size_t i = 0; i < count; ++i)
-    for (size_t j = i + 1; j < count; ++j)
-      dist[i][j] = dist[j][i] = vec::dist(gradients[i], gradients[j]);
+void Mda::select_subset_view(const GradientBatch& batch, AggregatorWorkspace& ws) const {
+  const size_t count = batch.rows();
+  ws.dist_sq.resize(count * count);
+  pairwise_dist_sq(batch, ws.dist_sq);
+  // Square-root in place: the search must compare the exact doubles the
+  // seed implementation compared (see SubsetSearch).  MDA owns the
+  // matrix for the rest of this call, so clobbering it is fine.
+  for (double& x : ws.dist_sq) x = std::sqrt(x);
 
-  SubsetSearch search(dist, count, count - f());
+  SubsetSearch search(ws.dist_sq, count, count - f(), ws.active, ws.selected);
   search.run();
-  check_internal(search.best.size() == count - f(), "Mda: subset search failed");
-  return search.best;
+  check_internal(ws.selected.size() == count - f(), "Mda: subset search failed");
 }
 
-Vector Mda::aggregate(std::span<const Vector> gradients) const {
-  const auto subset = select_subset(gradients);
-  return vec::mean_of(gradients, subset);
+std::vector<size_t> Mda::select_subset(std::span<const Vector> gradients) const {
+  validate_inputs(gradients);
+  const GradientBatch batch = GradientBatch::from_vectors(gradients);
+  AggregatorWorkspace ws;
+  ws.reserve(batch.rows(), batch.dim());
+  select_subset_view(batch, ws);
+  return ws.selected;
+}
+
+void Mda::aggregate_into(const GradientBatch& batch, AggregatorWorkspace& ws) const {
+  select_subset_view(batch, ws);
+  mean_rows_of_into(batch, ws.selected, ws.output);
 }
 
 double Mda::vn_threshold() const { return kf::mda(n(), f()); }

@@ -15,6 +15,12 @@
 // exact and fast for the committee sizes of this paper (n = 11: 462
 // subsets).  Construction refuses instances whose subset count exceeds
 // a safety cap, pointing users to Multi-Krum for very large n.
+//
+// The hot path fills the workspace's shared squared-distance matrix,
+// square-roots it in place, and runs the branch-and-bound on the exact
+// true-distance doubles the seed implementation compared (comparing
+// squared values instead would diverge on the rare ties that sqrt
+// rounding creates).
 #pragma once
 
 #include "aggregation/aggregator.hpp"
@@ -26,18 +32,24 @@ class Mda final : public Aggregator {
   /// Requires 1 <= f and n >= 2f + 1, and C(n, f) within the search cap.
   Mda(size_t n, size_t f);
 
-  Vector aggregate(std::span<const Vector> gradients) const override;
   std::string name() const override { return "mda"; }
   double vn_threshold() const override;
 
   /// The selected subset (indices) of minimal diameter; exposed for tests.
   std::vector<size_t> select_subset(std::span<const Vector> gradients) const;
 
+  /// Hot-path subset selection: fills ws.dist_sq and leaves the winning
+  /// subset in ws.selected (ascending index order).
+  void select_subset_view(const GradientBatch& batch, AggregatorWorkspace& ws) const;
+
   /// Number of subsets the exact search would enumerate for (n, f).
   static double subset_count(size_t n, size_t f);
 
   /// Enumeration cap used by the constructor.
   static constexpr double kMaxSubsets = 5e6;
+
+ protected:
+  void aggregate_into(const GradientBatch& batch, AggregatorWorkspace& ws) const override;
 };
 
 }  // namespace dpbyz

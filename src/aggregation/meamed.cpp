@@ -13,28 +13,27 @@ Meamed::Meamed(size_t n, size_t f) : Aggregator(n, f) {
   require(2 * f <= n - 1, "Meamed: requires 2f <= n - 1");
 }
 
-Vector Meamed::aggregate(std::span<const Vector> gradients) const {
-  validate_inputs(gradients);
-  const size_t count = gradients.size();
+void Meamed::aggregate_into(const GradientBatch& batch, AggregatorWorkspace& ws) const {
+  const size_t count = batch.rows();
   const size_t keep = count - f();
-  const size_t d = gradients[0].size();
+  const size_t d = batch.dim();
 
-  Vector out(d);
-  std::vector<double> column(count);
-  std::vector<std::pair<double, double>> by_closeness(count);  // (|v - med|, v)
+  ws.column.resize(count);
+  ws.column_sorted.resize(count);
+  ws.by_closeness.resize(count);
   for (size_t c = 0; c < d; ++c) {
-    for (size_t i = 0; i < count; ++i) column[i] = gradients[i][c];
-    const double med = stats::median(column);
+    for (size_t i = 0; i < count; ++i) ws.column[i] = batch.row(i)[c];
+    std::copy(ws.column.begin(), ws.column.end(), ws.column_sorted.begin());
+    const double med = stats::median_inplace(ws.column_sorted);
     for (size_t i = 0; i < count; ++i)
-      by_closeness[i] = {std::abs(column[i] - med), column[i]};
-    std::nth_element(by_closeness.begin(),
-                     by_closeness.begin() + static_cast<std::ptrdiff_t>(keep - 1),
-                     by_closeness.end());
+      ws.by_closeness[i] = {std::abs(ws.column[i] - med), ws.column[i]};
+    std::nth_element(ws.by_closeness.begin(),
+                     ws.by_closeness.begin() + static_cast<std::ptrdiff_t>(keep - 1),
+                     ws.by_closeness.end());
     double acc = 0.0;
-    for (size_t i = 0; i < keep; ++i) acc += by_closeness[i].second;
-    out[c] = acc / static_cast<double>(keep);
+    for (size_t i = 0; i < keep; ++i) acc += ws.by_closeness[i].second;
+    ws.output[c] = acc / static_cast<double>(keep);
   }
-  return out;
 }
 
 double Meamed::vn_threshold() const { return kf::meamed(n(), f()); }

@@ -15,9 +15,11 @@ class Meamed final : public Aggregator {
  public:
   Meamed(size_t n, size_t f);
 
-  Vector aggregate(std::span<const Vector> gradients) const override;
   std::string name() const override { return "meamed"; }
   double vn_threshold() const override;
+
+ protected:
+  void aggregate_into(const GradientBatch& batch, AggregatorWorkspace& ws) const override;
 };
 
 }  // namespace dpbyz

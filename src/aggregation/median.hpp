@@ -14,9 +14,11 @@ class CoordinateMedian final : public Aggregator {
  public:
   CoordinateMedian(size_t n, size_t f);
 
-  Vector aggregate(std::span<const Vector> gradients) const override;
   std::string name() const override { return "median"; }
   double vn_threshold() const override;
+
+ protected:
+  void aggregate_into(const GradientBatch& batch, AggregatorWorkspace& ws) const override;
 };
 
 }  // namespace dpbyz

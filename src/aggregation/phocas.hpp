@@ -16,9 +16,11 @@ class Phocas final : public Aggregator {
  public:
   Phocas(size_t n, size_t f);
 
-  Vector aggregate(std::span<const Vector> gradients) const override;
   std::string name() const override { return "phocas"; }
   double vn_threshold() const override;
+
+ protected:
+  void aggregate_into(const GradientBatch& batch, AggregatorWorkspace& ws) const override;
 };
 
 }  // namespace dpbyz

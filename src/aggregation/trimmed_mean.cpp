@@ -11,7 +11,7 @@ TrimmedMean::TrimmedMean(size_t n, size_t f) : Aggregator(n, f) {
   require(n > 2 * f, "TrimmedMean: requires n > 2f");
 }
 
-double TrimmedMean::trimmed_mean_scalar(std::vector<double> values, size_t trim) {
+double TrimmedMean::trimmed_mean_inplace(std::span<double> values, size_t trim) {
   require(values.size() > 2 * trim, "trimmed_mean_scalar: nothing left after trimming");
   std::sort(values.begin(), values.end());
   double acc = 0.0;
@@ -19,16 +19,18 @@ double TrimmedMean::trimmed_mean_scalar(std::vector<double> values, size_t trim)
   return acc / static_cast<double>(values.size() - 2 * trim);
 }
 
-Vector TrimmedMean::aggregate(std::span<const Vector> gradients) const {
-  validate_inputs(gradients);
-  const size_t d = gradients[0].size();
-  Vector out(d);
-  std::vector<double> column(gradients.size());
+double TrimmedMean::trimmed_mean_scalar(std::vector<double> values, size_t trim) {
+  return trimmed_mean_inplace(values, trim);
+}
+
+void TrimmedMean::aggregate_into(const GradientBatch& batch, AggregatorWorkspace& ws) const {
+  const size_t count = batch.rows();
+  const size_t d = batch.dim();
+  ws.column.resize(count);
   for (size_t c = 0; c < d; ++c) {
-    for (size_t i = 0; i < gradients.size(); ++i) column[i] = gradients[i][c];
-    out[c] = trimmed_mean_scalar(column, f());
+    for (size_t i = 0; i < count; ++i) ws.column[i] = batch.row(i)[c];
+    ws.output[c] = trimmed_mean_inplace(ws.column, f());
   }
-  return out;
 }
 
 double TrimmedMean::vn_threshold() const { return kf::trimmed_mean(n(), f()); }

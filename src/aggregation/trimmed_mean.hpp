@@ -13,13 +13,18 @@ class TrimmedMean final : public Aggregator {
  public:
   TrimmedMean(size_t n, size_t f);
 
-  Vector aggregate(std::span<const Vector> gradients) const override;
   std::string name() const override { return "trimmed-mean"; }
   double vn_threshold() const override;
 
   /// Scalar helper: mean of `values` after dropping the `trim` smallest
   /// and `trim` largest entries (used by Phocas too).
   static double trimmed_mean_scalar(std::vector<double> values, size_t trim);
+
+  /// Allocation-free variant: sorts the caller's scratch in place.
+  static double trimmed_mean_inplace(std::span<double> values, size_t trim);
+
+ protected:
+  void aggregate_into(const GradientBatch& batch, AggregatorWorkspace& ws) const override;
 };
 
 }  // namespace dpbyz

@@ -1,0 +1,66 @@
+// workspace.hpp — reusable scratch memory for the GAR hot path.
+//
+// Every GAR needs per-call scratch: the shared n×n pairwise-distance
+// matrix (Krum / MDA / Bulyan), per-coordinate gather columns (median
+// family), selection index buffers, and the output vector itself.  The
+// seed implementation allocated all of this inside every aggregate()
+// call; AggregatorWorkspace hoists it into a caller-owned arena that is
+// grown once (reserve) and then recycled — after the first aggregation at
+// a given (n, d) the steady-state path performs zero heap allocations.
+//
+// The workspace is plain data on purpose: it carries no invariants between
+// calls, any GAR may scribble over any member, and a single workspace can
+// be shared across different GARs as long as calls are sequential.  It is
+// NOT thread-safe; concurrent aggregations need one workspace each.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "math/vector_ops.hpp"
+
+namespace dpbyz {
+
+struct AggregatorWorkspace {
+  /// Shared pairwise squared-distance matrix, n*n row-major.
+  std::vector<double> dist_sq;
+  /// Per-gradient scores (Krum score, CGE squared norm, ...).
+  std::vector<double> scores;
+  /// Length-n scalar scratch (a score row handed to nth_element).
+  std::vector<double> row;
+  /// Per-coordinate gather column (median / trimmed-mean family).
+  std::vector<double> column;
+  /// Sorted copy of `column` for in-place median / trimmed-mean anchors.
+  std::vector<double> column_sorted;
+  /// (|value - anchor|, value) pairs for mean-around-anchor rules.
+  std::vector<std::pair<double, double>> by_closeness;
+  /// Index ordering scratch (partial_sort of candidates).
+  std::vector<size_t> order;
+  /// Selection output (MDA subset, Bulyan selection, ...).
+  std::vector<size_t> selected;
+  /// Shrinking candidate pool (Bulyan) / DFS path (MDA).
+  std::vector<size_t> active;
+  /// The aggregate itself; aggregate() returns a view of this.
+  Vector output;
+  /// Length-d vector scratch (Weiszfeld numerator).
+  Vector scratch_d;
+
+  /// Grow every buffer's capacity to what an (n, d) aggregation can need.
+  /// Never shrinks; calling again with smaller extents is a no-op.
+  void reserve(size_t n, size_t d) {
+    dist_sq.reserve(n * n);
+    scores.reserve(n);
+    row.reserve(n);
+    column.reserve(n);
+    column_sorted.reserve(n);
+    by_closeness.reserve(n);
+    order.reserve(n);
+    selected.reserve(n);
+    active.reserve(n);
+    output.reserve(d);
+    scratch_d.reserve(d);
+  }
+};
+
+}  // namespace dpbyz

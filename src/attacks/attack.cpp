@@ -9,6 +9,12 @@
 
 namespace dpbyz {
 
+Vector Attack::forge(const AttackContext& ctx, Rng& rng) const {
+  Vector out(ctx.observed.dim());
+  forge_into(ctx, rng, out);
+  return out;
+}
+
 std::vector<std::string> attack_names() {
   return {"little", "empire", "signflip", "random", "zero", "mimic"};
 }

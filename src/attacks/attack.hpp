@@ -8,13 +8,19 @@
 //
 // Both paper attacks follow the template  byz = g_t + nu * a_t  where g_t
 // approximates the true gradient (we use the mean of the honest
-// submissions) and a_t is an attack direction.
+// gradients) and a_t is an attack direction.
+//
+// Hot path: the adversary reads the honest rows of the step's
+// GradientBatch arena and forges its common gradient *in place* into the
+// Byzantine rows (forge_into) — no per-step allocation.  The Vector-
+// returning forge() is the allocating convenience wrapper.
 #pragma once
 
 #include <memory>
 #include <span>
 #include <string>
 
+#include "math/gradient_batch.hpp"
 #include "math/rng.hpp"
 #include "math/vector_ops.hpp"
 
@@ -22,15 +28,18 @@ namespace dpbyz {
 
 /// What the (colluding, omniscient) adversary observes at one step.
 struct AttackContext {
-  /// The honest gradients the adversary bases its forgery on.  Which
-  /// vectors land here is the trainer's choice
-  /// (ExperimentConfig::attack_observes): by default the *clean*
-  /// clipped pre-noise gradients — the Byzantine workers are data-holding
-  /// participants themselves and approximate g_t / sigma_t from their own
-  /// unsanitized mini-batch computations, as in the original attack
-  /// papers [3, 38] — or, optionally, the noisy submissions as sent on
-  /// the (cleartext, Remark 1) wire.
-  std::span<const Vector> honest_gradients;
+  /// The arena whose leading `observed_rows` rows are the honest
+  /// gradients the adversary bases its forgery on.  Which gradients land
+  /// there is the trainer's choice (ExperimentConfig::attack_observes):
+  /// by default the *clean* clipped pre-noise gradients — the Byzantine
+  /// workers are data-holding participants themselves and approximate
+  /// g_t / sigma_t from their own unsanitized mini-batch computations, as
+  /// in the original attack papers [3, 38] — or, optionally, the noisy
+  /// submissions as sent on the (cleartext, Remark 1) wire, in which case
+  /// `observed` is the submission arena itself and the forged rows are
+  /// written right behind the observed prefix.
+  const GradientBatch& observed;
+  size_t observed_rows = 0;  ///< how many leading rows are observable
   size_t num_byzantine = 0;  ///< how many copies of the forged vector will be sent
   size_t step = 0;           ///< 1-based training step t
 };
@@ -40,8 +49,14 @@ class Attack {
  public:
   virtual ~Attack() = default;
 
-  /// Forge the common Byzantine gradient for this step.
-  virtual Vector forge(const AttackContext& ctx, Rng& rng) const = 0;
+  /// Forge the common Byzantine gradient for this step into `out`
+  /// (length ctx.observed.dim(); typically a Byzantine row of the
+  /// submission arena).  `out` must not alias an observed row.
+  virtual void forge_into(const AttackContext& ctx, Rng& rng,
+                          std::span<double> out) const = 0;
+
+  /// Allocating convenience wrapper around forge_into.
+  Vector forge(const AttackContext& ctx, Rng& rng) const;
 
   /// Short identifier ("little", "empire", ...).
   virtual std::string name() const = 0;

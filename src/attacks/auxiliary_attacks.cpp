@@ -9,30 +9,30 @@ SignFlip::SignFlip(double scale) : scale_(scale) {
   require(scale > 0, "SignFlip: scale must be positive");
 }
 
-Vector SignFlip::forge(const AttackContext& ctx, Rng&) const {
-  require(!ctx.honest_gradients.empty(), "SignFlip: no honest gradients to observe");
-  Vector forged = stats::coordinate_mean(ctx.honest_gradients);
-  vec::scale_inplace(forged, -scale_);
-  return forged;
+void SignFlip::forge_into(const AttackContext& ctx, Rng&, std::span<double> out) const {
+  require(ctx.observed_rows > 0, "SignFlip: no honest gradients to observe");
+  mean_rows_into(ctx.observed, ctx.observed_rows, out);
+  vec::scale_inplace(out, -scale_);
 }
 
 RandomGaussian::RandomGaussian(double stddev) : stddev_(stddev) {
   require(stddev > 0, "RandomGaussian: stddev must be positive");
 }
 
-Vector RandomGaussian::forge(const AttackContext& ctx, Rng& rng) const {
-  require(!ctx.honest_gradients.empty(), "RandomGaussian: no honest gradients to observe");
-  return rng.normal_vector(ctx.honest_gradients[0].size(), stddev_);
+void RandomGaussian::forge_into(const AttackContext& ctx, Rng& rng,
+                                std::span<double> out) const {
+  require(ctx.observed_rows > 0, "RandomGaussian: no honest gradients to observe");
+  rng.normal_fill(out, stddev_);
 }
 
-Vector ZeroGradient::forge(const AttackContext& ctx, Rng&) const {
-  require(!ctx.honest_gradients.empty(), "ZeroGradient: no honest gradients to observe");
-  return vec::zeros(ctx.honest_gradients[0].size());
+void ZeroGradient::forge_into(const AttackContext& ctx, Rng&, std::span<double> out) const {
+  require(ctx.observed_rows > 0, "ZeroGradient: no honest gradients to observe");
+  vec::fill(out, 0.0);
 }
 
-Vector Mimic::forge(const AttackContext& ctx, Rng&) const {
-  require(!ctx.honest_gradients.empty(), "Mimic: no honest gradients to observe");
-  return ctx.honest_gradients[0];
+void Mimic::forge_into(const AttackContext& ctx, Rng&, std::span<double> out) const {
+  require(ctx.observed_rows > 0, "Mimic: no honest gradients to observe");
+  vec::copy(ctx.observed.row(0), out);
 }
 
 }  // namespace dpbyz

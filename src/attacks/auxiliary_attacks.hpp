@@ -19,7 +19,8 @@ class SignFlip final : public Attack {
  public:
   /// Submits -scale * mean(honest).
   explicit SignFlip(double scale = 1.0);
-  Vector forge(const AttackContext& ctx, Rng& rng) const override;
+  void forge_into(const AttackContext& ctx, Rng& rng,
+                  std::span<double> out) const override;
   std::string name() const override { return "signflip"; }
 
  private:
@@ -30,7 +31,8 @@ class RandomGaussian final : public Attack {
  public:
   /// Submits iid N(0, stddev^2) coordinates.
   explicit RandomGaussian(double stddev = 1.0);
-  Vector forge(const AttackContext& ctx, Rng& rng) const override;
+  void forge_into(const AttackContext& ctx, Rng& rng,
+                  std::span<double> out) const override;
   std::string name() const override { return "random"; }
 
  private:
@@ -39,13 +41,15 @@ class RandomGaussian final : public Attack {
 
 class ZeroGradient final : public Attack {
  public:
-  Vector forge(const AttackContext& ctx, Rng& rng) const override;
+  void forge_into(const AttackContext& ctx, Rng& rng,
+                  std::span<double> out) const override;
   std::string name() const override { return "zero"; }
 };
 
 class Mimic final : public Attack {
  public:
-  Vector forge(const AttackContext& ctx, Rng& rng) const override;
+  void forge_into(const AttackContext& ctx, Rng& rng,
+                  std::span<double> out) const override;
   std::string name() const override { return "mimic"; }
 };
 

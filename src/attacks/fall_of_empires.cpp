@@ -9,11 +9,11 @@ FallOfEmpires::FallOfEmpires(double nu) : nu_(nu) {
   require(nu >= 0, "FallOfEmpires: nu must be non-negative");
 }
 
-Vector FallOfEmpires::forge(const AttackContext& ctx, Rng&) const {
-  require(!ctx.honest_gradients.empty(), "FallOfEmpires: no honest gradients to observe");
-  Vector forged = stats::coordinate_mean(ctx.honest_gradients);
-  vec::scale_inplace(forged, 1.0 - nu_);
-  return forged;
+void FallOfEmpires::forge_into(const AttackContext& ctx, Rng&,
+                               std::span<double> out) const {
+  require(ctx.observed_rows > 0, "FallOfEmpires: no honest gradients to observe");
+  mean_rows_into(ctx.observed, ctx.observed_rows, out);
+  vec::scale_inplace(out, 1.0 - nu_);
 }
 
 }  // namespace dpbyz

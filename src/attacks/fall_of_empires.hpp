@@ -16,7 +16,8 @@ class FallOfEmpires final : public Attack {
  public:
   explicit FallOfEmpires(double nu = 1.1);
 
-  Vector forge(const AttackContext& ctx, Rng& rng) const override;
+  void forge_into(const AttackContext& ctx, Rng& rng,
+                  std::span<double> out) const override;
   std::string name() const override { return "empire"; }
   double nu() const { return nu_; }
 

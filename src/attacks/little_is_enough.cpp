@@ -19,13 +19,14 @@ double ALittleIsEnough::optimal_nu(size_t n, size_t f) {
   return stats::normal_quantile(p);
 }
 
-Vector ALittleIsEnough::forge(const AttackContext& ctx, Rng&) const {
-  require(!ctx.honest_gradients.empty(), "ALittleIsEnough: no honest gradients to observe");
-  // g_t ~ mean of honest submissions; a_t = -coordinate-wise stddev.
-  Vector forged = stats::coordinate_mean(ctx.honest_gradients);
-  const Vector sigma = stats::coordinate_stddev(ctx.honest_gradients);
-  vec::axpy_inplace(forged, -nu_, sigma);
-  return forged;
+void ALittleIsEnough::forge_into(const AttackContext& ctx, Rng&,
+                                 std::span<double> out) const {
+  require(ctx.observed_rows > 0, "ALittleIsEnough: no honest gradients to observe");
+  // g_t ~ mean of honest gradients; a_t = -coordinate-wise stddev.
+  mean_rows_into(ctx.observed, ctx.observed_rows, out);
+  sigma_.resize(ctx.observed.dim());
+  stddev_rows_into(ctx.observed, ctx.observed_rows, out, sigma_);
+  vec::axpy_inplace(out, -nu_, CView(sigma_));
 }
 
 }  // namespace dpbyz

@@ -16,7 +16,8 @@ class ALittleIsEnough final : public Attack {
  public:
   explicit ALittleIsEnough(double nu = 1.5);
 
-  Vector forge(const AttackContext& ctx, Rng& rng) const override;
+  void forge_into(const AttackContext& ctx, Rng& rng,
+                  std::span<double> out) const override;
   std::string name() const override { return "little"; }
   double nu() const { return nu_; }
 
@@ -30,6 +31,9 @@ class ALittleIsEnough final : public Attack {
 
  private:
   double nu_;
+  /// Coordinate-stddev scratch, reused across steps (one attack instance
+  /// serves one single-threaded training run; see forge_into).
+  mutable Vector sigma_;
 };
 
 }  // namespace dpbyz

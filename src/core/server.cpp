@@ -10,9 +10,16 @@ ParameterServer::ParameterServer(std::unique_ptr<Aggregator> gar, SgdOptimizer o
   require(gar_ != nullptr, "ParameterServer: null aggregator");
 }
 
-void ParameterServer::step(std::span<const Vector> gradients, size_t t) {
-  last_aggregate_ = gar_->aggregate(gradients);
+void ParameterServer::step(const GradientBatch& batch, size_t t) {
+  const auto aggregate = gar_->aggregate(batch, ws_);
+  last_aggregate_.assign(aggregate.begin(), aggregate.end());
   optimizer_.step(w_, last_aggregate_, t);
+}
+
+void ParameterServer::step(std::span<const Vector> gradients, size_t t) {
+  legacy_batch_.reshape(gradients.size(), gradients.empty() ? 0 : gradients[0].size());
+  for (size_t i = 0; i < gradients.size(); ++i) legacy_batch_.set_row(i, gradients[i]);
+  step(legacy_batch_, t);
 }
 
 }  // namespace dpbyz

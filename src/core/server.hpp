@@ -6,6 +6,10 @@
 // (callers read parameters()).  Its curiosity — trying to invert honest
 // gradients — is a privacy concern handled on the worker side by the DP
 // mechanism; the server object needs no code for it.
+//
+// The server owns the AggregatorWorkspace its GAR aggregates through, so
+// the per-step hot path (step on a GradientBatch) allocates nothing once
+// the workspace has warmed up.
 #pragma once
 
 #include <memory>
@@ -20,8 +24,12 @@ class ParameterServer {
   /// Takes ownership of the GAR and optimizer; `w0` is the initial model.
   ParameterServer(std::unique_ptr<Aggregator> gar, SgdOptimizer optimizer, Vector w0);
 
-  /// One synchronous round: aggregate the n submitted gradients and apply
-  /// the update for (1-based) step t.
+  /// One synchronous round: aggregate the n batch rows and apply the
+  /// update for (1-based) step t.  Allocation-free at steady state.
+  void step(const GradientBatch& batch, size_t t);
+
+  /// Legacy convenience: packs the vectors into an internal arena and
+  /// forwards (copies; not for the hot loop).
   void step(std::span<const Vector> gradients, size_t t);
 
   const Vector& parameters() const { return w_; }
@@ -33,6 +41,8 @@ class ParameterServer {
   SgdOptimizer optimizer_;
   Vector w_;
   Vector last_aggregate_;
+  AggregatorWorkspace ws_;
+  GradientBatch legacy_batch_;  // arena backing the span overload
 };
 
 }  // namespace dpbyz

@@ -77,34 +77,40 @@ RunResult Trainer::run() {
 
   RunResult result;
   result.train_loss.reserve(config_.steps);
-  std::vector<Vector> submissions(n);
+
+  // One contiguous arena for the round's n submissions, reused across all
+  // T steps (the server's workspace is likewise persistent), so the
+  // steady-state loop allocates only inside model/mechanism internals.
+  GradientBatch submissions(n, model_.dim());
+  const bool observe_clean =
+      config_.attack_enabled && config_.attack_observes == "clean";
+  // Separate arena for the adversary's clean-gradient observation point.
+  GradientBatch clean;
+  if (observe_clean) clean.reshape(honest.size(), model_.dim());
 
   for (size_t t = 1; t <= config_.steps; ++t) {
     const Vector& w = server.parameters();
 
-    // 1. Honest pipelines.
+    // 1. Honest pipelines write straight into their arena rows.
     double loss_acc = 0.0;
-    const bool observe_clean =
-        config_.attack_enabled && config_.attack_observes == "clean";
-    std::vector<Vector> clean;
-    if (observe_clean) clean.reserve(honest.size());
     for (size_t i = 0; i < honest.size(); ++i) {
-      submissions[i] = honest[i].submit(w);
+      honest[i].submit_into(w, submissions.row(i));
       loss_acc += honest[i].last_batch_loss();
-      if (observe_clean) clean.push_back(honest[i].last_clean_gradient());
+      if (observe_clean) clean.set_row(i, honest[i].last_clean_gradient());
     }
     result.train_loss.push_back(loss_acc / static_cast<double>(honest.size()));
 
     // 2. Byzantine forgery (colluding: all f submit the same vector,
     // crafted from the configured observation point — the wire by
-    // default; see ExperimentConfig::attack_observes).
+    // default; see ExperimentConfig::attack_observes).  The common
+    // gradient is forged in place into the first Byzantine row and
+    // replicated over the remaining ones.
     if (config_.attack_enabled && f > 0) {
-      const std::span<const Vector> observed =
-          observe_clean ? std::span<const Vector>(clean)
-                        : std::span<const Vector>(submissions.data(), honest.size());
-      const AttackContext ctx{observed, f, t};
-      const Vector forged = attack_->forge(ctx, attack_rng);
-      for (size_t i = honest.size(); i < n; ++i) submissions[i] = forged;
+      const GradientBatch& observed = observe_clean ? clean : submissions;
+      const AttackContext ctx{observed, honest.size(), f, t};
+      attack_->forge_into(ctx, attack_rng, submissions.row(honest.size()));
+      for (size_t i = honest.size() + 1; i < n; ++i)
+        vec::copy(submissions.row(honest.size()), submissions.row(i));
     }
 
     // 2b. Network losses: each honest submission is independently dropped
@@ -114,7 +120,7 @@ RunResult Trainer::run() {
     if (config_.dropout_prob > 0.0) {
       for (size_t i = 0; i < honest.size(); ++i)
         if (dropout_rng.bernoulli(config_.dropout_prob))
-          submissions[i] = vec::zeros(model_.dim());
+          vec::fill(submissions.row(i), 0.0);
     }
 
     // 3. Aggregate + update.

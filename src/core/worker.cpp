@@ -24,7 +24,7 @@ HonestWorker::HonestWorker(const Model& model, const Dataset& train, size_t batc
   require(momentum >= 0 && momentum < 1, "HonestWorker: momentum must be in [0,1)");
 }
 
-Vector HonestWorker::submit(const Vector& w) {
+void HonestWorker::submit_into(const Vector& w, std::span<double> out) {
   const auto batch = sampler_.next(batch_size_, sample_rng_);
   // Loss is evaluated on the same batch the gradient is computed on —
   // this is the per-step training loss series the paper plots.
@@ -39,8 +39,14 @@ Vector HonestWorker::submit(const Vector& w) {
       velocity_[i] = momentum_ * velocity_[i] + g[i];
     g = velocity_;
   }
-  last_clean_gradient_ = g;
-  return mechanism_.perturb(g, noise_rng_);
+  last_clean_gradient_ = std::move(g);
+  vec::copy(mechanism_.perturb(last_clean_gradient_, noise_rng_), out);
+}
+
+Vector HonestWorker::submit(const Vector& w) {
+  Vector out(model_.dim());
+  submit_into(w, out);
+  return out;
 }
 
 }  // namespace dpbyz

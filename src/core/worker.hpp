@@ -36,8 +36,12 @@ class HonestWorker {
                double clip_norm, const NoiseMechanism& mechanism, Rng rng,
                bool clip = true, double momentum = 0.0);
 
-  /// Run one full step pipeline at parameters `w`; returns the sanitized
-  /// gradient o_t^(i) to send.
+  /// Run one full step pipeline at parameters `w` and write the sanitized
+  /// gradient o_t^(i) into `out` — typically this worker's row of the
+  /// round's GradientBatch arena, so the "send" is the in-place write.
+  void submit_into(const Vector& w, std::span<double> out);
+
+  /// Allocating convenience wrapper around submit_into.
   Vector submit(const Vector& w);
 
   /// Mini-batch loss at the most recent submit()'s batch and parameters —

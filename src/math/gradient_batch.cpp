@@ -1,0 +1,148 @@
+#include "math/gradient_batch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "utils/errors.hpp"
+#include "utils/parallel.hpp"
+
+namespace dpbyz {
+
+GradientBatch::GradientBatch(size_t rows, size_t dim) { reshape(rows, dim); }
+
+void GradientBatch::reshape(size_t rows, size_t dim) {
+  rows_ = rows;
+  dim_ = dim;
+  // resize() never reallocates when the new extent fits the current
+  // capacity, so cross-round reuse is allocation-free.
+  data_.resize(rows * dim, 0.0);
+}
+
+std::span<double> GradientBatch::row(size_t i) {
+  require(i < rows_, "GradientBatch::row: index out of range");
+  return {data_.data() + i * dim_, dim_};
+}
+
+std::span<const double> GradientBatch::row(size_t i) const {
+  require(i < rows_, "GradientBatch::row: index out of range");
+  return {data_.data() + i * dim_, dim_};
+}
+
+void GradientBatch::set_row(size_t i, std::span<const double> v) {
+  require(v.size() == dim_, "GradientBatch::set_row: dimension mismatch");
+  std::copy(v.begin(), v.end(), row(i).begin());
+}
+
+Vector GradientBatch::row_vector(size_t i) const {
+  const auto r = row(i);
+  return Vector(r.begin(), r.end());
+}
+
+GradientBatch GradientBatch::from_vectors(std::span<const Vector> vs) {
+  GradientBatch batch(vs.size(), vs.empty() ? 0 : vs[0].size());
+  for (size_t i = 0; i < vs.size(); ++i) {
+    require(vs[i].size() == batch.dim(),
+            "GradientBatch::from_vectors: dimension mismatch across vectors");
+    batch.set_row(i, vs[i]);
+  }
+  return batch;
+}
+
+bool GradientBatch::all_finite() const { return vec::all_finite(flat()); }
+
+void mean_rows_into(const GradientBatch& batch, std::span<double> out) {
+  mean_rows_into(batch, batch.rows(), out);
+}
+
+void mean_rows_into(const GradientBatch& batch, size_t rows, std::span<double> out) {
+  require(rows > 0, "mean_rows_into: empty batch");
+  require(rows <= batch.rows(), "mean_rows_into: row count out of range");
+  require(out.size() == batch.dim(), "mean_rows_into: output dimension mismatch");
+  vec::fill(out, 0.0);
+  for (size_t i = 0; i < rows; ++i) vec::add_inplace(out, batch.row(i));
+  vec::scale_inplace(out, 1.0 / static_cast<double>(rows));
+}
+
+void stddev_rows_into(const GradientBatch& batch, size_t rows,
+                      std::span<const double> mean, std::span<double> out) {
+  require(rows > 0 && rows <= batch.rows(), "stddev_rows_into: bad row count");
+  require(mean.size() == batch.dim() && out.size() == batch.dim(),
+          "stddev_rows_into: dimension mismatch");
+  vec::fill(out, 0.0);
+  for (size_t i = 0; i < rows; ++i) {
+    const auto r = batch.row(i);
+    for (size_t c = 0; c < r.size(); ++c) {
+      const double diff = r[c] - mean[c];
+      out[c] += diff * diff;
+    }
+  }
+  const double inv_n = 1.0 / static_cast<double>(rows);
+  for (double& x : out) x = std::sqrt(x * inv_n);
+}
+
+void mean_rows_of_into(const GradientBatch& batch, std::span<const size_t> idx,
+                       std::span<double> out) {
+  require(!idx.empty(), "mean_rows_of_into: empty selection");
+  require(out.size() == batch.dim(), "mean_rows_of_into: output dimension mismatch");
+  vec::fill(out, 0.0);
+  for (size_t i : idx) {
+    require(i < batch.rows(), "mean_rows_of_into: index out of range");
+    vec::add_inplace(out, batch.row(i));
+  }
+  vec::scale_inplace(out, 1.0 / static_cast<double>(idx.size()));
+}
+
+void pairwise_dist_sq(const GradientBatch& batch, std::span<double> out,
+                      size_t threads) {
+  const size_t n = batch.rows();
+  const size_t d = batch.dim();
+  require(out.size() == n * n, "pairwise_dist_sq: output must be rows*rows");
+  if (n == 0) return;
+  require(d > 0, "pairwise_dist_sq: zero-dimensional rows");
+
+  for (size_t i = 0; i < n; ++i) out[i * n + i] = 0.0;
+
+  // Tile the (i, j) pair loop so a block of j-rows stays cache-resident
+  // while the i-rows stream past it; each unordered pair belongs to
+  // exactly one tile (the one containing j), so tiles are independent.
+  constexpr size_t kTileBytes = 256 * 1024;
+  const size_t rows_per_tile = std::max<size_t>(1, kTileBytes / (sizeof(double) * d));
+  const size_t num_tiles = (n + rows_per_tile - 1) / rows_per_tile;
+
+  auto do_tile = [&](size_t tile) {
+    const size_t jb = tile * rows_per_tile;
+    const size_t je = std::min(n, jb + rows_per_tile);
+    for (size_t i = 0; i < je; ++i) {
+      const double* ri = batch.row(i).data();
+      for (size_t j = std::max(i + 1, jb); j < je; ++j) {
+        const double* rj = batch.row(j).data();
+        // Single forward pass — bit-identical to vec::dist_sq.
+        double acc = 0.0;
+        for (size_t k = 0; k < d; ++k) {
+          const double diff = ri[k] - rj[k];
+          acc += diff * diff;
+        }
+        out[i * n + j] = acc;
+        out[j * n + i] = acc;
+      }
+    }
+    return 0;
+  };
+
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw > 0 ? hw : 1;
+  }
+  // Thread spawn (and parallel_map's result buffer) only pays off for
+  // heavy matrices; the serial path is allocation-free.
+  constexpr size_t kParallelMinWork = size_t{1} << 24;  // pair-coordinates
+  const size_t total_work = n * (n - 1) / 2 * d;
+  if (threads <= 1 || num_tiles <= 1 || total_work < kParallelMinWork) {
+    for (size_t t = 0; t < num_tiles; ++t) do_tile(t);
+  } else {
+    parallel_map(num_tiles, do_tile, threads);
+  }
+}
+
+}  // namespace dpbyz

@@ -1,0 +1,110 @@
+// gradient_batch.hpp — contiguous n×d arena for one round of gradients.
+//
+// The server's hot loop handles n worker gradients of dimension d every
+// step.  Storing them as n separate std::vector<double>s scatters them
+// across the heap and costs n allocations per round; at the sweep sizes
+// (n up to 50+, d up to 1e5) the O(n²d) GAR kernels then stride through
+// unrelated cache lines.  GradientBatch owns one row-major n*d buffer and
+// hands out std::span row views, so
+//   * workers write their submission straight into their row,
+//   * attacks forge Byzantine rows in place,
+//   * GAR kernels stream rows that are contiguous and prefetchable,
+//   * reshape() reuses the allocation across training steps — the
+//     steady-state path performs zero heap allocations.
+//
+// Row views alias the arena: writing through row(i) is visible through
+// flat() and vice versa.  Views are invalidated by reshape() calls that
+// grow the arena beyond its capacity, exactly like std::vector iterators.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "math/vector_ops.hpp"
+
+namespace dpbyz {
+
+class GradientBatch {
+ public:
+  GradientBatch() = default;
+
+  /// A rows×dim arena, zero-initialised.
+  GradientBatch(size_t rows, size_t dim);
+
+  /// Resize to rows×dim.  Never shrinks capacity; when the new extent
+  /// fits the existing allocation no memory is allocated.  This is the
+  /// cross-round reuse primitive.  Contents: when `dim` is unchanged,
+  /// retained rows keep their values and newly grown rows are zero;
+  /// when `dim` changes, the flat buffer is reinterpreted with new row
+  /// boundaries and ALL row contents are unspecified — overwrite every
+  /// row before reading.
+  void reshape(size_t rows, size_t dim);
+
+  size_t rows() const { return rows_; }
+  size_t dim() const { return dim_; }
+  bool empty() const { return rows_ == 0; }
+
+  /// Mutable / const view of row i (length dim()).  Aliases the arena.
+  std::span<double> row(size_t i);
+  std::span<const double> row(size_t i) const;
+
+  /// The whole arena as one rows()*dim() row-major span.
+  std::span<double> flat() { return {data_.data(), rows_ * dim_}; }
+  std::span<const double> flat() const { return {data_.data(), rows_ * dim_}; }
+
+  /// Copy `v` (length dim()) into row i.
+  void set_row(size_t i, std::span<const double> v);
+
+  /// Owning copy of row i (allocates — not for the hot path).
+  Vector row_vector(size_t i) const;
+
+  /// Pack owning vectors into a fresh batch (legacy-API bridge).
+  /// All vectors must share one dimension.
+  static GradientBatch from_vectors(std::span<const Vector> vs);
+
+  /// True iff every stored component is finite (no NaN/Inf).
+  bool all_finite() const;
+
+ private:
+  size_t rows_ = 0;
+  size_t dim_ = 0;
+  std::vector<double> data_;
+};
+
+/// Mean of all rows written into `out` (length dim).  Accumulates row by
+/// row in index order — bit-identical to vec::mean over the same vectors.
+void mean_rows_into(const GradientBatch& batch, std::span<double> out);
+
+/// Mean of the first `rows` rows only (the attack observation path, where
+/// the adversary sees the honest prefix of the submission arena).
+void mean_rows_into(const GradientBatch& batch, size_t rows, std::span<double> out);
+
+/// Coordinate-wise *population* standard deviation (divide by rows) of the
+/// first `rows` rows, given their precomputed `mean` — bit-identical to
+/// stats::coordinate_stddev on the same vectors.
+void stddev_rows_into(const GradientBatch& batch, size_t rows,
+                      std::span<const double> mean, std::span<double> out);
+
+/// Mean of the rows selected by `idx`, in `idx` order (bit-identical to
+/// vec::mean_of on the same inputs).
+void mean_rows_of_into(const GradientBatch& batch, std::span<const size_t> idx,
+                       std::span<double> out);
+
+/// Symmetric pairwise squared-distance kernel shared by Krum, MDA and
+/// Bulyan: fills the rows*rows row-major matrix `out` with
+/// out[i*rows + j] = ||row_i - row_j||², diagonal 0.  Each unordered pair
+/// is computed once; per-pair accumulation runs a single forward pass over
+/// the coordinates, so every entry is bit-identical to vec::dist_sq on the
+/// same rows.  The pair loop is tiled over row blocks for cache reuse and
+/// dispatched through parallel_map (coarse grain) when the work is large
+/// enough to amortise thread spawn; `threads` = 0 picks the hardware
+/// concurrency, 1 (the default) forces serial.  The serial path is
+/// allocation-free, which is why the GAR hot path uses it — threaded
+/// dispatch is an explicit opt-in for future sharded callers (thread
+/// spawn allocates, and nesting it inside run_seeds_parallel would
+/// oversubscribe the machine).
+void pairwise_dist_sq(const GradientBatch& batch, std::span<double> out,
+                      size_t threads = 1);
+
+}  // namespace dpbyz

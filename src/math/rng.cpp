@@ -66,9 +66,13 @@ bool Rng::bernoulli(double p) {
 
 Vector Rng::normal_vector(size_t d, double stddev) {
   Vector out(d);
+  normal_fill(out, stddev);
+  return out;
+}
+
+void Rng::normal_fill(std::span<double> out, double stddev) {
   std::normal_distribution<double> dist(0.0, stddev);
   for (double& x : out) x = dist(engine_);
-  return out;
 }
 
 Vector Rng::laplace_vector(size_t d, double scale) {

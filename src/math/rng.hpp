@@ -51,6 +51,11 @@ class Rng {
   /// y ~ N(0, I_d * s^2) from Eq. (6) of the paper.
   Vector normal_vector(size_t d, double stddev);
 
+  /// Fill `out` with iid N(0, stddev^2) entries — the allocation-free
+  /// variant; draw-for-draw identical to normal_vector (the RandomGaussian
+  /// attack forges rows in place through this).
+  void normal_fill(std::span<double> out, double stddev);
+
   /// Vector of iid Laplace(0, scale) entries.
   Vector laplace_vector(size_t d, double scale);
 

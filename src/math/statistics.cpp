@@ -24,7 +24,7 @@ double variance(std::span<const double> xs) {
 
 double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
 
-double quantile(std::vector<double> xs, double p) {
+double quantile_inplace(std::span<double> xs, double p) {
   require(!xs.empty(), "stats::quantile: empty sample");
   require(p >= 0.0 && p <= 1.0, "stats::quantile: p must be in [0,1]");
   std::sort(xs.begin(), xs.end());
@@ -35,6 +35,10 @@ double quantile(std::vector<double> xs, double p) {
   const double frac = pos - static_cast<double>(lo);
   return xs[lo] * (1.0 - frac) + xs[hi] * frac;
 }
+
+double median_inplace(std::span<double> xs) { return quantile_inplace(xs, 0.5); }
+
+double quantile(std::vector<double> xs, double p) { return quantile_inplace(xs, p); }
 
 double median(std::vector<double> xs) { return quantile(std::move(xs), 0.5); }
 

@@ -30,6 +30,12 @@ double quantile(std::vector<double> xs, double p);
 /// Median (0.5-quantile).
 double median(std::vector<double> xs);
 
+/// Allocation-free variants for the aggregation hot path: sort the caller's
+/// scratch buffer in place and return the same value quantile()/median()
+/// would return for the same sample.
+double quantile_inplace(std::span<double> xs, double p);
+double median_inplace(std::span<double> xs);
+
 /// Standard-normal quantile Phi^{-1}(p) for p in (0, 1), via bisection on
 /// the erf-based CDF (absolute error < 1e-10).  Used by the auto-
 /// calibrated "A Little Is Enough" factor.

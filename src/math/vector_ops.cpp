@@ -1,5 +1,6 @@
 #include "math/vector_ops.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "utils/errors.hpp"
@@ -7,10 +8,102 @@
 namespace dpbyz::vec {
 
 namespace {
-void require_same_dim(const Vector& a, const Vector& b, const char* op) {
-  require(a.size() == b.size(), std::string("vec::") + op + ": dimension mismatch");
+void require_same_dim(CView a, CView b, const char* op) {
+  // Message built only on failure: this check guards every hot-path
+  // vector op, and eager std::string concatenation would heap-allocate
+  // on each successful call.
+  if (a.size() != b.size())
+    throw std::invalid_argument(std::string("vec::") + op + ": dimension mismatch");
 }
 }  // namespace
+
+// ---- span implementations (the single source of truth) ----
+
+void fill(View a, double value) {
+  for (double& x : a) x = value;
+}
+
+void copy(CView src, View dst) {
+  require_same_dim(src, dst, "copy");
+  std::copy(src.begin(), src.end(), dst.begin());
+}
+
+void add_inplace(View a, CView b) {
+  require_same_dim(a, b, "add_inplace");
+  for (size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+}
+
+void sub_inplace(View a, CView b) {
+  require_same_dim(a, b, "sub_inplace");
+  for (size_t i = 0; i < a.size(); ++i) a[i] -= b[i];
+}
+
+void scale_inplace(View a, double s) {
+  for (double& x : a) x *= s;
+}
+
+void axpy_inplace(View a, double s, CView b) {
+  require_same_dim(a, b, "axpy_inplace");
+  for (size_t i = 0; i < a.size(); ++i) a[i] += s * b[i];
+}
+
+double dot(CView a, CView b) {
+  require_same_dim(a, b, "dot");
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double norm_sq(CView a) {
+  double acc = 0.0;
+  for (double x : a) acc += x * x;
+  return acc;
+}
+
+double norm(CView a) { return std::sqrt(norm_sq(a)); }
+
+double norm_l1(CView a) {
+  double acc = 0.0;
+  for (double x : a) acc += std::abs(x);
+  return acc;
+}
+
+double norm_inf(CView a) {
+  double acc = 0.0;
+  for (double x : a) acc = std::max(acc, std::abs(x));
+  return acc;
+}
+
+double dist_sq(CView a, CView b) {
+  require_same_dim(a, b, "dist_sq");
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+double dist(CView a, CView b) { return std::sqrt(dist_sq(a, b)); }
+
+bool all_finite(CView a) {
+  for (double x : a)
+    if (!std::isfinite(x)) return false;
+  return true;
+}
+
+bool approx_equal(CView a, CView b, double tol) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i)
+    if (std::abs(a[i] - b[i]) > tol) return false;
+  return true;
+}
+
+bool lex_less(CView a, CView b) {
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+}
+
+// ---- Vector API (forwards to the span implementations) ----
 
 Vector zeros(size_t d) { return Vector(d, 0.0); }
 
@@ -34,63 +127,31 @@ Vector scale(const Vector& a, double s) {
   return out;
 }
 
-void add_inplace(Vector& a, const Vector& b) {
-  require_same_dim(a, b, "add_inplace");
-  for (size_t i = 0; i < a.size(); ++i) a[i] += b[i];
-}
+void add_inplace(Vector& a, const Vector& b) { add_inplace(View(a), CView(b)); }
 
-void sub_inplace(Vector& a, const Vector& b) {
-  require_same_dim(a, b, "sub_inplace");
-  for (size_t i = 0; i < a.size(); ++i) a[i] -= b[i];
-}
+void sub_inplace(Vector& a, const Vector& b) { sub_inplace(View(a), CView(b)); }
 
-void scale_inplace(Vector& a, double s) {
-  for (double& x : a) x *= s;
-}
+void scale_inplace(Vector& a, double s) { scale_inplace(View(a), s); }
 
 void axpy_inplace(Vector& a, double s, const Vector& b) {
-  require_same_dim(a, b, "axpy_inplace");
-  for (size_t i = 0; i < a.size(); ++i) a[i] += s * b[i];
+  axpy_inplace(View(a), s, CView(b));
 }
 
-double dot(const Vector& a, const Vector& b) {
-  require_same_dim(a, b, "dot");
-  double acc = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
-  return acc;
-}
+double dot(const Vector& a, const Vector& b) { return dot(CView(a), CView(b)); }
 
-double norm_sq(const Vector& a) {
-  double acc = 0.0;
-  for (double x : a) acc += x * x;
-  return acc;
-}
+double norm_sq(const Vector& a) { return norm_sq(CView(a)); }
 
-double norm(const Vector& a) { return std::sqrt(norm_sq(a)); }
+double norm(const Vector& a) { return norm(CView(a)); }
 
-double norm_l1(const Vector& a) {
-  double acc = 0.0;
-  for (double x : a) acc += std::abs(x);
-  return acc;
-}
+double norm_l1(const Vector& a) { return norm_l1(CView(a)); }
 
-double norm_inf(const Vector& a) {
-  double acc = 0.0;
-  for (double x : a) acc = std::max(acc, std::abs(x));
-  return acc;
-}
+double norm_inf(const Vector& a) { return norm_inf(CView(a)); }
 
 double dist_sq(const Vector& a, const Vector& b) {
-  require_same_dim(a, b, "dist_sq");
-  double acc = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    const double diff = a[i] - b[i];
-    acc += diff * diff;
-  }
-  return acc;
+  return dist_sq(CView(a), CView(b));
 }
 
-double dist(const Vector& a, const Vector& b) { return std::sqrt(dist_sq(a, b)); }
+double dist(const Vector& a, const Vector& b) { return dist(CView(a), CView(b)); }
 
 Vector mean(std::span<const Vector> vs) {
   require(!vs.empty(), "vec::mean: empty input");
@@ -112,17 +173,10 @@ Vector mean_of(std::span<const Vector> vs, std::span<const size_t> idx) {
   return out;
 }
 
-bool all_finite(const Vector& a) {
-  for (double x : a)
-    if (!std::isfinite(x)) return false;
-  return true;
-}
+bool all_finite(const Vector& a) { return all_finite(CView(a)); }
 
 bool approx_equal(const Vector& a, const Vector& b, double tol) {
-  if (a.size() != b.size()) return false;
-  for (size_t i = 0; i < a.size(); ++i)
-    if (std::abs(a[i] - b[i]) > tol) return false;
-  return true;
+  return approx_equal(CView(a), CView(b), tol);
 }
 
 }  // namespace dpbyz::vec

@@ -15,6 +15,13 @@ namespace dpbyz {
 
 using Vector = std::vector<double>;
 
+/// Mutable / read-only views over contiguous coordinate storage (a Vector,
+/// a GradientBatch row, or any double buffer).  The span overloads below
+/// are the allocation-free hot-path API; the Vector overloads forward to
+/// them, so both paths are bit-identical.
+using View = std::span<double>;
+using CView = std::span<const double>;
+
 namespace vec {
 
 /// A zero vector of dimension `d`.
@@ -73,6 +80,34 @@ bool all_finite(const Vector& a);
 
 /// True iff ||a - b||_inf <= tol.
 bool approx_equal(const Vector& a, const Vector& b, double tol = 1e-12);
+
+// ---- span overloads (allocation-free; write into caller storage) ----
+
+/// Set every component of `a` to `value`.
+void fill(View a, double value);
+
+/// Copy `src` into `dst`.  Dimensions must match.
+void copy(CView src, View dst);
+
+/// In-place a += b / a -= b / a *= s / a += s * b on views.
+void add_inplace(View a, CView b);
+void sub_inplace(View a, CView b);
+void scale_inplace(View a, double s);
+void axpy_inplace(View a, double s, CView b);
+
+double dot(CView a, CView b);
+double norm_sq(CView a);
+double norm(CView a);
+double norm_l1(CView a);
+double norm_inf(CView a);
+double dist_sq(CView a, CView b);
+double dist(CView a, CView b);
+bool all_finite(CView a);
+bool approx_equal(CView a, CView b, double tol);
+
+/// Lexicographic strict ordering of two views — the canonical GAR
+/// tie-break, matching std::vector<double>'s operator< on the same values.
+bool lex_less(CView a, CView b);
 
 }  // namespace vec
 }  // namespace dpbyz

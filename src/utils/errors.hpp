@@ -18,10 +18,24 @@ inline void require(bool cond, const std::string& msg) {
   if (!cond) throw std::invalid_argument(msg);
 }
 
+/// Literal-message overload: hot-path checks (vector ops, batch row
+/// accesses) call require() millions of times per step, and the
+/// std::string overload would construct — i.e. heap-allocate — its
+/// message on every *successful* check.  This overload defers any
+/// allocation to the throwing branch.
+inline void require(bool cond, const char* msg) {
+  if (!cond) throw std::invalid_argument(msg);
+}
+
 /// Throw std::logic_error with `msg` when `cond` is false.
 /// Use for internal invariants that indicate a bug in dpbyz itself.
 inline void check_internal(bool cond, const std::string& msg) {
   if (!cond) throw std::logic_error("dpbyz internal error: " + msg);
+}
+
+/// Literal-message overload; see require(bool, const char*).
+inline void check_internal(bool cond, const char* msg) {
+  if (!cond) throw std::logic_error(std::string("dpbyz internal error: ") + msg);
 }
 
 }  // namespace dpbyz

@@ -1,4 +1,5 @@
-// parallel.hpp — deterministic fork-join helper for multi-seed sweeps.
+// parallel.hpp — deterministic fork-join helper for multi-seed sweeps and
+// the blocked GAR kernels.
 //
 // The experiment presets run 5 independent seeded repetitions per
 // configuration; those runs share only const data (model, datasets) and
@@ -7,12 +8,19 @@
 // callers get bit-identical output to the serial loop — determinism is a
 // library-wide invariant the tests rely on.
 //
+// Work is handed out in contiguous chunks of `grain` indices per atomic
+// cursor bump.  The default grain of 1 is right for coarse tasks (one
+// seeded training run each); kernels with tiny per-index bodies (one
+// distance row, one coordinate) should pass a larger grain so they don't
+// pay one atomic fetch — and one cache-line ping — per element.
+//
 // Exception policy: the first exception thrown by any task is captured
 // and rethrown on the calling thread after all workers join (results are
 // then discarded).  No detached threads, no shared mutable state beyond
 // the result slots and the atomic cursor.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <functional>
@@ -23,20 +31,24 @@ namespace dpbyz {
 
 /// Evaluate fn(0), ..., fn(count - 1) on up to `threads` std::threads and
 /// return the results in index order.  `threads` = 0 picks the hardware
-/// concurrency (at least 1).  fn must be safe to call concurrently for
+/// concurrency (at least 1).  `grain` is the number of consecutive indices
+/// claimed per scheduling step (>= 1; larger values amortise the atomic
+/// cursor for cheap tasks).  fn must be safe to call concurrently for
 /// distinct indices.
 template <typename Fn>
-auto parallel_map(size_t count, Fn fn, size_t threads = 0)
+auto parallel_map(size_t count, Fn fn, size_t threads = 0, size_t grain = 1)
     -> std::vector<decltype(fn(size_t{0}))> {
   using Result = decltype(fn(size_t{0}));
   std::vector<Result> results(count);
   if (count == 0) return results;
+  grain = std::max<size_t>(grain, 1);
 
   if (threads == 0) {
     const unsigned hw = std::thread::hardware_concurrency();
     threads = hw > 0 ? hw : 1;
   }
-  threads = std::min(threads, count);
+  const size_t chunks = (count + grain - 1) / grain;
+  threads = std::min(threads, chunks);
 
   if (threads <= 1) {
     for (size_t i = 0; i < count; ++i) results[i] = fn(i);
@@ -51,10 +63,12 @@ auto parallel_map(size_t count, Fn fn, size_t threads = 0)
   for (size_t t = 0; t < threads; ++t) {
     pool.emplace_back([&] {
       while (true) {
-        const size_t i = cursor.fetch_add(1);
-        if (i >= count || failed.load()) return;
+        const size_t chunk = cursor.fetch_add(1);
+        if (chunk >= chunks || failed.load()) return;
+        const size_t begin = chunk * grain;
+        const size_t end = std::min(count, begin + grain);
         try {
-          results[i] = fn(i);
+          for (size_t i = begin; i < end; ++i) results[i] = fn(i);
         } catch (...) {
           // Keep only the first failure; later ones are usually cascades.
           if (!failed.exchange(true)) first_error = std::current_exception();

@@ -31,9 +31,9 @@ class AttackPropertyTest : public ::testing::TestWithParam<std::string> {
 TEST_P(AttackPropertyTest, PreservesDimension) {
   const auto attack = make();
   for (size_t dim : {1u, 3u, 69u}) {
-    const auto honest = honest_sample(6, dim, 1);
+    const GradientBatch honest = GradientBatch::from_vectors(honest_sample(6, dim, 1));
     Rng rng(9);
-    const AttackContext ctx{honest, 5, 1};
+    const AttackContext ctx{honest, honest.rows(), 5, 1};
     EXPECT_EQ(attack->forge(ctx, rng).size(), dim);
   }
 }
@@ -41,18 +41,18 @@ TEST_P(AttackPropertyTest, PreservesDimension) {
 TEST_P(AttackPropertyTest, ProducesFiniteVectors) {
   const auto attack = make();
   for (uint64_t seed : {1, 2, 3}) {
-    const auto honest = honest_sample(6, 10, seed);
+    const GradientBatch honest = GradientBatch::from_vectors(honest_sample(6, 10, seed));
     Rng rng(seed);
-    const AttackContext ctx{honest, 5, 1};
+    const AttackContext ctx{honest, honest.rows(), 5, 1};
     EXPECT_TRUE(vec::all_finite(attack->forge(ctx, rng)));
   }
 }
 
 TEST_P(AttackPropertyTest, DeterministicGivenRngState) {
   const auto attack = make();
-  const auto honest = honest_sample(6, 8, 4);
+  const GradientBatch honest = GradientBatch::from_vectors(honest_sample(6, 8, 4));
   Rng a(7), b(7);
-  const AttackContext ctx{honest, 5, 3};
+  const AttackContext ctx{honest, honest.rows(), 5, 3};
   EXPECT_EQ(attack->forge(ctx, a), attack->forge(ctx, b));
 }
 
@@ -63,9 +63,9 @@ TEST_P(AttackPropertyTest, NameRoundTripsThroughFactory) {
 TEST_P(AttackPropertyTest, SingleHonestGradientIsHandled) {
   // Degenerate but legal: only one honest worker observed (sigma = 0).
   const auto attack = make();
-  const auto honest = honest_sample(1, 5, 2);
+  const GradientBatch honest = GradientBatch::from_vectors(honest_sample(1, 5, 2));
   Rng rng(1);
-  const AttackContext ctx{honest, 1, 1};
+  const AttackContext ctx{honest, honest.rows(), 1, 1};
   const Vector forged = attack->forge(ctx, rng);
   EXPECT_EQ(forged.size(), 5u);
   EXPECT_TRUE(vec::all_finite(forged));
@@ -82,8 +82,9 @@ TEST(AttackScaling, LittleOffsetScalesWithNu) {
     return g;
   }();
   const Vector mean = stats::coordinate_mean(honest);
+  const GradientBatch observed = GradientBatch::from_vectors(honest);
   Rng rng(1);
-  const AttackContext ctx{honest, 5, 1};
+  const AttackContext ctx{observed, observed.rows(), 5, 1};
   const Vector weak = make_attack("little", 0.5)->forge(ctx, rng);
   const Vector strong = make_attack("little", 2.0)->forge(ctx, rng);
   EXPECT_NEAR(vec::dist(strong, mean) / vec::dist(weak, mean), 4.0, 1e-9);
@@ -98,8 +99,9 @@ TEST(AttackScaling, EmpireNuOneIsExactZero) {
     for (int i = 0; i < 4; ++i) g.push_back(rng.normal_vector(3, 1.0));
     return g;
   }();
+  const GradientBatch observed = GradientBatch::from_vectors(honest);
   Rng rng(1);
-  const AttackContext ctx{honest, 2, 1};
+  const AttackContext ctx{observed, observed.rows(), 2, 1};
   const Vector forged = make_attack("empire", 1.0)->forge(ctx, rng);
   EXPECT_TRUE(vec::approx_equal(forged, vec::zeros(3), 1e-12));
 }
@@ -112,8 +114,9 @@ TEST(AttackScaling, RandomAttackVariesAcrossCalls) {
     return g;
   }();
   const auto attack = make_attack("random", std::nan(""));
+  const GradientBatch observed = GradientBatch::from_vectors(honest);
   Rng rng(5);
-  const AttackContext ctx{honest, 2, 1};
+  const AttackContext ctx{observed, observed.rows(), 2, 1};
   EXPECT_NE(attack->forge(ctx, rng), attack->forge(ctx, rng));
 }
 

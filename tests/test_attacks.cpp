@@ -18,15 +18,18 @@ std::vector<Vector> sample_honest() {
   // coord 0: mean 1, values {0,2,1} -> pop var 2/3; coord 1: stddev 0.
 }
 
-AttackContext ctx_of(const std::vector<Vector>& honest, size_t f = 5, size_t step = 1) {
-  return AttackContext{honest, f, step};
+/// Tests keep the observation arena alive for the context's lifetime, so
+/// each test materialises a named GradientBatch and builds contexts on it.
+AttackContext ctx_of(const GradientBatch& observed, size_t f = 5, size_t step = 1) {
+  return AttackContext{observed, observed.rows(), f, step};
 }
 
 TEST(ALittleIsEnough, ForgesMeanMinusNuSigma) {
   const auto honest = sample_honest();
+  const GradientBatch observed = GradientBatch::from_vectors(honest);
   ALittleIsEnough attack(1.5);
   Rng rng(1);
-  const Vector forged = attack.forge(ctx_of(honest), rng);
+  const Vector forged = attack.forge(ctx_of(observed), rng);
   const double sigma0 = std::sqrt(2.0 / 3.0);
   EXPECT_NEAR(forged[0], 1.0 - 1.5 * sigma0, 1e-12);
   EXPECT_NEAR(forged[1], 2.0, 1e-12);  // zero spread coordinate unchanged
@@ -53,9 +56,10 @@ TEST(ALittleIsEnough, StaysWithinHonestSpread) {
   Rng data_rng(5);
   std::vector<Vector> honest;
   for (int i = 0; i < 10; ++i) honest.push_back(data_rng.normal_vector(4, 0.3));
+  const GradientBatch observed = GradientBatch::from_vectors(honest);
   ALittleIsEnough attack(1.5);
   Rng rng(1);
-  const Vector forged = attack.forge(ctx_of(honest), rng);
+  const Vector forged = attack.forge(ctx_of(observed), rng);
   const Vector mean = stats::coordinate_mean(honest);
   const Vector sd = stats::coordinate_stddev(honest);
   for (size_t c = 0; c < 4; ++c)
@@ -64,9 +68,10 @@ TEST(ALittleIsEnough, StaysWithinHonestSpread) {
 
 TEST(FallOfEmpires, ForgesOneMinusNuTimesMean) {
   const auto honest = sample_honest();
+  const GradientBatch observed = GradientBatch::from_vectors(honest);
   FallOfEmpires attack(1.1);
   Rng rng(1);
-  const Vector forged = attack.forge(ctx_of(honest), rng);
+  const Vector forged = attack.forge(ctx_of(observed), rng);
   EXPECT_NEAR(forged[0], -0.1 * 1.0, 1e-12);
   EXPECT_NEAR(forged[1], -0.1 * 2.0, 1e-12);
 }
@@ -77,41 +82,46 @@ TEST(FallOfEmpires, PaperDefaultNu) {
 
 TEST(FallOfEmpires, NegatesInnerProductForNuAboveOne) {
   const auto honest = sample_honest();
+  const GradientBatch observed = GradientBatch::from_vectors(honest);
   const Vector mean = stats::coordinate_mean(honest);
   FallOfEmpires attack(1.1);
   Rng rng(1);
-  const Vector forged = attack.forge(ctx_of(honest), rng);
+  const Vector forged = attack.forge(ctx_of(observed), rng);
   EXPECT_LT(vec::dot(forged, mean), 0.0);
 }
 
 TEST(SignFlip, OppositeOfMean) {
   const auto honest = sample_honest();
+  const GradientBatch observed = GradientBatch::from_vectors(honest);
   SignFlip attack(2.0);
   Rng rng(1);
-  EXPECT_EQ(attack.forge(ctx_of(honest), rng), (Vector{-2.0, -4.0}));
+  EXPECT_EQ(attack.forge(ctx_of(observed), rng), (Vector{-2.0, -4.0}));
 }
 
 TEST(ZeroGradient, AllZeros) {
   const auto honest = sample_honest();
+  const GradientBatch observed = GradientBatch::from_vectors(honest);
   ZeroGradient attack;
   Rng rng(1);
-  EXPECT_EQ(attack.forge(ctx_of(honest), rng), vec::zeros(2));
+  EXPECT_EQ(attack.forge(ctx_of(observed), rng), vec::zeros(2));
 }
 
 TEST(Mimic, CopiesFirstHonest) {
   const auto honest = sample_honest();
+  const GradientBatch observed = GradientBatch::from_vectors(honest);
   Mimic attack;
   Rng rng(1);
-  EXPECT_EQ(attack.forge(ctx_of(honest), rng), honest[0]);
+  EXPECT_EQ(attack.forge(ctx_of(observed), rng), honest[0]);
 }
 
 TEST(RandomGaussian, HasRequestedSpread) {
   const auto honest = sample_honest();
+  const GradientBatch observed = GradientBatch::from_vectors(honest);
   RandomGaussian attack(3.0);
   Rng rng(7);
   stats::RunningStat s;
   for (int i = 0; i < 5000; ++i) {
-    const Vector v = attack.forge(ctx_of(honest), rng);
+    const Vector v = attack.forge(ctx_of(observed), rng);
     s.push(v[0]);
     s.push(v[1]);
   }
@@ -130,8 +140,9 @@ TEST(AttackFactory, CreatesEveryAdvertisedAttack) {
 TEST(AttackFactory, RespectsExplicitNu) {
   const auto little = make_attack("little", 2.5);
   const auto honest = sample_honest();
+  const GradientBatch observed = GradientBatch::from_vectors(honest);
   Rng rng(1);
-  const Vector forged = little->forge(ctx_of(honest), rng);
+  const Vector forged = little->forge(ctx_of(observed), rng);
   const double sigma0 = std::sqrt(2.0 / 3.0);
   EXPECT_NEAR(forged[0], 1.0 - 2.5 * sigma0, 1e-12);
 }
@@ -141,9 +152,9 @@ TEST(AttackFactory, UnknownNameThrows) {
 }
 
 TEST(Attacks, EmptyHonestSetThrows) {
-  const std::vector<Vector> none;
+  const GradientBatch none;
   Rng rng(1);
-  const AttackContext ctx{none, 5, 1};
+  const AttackContext ctx{none, 0, 5, 1};
   EXPECT_THROW(ALittleIsEnough().forge(ctx, rng), std::invalid_argument);
   EXPECT_THROW(FallOfEmpires().forge(ctx, rng), std::invalid_argument);
   EXPECT_THROW(SignFlip().forge(ctx, rng), std::invalid_argument);

@@ -1,0 +1,132 @@
+// Unit tests for the GradientBatch arena: row aliasing, cross-round
+// reuse without reallocation, non-finite rejection at the aggregation
+// boundary, and the shared pairwise-distance kernel.
+#include "math/gradient_batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aggregation/aggregator.hpp"
+#include "math/rng.hpp"
+#include "math/statistics.hpp"
+
+namespace dpbyz {
+namespace {
+
+std::vector<Vector> random_vectors(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vector> g;
+  for (size_t i = 0; i < n; ++i) g.push_back(rng.normal_vector(d, 1.0));
+  return g;
+}
+
+TEST(GradientBatch, RowViewsAliasTheArena) {
+  GradientBatch batch(3, 4);
+  batch.row(1)[2] = 7.5;
+  // Visible through the flat view at the row-major offset...
+  EXPECT_EQ(batch.flat()[1 * 4 + 2], 7.5);
+  // ...and writes through flat() are visible through the row view.
+  batch.flat()[2 * 4 + 0] = -1.25;
+  EXPECT_EQ(batch.row(2)[0], -1.25);
+  // Row spans point straight into the arena: no copies anywhere.
+  EXPECT_EQ(batch.row(0).data(), batch.flat().data());
+  EXPECT_EQ(batch.row(2).data(), batch.flat().data() + 2 * 4);
+}
+
+TEST(GradientBatch, SetRowAndRowVectorRoundTrip) {
+  GradientBatch batch(2, 3);
+  const Vector v{1.0, 2.0, 3.0};
+  batch.set_row(1, v);
+  EXPECT_EQ(batch.row_vector(1), v);
+  EXPECT_EQ(batch.row_vector(0), vec::zeros(3));
+  EXPECT_THROW(batch.set_row(0, Vector{1.0}), std::invalid_argument);
+  EXPECT_THROW(batch.row(2), std::invalid_argument);
+}
+
+TEST(GradientBatch, ReuseAcrossRoundsDoesNotReallocate) {
+  GradientBatch batch(8, 16);
+  const double* arena = batch.flat().data();
+  // Shrinking and growing back within capacity must keep the same arena.
+  batch.reshape(4, 16);
+  EXPECT_EQ(batch.flat().data(), arena);
+  EXPECT_EQ(batch.rows(), 4u);
+  batch.reshape(8, 16);
+  EXPECT_EQ(batch.flat().data(), arena);
+  // Different shape, same extent: still the same storage.
+  batch.reshape(16, 8);
+  EXPECT_EQ(batch.flat().data(), arena);
+}
+
+TEST(GradientBatch, FromVectorsCopiesAndValidates) {
+  const auto vs = random_vectors(4, 5, 1);
+  const GradientBatch batch = GradientBatch::from_vectors(vs);
+  ASSERT_EQ(batch.rows(), 4u);
+  ASSERT_EQ(batch.dim(), 5u);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(batch.row_vector(i), vs[i]);
+
+  const std::vector<Vector> ragged{{1.0, 2.0}, {3.0}};
+  EXPECT_THROW(GradientBatch::from_vectors(ragged), std::invalid_argument);
+}
+
+TEST(GradientBatch, NonFiniteRowsAreRejectedAtAggregation) {
+  GradientBatch batch(3, 2);
+  batch.set_row(0, Vector{1.0, 2.0});
+  batch.set_row(1, Vector{3.0, 4.0});
+  batch.set_row(2, Vector{5.0, std::nan("")});
+  EXPECT_FALSE(batch.all_finite());
+
+  const auto agg = make_aggregator("average", 3, 0);
+  AggregatorWorkspace ws;
+  EXPECT_THROW(agg->aggregate(batch, ws), std::invalid_argument);
+
+  batch.set_row(2, Vector{5.0, 6.0});
+  EXPECT_TRUE(batch.all_finite());
+  EXPECT_NO_THROW(agg->aggregate(batch, ws));
+}
+
+TEST(GradientBatch, MeanHelpersMatchVectorPath) {
+  const auto vs = random_vectors(6, 9, 3);
+  const GradientBatch batch = GradientBatch::from_vectors(vs);
+  Vector out(9);
+  mean_rows_into(batch, out);
+  EXPECT_EQ(out, vec::mean(vs));
+
+  // Prefix mean (the attack observation path).
+  mean_rows_into(batch, 4, out);
+  EXPECT_EQ(out, vec::mean(std::span<const Vector>(vs.data(), 4)));
+
+  const std::vector<size_t> idx{5, 0, 3};
+  mean_rows_of_into(batch, idx, out);
+  EXPECT_EQ(out, vec::mean_of(vs, idx));
+
+  Vector mean(9), sigma(9);
+  mean_rows_into(batch, 6, mean);
+  stddev_rows_into(batch, 6, mean, sigma);
+  EXPECT_EQ(sigma, stats::coordinate_stddev(vs));
+}
+
+TEST(PairwiseDistSq, BitIdenticalToScalarKernel) {
+  // d = 2048 gives 16 rows per 256 KiB tile, so n = 40 spans 3 tiles and
+  // exercises the blocked pair traversal, including cross-tile pairs.
+  const auto vs = random_vectors(40, 2048, 5);
+  const GradientBatch batch = GradientBatch::from_vectors(vs);
+  std::vector<double> out(40 * 40);
+  pairwise_dist_sq(batch, out);
+  for (size_t i = 0; i < 40; ++i)
+    for (size_t j = 0; j < 40; ++j)
+      EXPECT_EQ(out[i * 40 + j], vec::dist_sq(vs[i], vs[j])) << i << "," << j;
+}
+
+TEST(PairwiseDistSq, ParallelMatchesSerial) {
+  // Big enough to clear the kernel's parallel-dispatch threshold.
+  const auto vs = random_vectors(60, 10000, 7);
+  const GradientBatch batch = GradientBatch::from_vectors(vs);
+  std::vector<double> serial(60 * 60), parallel(60 * 60);
+  pairwise_dist_sq(batch, serial, 1);
+  pairwise_dist_sq(batch, parallel, 4);
+  EXPECT_EQ(serial, parallel);
+}
+
+}  // namespace
+}  // namespace dpbyz

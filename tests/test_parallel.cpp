@@ -54,6 +54,42 @@ TEST(ParallelMap, PropagatesFirstException) {
                std::runtime_error);
 }
 
+TEST(ParallelMap, GrainChunksCoverEveryIndexExactlyOnce) {
+  // 101 indices in chunks of 7 across 4 threads: order preserved, every
+  // index computed once (the grain only changes scheduling granularity).
+  std::atomic<int> calls{0};
+  const auto out = parallel_map(
+      101,
+      [&calls](size_t i) {
+        calls.fetch_add(1);
+        return 3 * i + 1;
+      },
+      4, 7);
+  EXPECT_EQ(calls.load(), 101);
+  for (size_t i = 0; i < 101; ++i) EXPECT_EQ(out[i], 3 * i + 1);
+}
+
+TEST(ParallelMap, GrainLargerThanCountFallsBackToSerial) {
+  const auto out = parallel_map(10, [](size_t i) { return i; }, 8, 1000);
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(out[i], i);
+}
+
+TEST(ParallelMap, GrainZeroIsTreatedAsOne) {
+  const auto out = parallel_map(5, [](size_t i) { return i * 2; }, 2, 0);
+  EXPECT_EQ(out, (std::vector<size_t>{0, 2, 4, 6, 8}));
+}
+
+TEST(ParallelMap, PropagatesExceptionWithGrain) {
+  EXPECT_THROW(parallel_map(
+                   40,
+                   [](size_t i) -> int {
+                     if (i == 33) throw std::runtime_error("task 33 failed");
+                     return 0;
+                   },
+                   4, 5),
+               std::runtime_error);
+}
+
 TEST(ParallelMap, SerialFallbackMatches) {
   const auto serial = parallel_map(20, [](size_t i) { return 3 * i + 1; }, 1);
   const auto parallel = parallel_map(20, [](size_t i) { return 3 * i + 1; }, 4);
