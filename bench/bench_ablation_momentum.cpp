@@ -7,7 +7,7 @@
 // DP+attack degradation it absorbs: we sweep the momentum factor and
 // report final accuracy for the benign, DP-only and DP+attack settings.
 //
-// (This is an extension experiment — DESIGN.md §7 — not a paper figure.)
+// (This is an extension experiment, not a paper figure.)
 //
 // Flags: --steps N --seeds K --fast
 #include <cstdio>

@@ -9,6 +9,12 @@
 //     operator new — must be zero),
 //   * bit-identity of the two outputs.
 //
+// A second sweep measures the sharded aggregation pipeline: Krum and MDA
+// at n = 50, d = 1e4, S in {1, 2, 4, 8} (inadmissible (f, S) pairs are
+// skipped with a note — see docs/ARCHITECTURE.md on the merge-stage
+// budget), reporting wall-clock speedup of sharded vs the flat rule at
+// the same (n, f) and asserting the S = 1 path is bit-identical to flat.
+//
 // Results go to stdout as a table and to BENCH_gar_scaling.json in the
 // working directory.  Flags: --fast (skip d = 1e5), --budget-ms M
 // (per-measurement time budget, default 300).
@@ -19,12 +25,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <new>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "aggregation/aggregator.hpp"
 #include "aggregation/mda.hpp"
 #include "aggregation/reference_gars.hpp"
+#include "aggregation/sharded.hpp"
 #include "math/gradient_batch.hpp"
 #include "math/rng.hpp"
 
@@ -124,6 +132,14 @@ struct Row {
   bool identical;
 };
 
+struct ShardRow {
+  std::string gar;
+  size_t n, d, f, shards, shard_f, merge_f;
+  double sharded_s, flat_s;
+  size_t allocs;
+  bool s1_identical;  // measured at shards == 1 only (false/unused, emitted as null, elsewhere)
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -197,6 +213,77 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ---- shard sweep: the sharded pipeline vs the flat rule ----------------
+  // f is fixed per GAR so flat and sharded solve the same (n, f) problem:
+  // Krum takes f = 5 (admissible down to 6-row shards at f_shard = 1),
+  // MDA keeps the sweep's f = 2.  The O(n²d/S) distance work is what the
+  // speedup column tracks; S values whose worst-case merge budget is
+  // inadmissible (e.g. S = 2 needs a median over 2 values tolerating 1
+  // corrupted shard) are skipped — that is the documented price of the
+  // worst-case f split, not a measurement gap.
+  std::vector<ShardRow> shard_rows;
+  {
+    const size_t n = 50, d = 10000;
+    const std::vector<size_t> shard_counts{1, 2, 4, 8};
+    std::printf("\n%-8s %4s %7s %4s %3s | %6s %6s | %12s %12s %8s | %7s %10s\n", "gar",
+                "n", "d", "f", "S", "f_shd", "f_mrg", "sharded (ms)", "flat (ms)",
+                "speedup", "allocs", "s1 ident");
+    std::printf(
+        "--------------------------------------------------------------------------"
+        "-----------------\n");
+    for (const auto& gar : std::vector<std::string>{"krum", "mda"}) {
+      const size_t f = gar == "krum" ? 5 : 2;
+      const auto gradients = make_gradients(n, d, 42);
+      const GradientBatch batch = GradientBatch::from_vectors(gradients);
+      const auto flat = dpbyz::make_aggregator(gar, n, f);
+      dpbyz::AggregatorWorkspace flat_ws;
+      const double flat_s = time_call([&] { flat->aggregate(batch, flat_ws); }, budget_s);
+      const auto flat_view = flat->aggregate(batch, flat_ws);
+      const Vector flat_out(flat_view.begin(), flat_view.end());
+
+      for (size_t S : shard_counts) {
+        // Stack-constructed (optional, not make_unique): heap-allocating
+        // through this TU's replaced operator new trips GCC's
+        // -Wmismatched-new-delete heuristic.
+        std::optional<dpbyz::ShardedAggregator> sharded;
+        try {
+          sharded.emplace(gar, "median", n, f, S);
+        } catch (const std::invalid_argument& e) {
+          std::printf("%-8s %4zu %7zu %4zu %3zu | skipped (inadmissible: %s)\n",
+                      gar.c_str(), n, d, f, S, e.what());
+          continue;
+        }
+        dpbyz::AggregatorWorkspace ws;
+
+        sharded->aggregate(batch, ws);  // warm up the workspace pool
+        g_alloc_count.store(0);
+        g_count_allocs.store(true);
+        sharded->aggregate(batch, ws);
+        g_count_allocs.store(false);
+        const size_t allocs = g_alloc_count.load();
+
+        // Bit-identity to the flat rule is only claimed (and only
+        // meaningful) at S = 1; S > 1 rows report null in the JSON.
+        bool s1_identical = false;
+        if (S == 1) {
+          const auto view = sharded->aggregate(batch, ws);
+          s1_identical = Vector(view.begin(), view.end()) == flat_out;
+        }
+
+        const double sharded_s =
+            time_call([&] { sharded->aggregate(batch, ws); }, budget_s);
+        shard_rows.push_back({gar, n, d, f, S, sharded->shard_f(), sharded->merge_f(),
+                              sharded_s, flat_s, allocs, s1_identical});
+        std::printf("%-8s %4zu %7zu %4zu %3zu | %6zu %6zu | %12.3f %12.3f %7.2fx | "
+                    "%7zu %10s\n",
+                    gar.c_str(), n, d, f, S, sharded->shard_f(), sharded->merge_f(),
+                    sharded_s * 1e3, flat_s * 1e3, flat_s / sharded_s, allocs,
+                    S > 1 ? "-" : (s1_identical ? "yes" : "NO"));
+        std::fflush(stdout);
+      }
+    }
+  }
+
   FILE* out = std::fopen("BENCH_gar_scaling.json", "w");
   if (!out) {
     std::fprintf(stderr, "cannot open BENCH_gar_scaling.json for writing\n");
@@ -212,6 +299,20 @@ int main(int argc, char** argv) {
                  r.gar.c_str(), r.n, r.d, r.f, r.new_s * 1e3, r.ref_s * 1e3,
                  r.ref_s / r.new_s, r.allocs, r.identical ? "true" : "false",
                  i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"shard_sweep\": [\n");
+  for (size_t i = 0; i < shard_rows.size(); ++i) {
+    const ShardRow& r = shard_rows[i];
+    std::fprintf(out,
+                 "    {\"gar\": \"%s\", \"n\": %zu, \"d\": %zu, \"f\": %zu, "
+                 "\"shards\": %zu, \"shard_f\": %zu, \"merge_f\": %zu, "
+                 "\"sharded_ms\": %.6f, \"flat_ms\": %.6f, "
+                 "\"speedup_vs_flat\": %.3f, \"allocs_after_warmup\": %zu, "
+                 "\"s1_bit_identical\": %s}%s\n",
+                 r.gar.c_str(), r.n, r.d, r.f, r.shards, r.shard_f, r.merge_f,
+                 r.sharded_s * 1e3, r.flat_s * 1e3, r.flat_s / r.sharded_s, r.allocs,
+                 r.shards > 1 ? "null" : (r.s1_identical ? "true" : "false"),
+                 i + 1 < shard_rows.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);

@@ -6,8 +6,8 @@
 // the headline observation of the paper in ~30 lines of user code.
 //
 // Build & run:
-//   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/quickstart
+//   cmake -B build -S . && cmake --build build -j
+//   ./build/example_quickstart
 #include <cstdio>
 
 #include "core/experiment.hpp"

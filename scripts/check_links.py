@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in the repo's markdown files.
+
+Scans every tracked *.md file for [text](target) links, resolves each
+relative target against the file's directory, and exits non-zero listing
+any that do not exist on disk.  External links (scheme://, mailto:) and
+pure in-page anchors (#...) are skipped; an anchor suffix on a relative
+link is stripped before the existence check (anchor validity is not
+checked).  Stdlib only — this is the CI docs job's gate.
+"""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+# Markdown inline link: [text](target).  Good enough for this repo's
+# hand-written docs; does not attempt reference-style or autolinks.
+LINK = re.compile(r"\[[^\]\[]*\]\(([^)\s]+)\)")
+SKIP = re.compile(r"^(?:[a-z][a-z0-9+.-]*:|#)", re.IGNORECASE)
+
+
+def tracked_markdown(root: Path) -> list[Path]:
+    out = subprocess.run(
+        ["git", "ls-files", "--cached", "--others", "--exclude-standard",
+         "*.md", "**/*.md"],
+        cwd=root, capture_output=True, text=True, check=True,
+    )
+    return [root / line for line in out.stdout.splitlines() if line]
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    broken: list[str] = []
+    files = tracked_markdown(root)
+    checked = 0
+    for md in files:
+        text = md.read_text(encoding="utf-8")
+        for lineno, line in enumerate(text.splitlines(), 1):
+            for match in LINK.finditer(line):
+                target = match.group(1)
+                if SKIP.match(target):
+                    continue
+                checked += 1
+                path = target.split("#", 1)[0]
+                if not path:
+                    continue
+                resolved = (md.parent / path).resolve()
+                if not resolved.exists():
+                    broken.append(
+                        f"{md.relative_to(root)}:{lineno}: broken link -> {target}"
+                    )
+    for line in broken:
+        print(line, file=sys.stderr)
+    print(f"checked {checked} relative links in {len(files)} markdown files; "
+          f"{len(broken)} broken")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -65,8 +65,22 @@ class Aggregator {
   size_t f() const { return f_; }
 
  protected:
-  /// Implementations write the aggregate into ws.output (already sized to
-  /// batch.dim()); inputs are validated before this is called.
+  /// The NVI hook every concrete GAR implements.  Contract (the public
+  /// aggregate() wrapper guarantees the preconditions):
+  ///   * on entry the batch is validated (rows == n(), dim > 0, finite)
+  ///     and ws is reserved for (rows, dim) with ws.output already sized
+  ///     to batch.dim();
+  ///   * the implementation writes the aggregate into ws.output, using
+  ///     any other ws buffer as scratch, and allocates nothing once ws
+  ///     has warmed up at this (n, d) — measured by bench_gar_scaling's
+  ///     operator-new counter, not merely asserted;
+  ///   * it reads the batch through row()/flat() views only (inputs may
+  ///     be non-owning row-range views of a larger arena — the sharded
+  ///     pipeline depends on this) and keeps no reference to batch or ws
+  ///     past the call;
+  ///   * output must be permutation-invariant in the batch rows and
+  ///     bit-identical to the seed implementation preserved in
+  ///     reference_gars.{hpp,cpp} (enforced by tests/test_gar_golden).
   virtual void aggregate_into(const GradientBatch& batch,
                               AggregatorWorkspace& ws) const = 0;
 
@@ -88,8 +102,12 @@ class Aggregator {
 std::vector<std::string> aggregator_names();
 
 /// Factory: name in {"average", "krum", "multi-krum", "mda", "median",
-/// "trimmed-mean", "bulyan", "meamed", "phocas", "geometric-median"}.
-/// Throws std::invalid_argument for unknown names or inadmissible (n, f).
+/// "trimmed-mean", "bulyan", "meamed", "phocas", "cge",
+/// "geometric-median"} — the list aggregator_names() returns, catalogued
+/// with budgets/complexities/citations in docs/AGGREGATORS.md.  Throws
+/// std::invalid_argument for unknown names or inadmissible (n, f).
+/// (The two-level ShardedAggregator is constructed directly — it needs
+/// inner/merge names and a shard count; see aggregation/sharded.hpp.)
 std::unique_ptr<Aggregator> make_aggregator(const std::string& name, size_t n, size_t f);
 
 }  // namespace dpbyz

@@ -1,6 +1,6 @@
 // cge.hpp — Comparative Gradient Elimination (Gupta & Vaidya, 2020).
 //
-// Extension beyond the paper's GAR table (DESIGN.md §7): sort the n
+// Extension beyond the paper's GAR table (see docs/AGGREGATORS.md): sort the n
 // submitted gradients by L2 norm and average the n - f smallest.  The
 // intuition mirrors trimmed aggregation in norm space: a Byzantine
 // gradient must keep its norm within the honest range to survive, which

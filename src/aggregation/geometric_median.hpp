@@ -1,6 +1,6 @@
 // geometric_median.hpp — geometric median via Weiszfeld iterations.
 //
-// Extension beyond the paper's GAR set (DESIGN.md §7): the geometric
+// Extension beyond the paper's GAR set (see docs/AGGREGATORS.md): the geometric
 // median arg min_z sum_i ||z - g_i|| is a classical robust aggregator with
 // breakdown point 1/2.  It is *not* in the paper's Table 1 — no published
 // k_F(n, f) constant — so vn_threshold() returns NaN and the theory

@@ -1,0 +1,80 @@
+#include "aggregation/sharded.hpp"
+
+#include <algorithm>
+
+#include "utils/errors.hpp"
+#include "utils/parallel.hpp"
+
+namespace dpbyz {
+
+ShardedAggregator::ShardedAggregator(const std::string& inner, const std::string& merge,
+                                     size_t n, size_t f, size_t shards, size_t threads)
+    : Aggregator(n, f),
+      shard_count_(shards),
+      threads_(threads),
+      shard_f_((shards > 0 && f > 0) ? (f + shards - 1) / shards : 0),
+      merge_f_(corruptible_shards(f, shard_f_)) {
+  require(shards >= 1, "ShardedAggregator: need at least one shard");
+  require(shards <= n, "ShardedAggregator: more shards than rows");
+  inners_.reserve(shard_count_);
+  for (size_t s = 0; s < shard_count_; ++s) {
+    const auto [lo, hi] = shard_range(s);
+    // The inner GAR's own constructor enforces admissibility at
+    // (shard size, shard_f) — e.g. Krum's n_s >= 2 f_shard + 3.
+    inners_.push_back(make_aggregator(inner, hi - lo, shard_f_));
+  }
+  // Likewise the merge stage at (S, f_merge); median is admissible for
+  // any S >= 2 f_merge + 1, which is the usual binding constraint.
+  merge_ = make_aggregator(merge, shard_count_, merge_f_);
+  shard_ws_.resize(shard_count_);
+}
+
+std::string ShardedAggregator::name() const {
+  return "sharded(" + inners_.front()->name() + "/" + merge_->name() +
+         ",S=" + std::to_string(shard_count_) + ")";
+}
+
+std::pair<size_t, size_t> ShardedAggregator::shard_range(size_t s) const {
+  require(s < shard_count_, "ShardedAggregator::shard_range: shard index out of range");
+  // Balanced contiguous split: shard s covers [s*n/S, (s+1)*n/S), so
+  // sizes differ by at most one and every row belongs to exactly one
+  // shard.
+  return {s * n() / shard_count_, (s + 1) * n() / shard_count_};
+}
+
+size_t ShardedAggregator::corruptible_shards(size_t f, size_t shard_f) {
+  // A shard stays within budget while it holds <= shard_f Byzantine rows;
+  // overwhelming one therefore costs the adversary shard_f + 1 of its f
+  // rows, and it can afford that floor(f / (shard_f + 1)) times.
+  return f / (shard_f + 1);
+}
+
+void ShardedAggregator::aggregate_into(const GradientBatch& batch,
+                                       AggregatorWorkspace& ws) const {
+  const size_t d = batch.dim();
+  shard_aggregates_.reshape(shard_count_, d);  // no-alloc after warmup
+
+  auto do_shard = [&](size_t s) {
+    const auto [lo, hi] = shard_range(s);
+    const GradientBatch shard = batch.view(lo, hi);
+    const auto aggregate = inners_[s]->aggregate(shard, shard_ws_[s]);
+    std::copy(aggregate.begin(), aggregate.end(), shard_aggregates_.row(s).begin());
+    return 0;
+  };
+
+  // One task per shard is already the coarsest possible grain; the serial
+  // loop (threads_ == 1, the default) keeps the path allocation-free,
+  // mirroring pairwise_dist_sq's dispatch policy.  threads_ == 0 goes to
+  // parallel_map, which resolves it to the hardware concurrency.
+  if (threads_ == 1 || shard_count_ <= 1) {
+    for (size_t s = 0; s < shard_count_; ++s) do_shard(s);
+  } else {
+    parallel_map(shard_count_, do_shard, threads_, /*grain=*/1);
+  }
+
+  // The merge GAR's public NVI sizes ws.output to d and writes the final
+  // aggregate into it — precisely this function's own postcondition.
+  merge_->aggregate(shard_aggregates_, ws);
+}
+
+}  // namespace dpbyz

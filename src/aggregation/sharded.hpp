@@ -1,0 +1,100 @@
+// sharded.hpp — two-level robust aggregation over GradientBatch shards.
+//
+// The robust GARs are O(n²d) on the pairwise-distance kernel, which caps
+// how large a single flat committee can get.  ShardedAggregator breaks
+// that wall the way large-scale dissemination systems do: partition the
+// population, aggregate locally, then robust-merge the local results.
+//
+//   rows [0, n)  --view-->  S contiguous shards of n/S (±1) rows
+//   shard s      --inner GAR (n_s, f_shard)-->  one d-vector aggregate
+//   S aggregates --merge GAR (S, f_merge)--->   the final aggregate
+//
+// Shards are GradientBatch::view slices of the round's arena — no row is
+// copied — and each shard aggregates through its own AggregatorWorkspace
+// from a per-shard pool, so shards can run on their own threads
+// (parallel_map, one shard per task).  The total distance work drops from
+// O(n²d) to O(n²d / S) plus an O(S²d) merge.
+//
+// f budgeting (the worst-case story — see docs/ARCHITECTURE.md for the
+// derivation):
+//   * every shard is provisioned for f_shard = ceil(f / S) Byzantine rows;
+//   * an adversary placing its f rows adversarially can exceed that budget
+//     in at most f_merge = floor(f / (f_shard + 1)) shards, so the merge
+//     GAR is built at (S, f_merge) and absorbs the fully-corrupted shard
+//     aggregates;
+//   * the construction therefore needs BOTH stages admissible:
+//     inner(n_s, f_shard) for every shard size n_s, and merge(S, f_merge).
+//     Small S with f >= 2 typically fails the merge condition (e.g.
+//     median needs S >= 2 f_merge + 1) — that is the price of the
+//     worst-case guarantee, not an implementation limit.
+//   * caveat: each uncorrupted shard filters at f_shard over n_s rows, so
+//     the paper's single-stage VN-ratio constants k_F(n, f) do not carry
+//     over; vn_threshold() is NaN.  S = 1 degenerates to the flat rule
+//     exactly (bit-identical; golden-tested).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "aggregation/aggregator.hpp"
+
+namespace dpbyz {
+
+class ShardedAggregator final : public Aggregator {
+ public:
+  /// Two-level GAR over `shards` contiguous row ranges.  `inner` and
+  /// `merge` are make_aggregator names; `threads` is the shard dispatch
+  /// width (1 = serial, 0 = hardware concurrency).  Throws
+  /// std::invalid_argument when shards is 0 or > n, or when either stage
+  /// is inadmissible at its derived (count, f) pair.
+  ShardedAggregator(const std::string& inner, const std::string& merge, size_t n,
+                    size_t f, size_t shards, size_t threads = 1);
+
+  std::string name() const override;
+
+  size_t shards() const { return shard_count_; }
+  /// Per-shard Byzantine budget, ceil(f / S).
+  size_t shard_f() const { return shard_f_; }
+  /// Merge-stage budget: shards an adversary can overwhelm, worst case.
+  size_t merge_f() const { return merge_f_; }
+  /// Row range [lo, hi) of shard s; sizes differ by at most one.
+  std::pair<size_t, size_t> shard_range(size_t s) const;
+
+  const Aggregator& inner(size_t s) const { return *inners_.at(s); }
+  const Aggregator& merge_rule() const { return *merge_; }
+
+  /// The worst-case number of shards whose Byzantine count can exceed
+  /// `shard_f` when `f` total Byzantine rows are placed adversarially:
+  /// floor(f / (shard_f + 1)).  Exposed for tests and the docs' bound.
+  static size_t corruptible_shards(size_t f, size_t shard_f);
+
+ protected:
+  /// Aggregates every shard view through its pooled workspace (serially
+  /// or via parallel_map when threads > 1), gathers the S results into
+  /// the internal S×d merge arena, then runs the merge GAR through the
+  /// caller's workspace — ws.output ends up holding the final aggregate,
+  /// exactly as the NVI contract requires.  The serial path is zero-alloc
+  /// after warmup; threaded dispatch allocates for thread spawn and is an
+  /// explicit opt-in (the trainer stays serial).
+  void aggregate_into(const GradientBatch& batch, AggregatorWorkspace& ws) const override;
+
+ private:
+  size_t shard_count_;
+  size_t threads_;
+  size_t shard_f_;
+  size_t merge_f_;
+  std::vector<std::unique_ptr<Aggregator>> inners_;  // one per shard
+  std::unique_ptr<Aggregator> merge_;
+  // Per-shard scratch lives in the aggregator (not the caller's
+  // workspace) because shard count is a property of the rule, not the
+  // call site.  Mutable because aggregate() is const on the hot path;
+  // consequently a ShardedAggregator instance must not run concurrent
+  // aggregations — the same sequential-use rule AggregatorWorkspace
+  // already imposes.
+  mutable std::vector<AggregatorWorkspace> shard_ws_;  // thread s owns slot s
+  mutable GradientBatch shard_aggregates_;             // S×d merge arena
+};
+
+}  // namespace dpbyz

@@ -37,6 +37,8 @@ void ExperimentConfig::validate() const {
       require(epsilon > 0, "config: epsilon must be positive");
     }
   }
+  require(shards >= 1, "config: shards must be at least 1");
+  require(shards <= num_workers, "config: cannot have more shards than workers");
   if (attack_enabled) {
     require(num_byzantine >= 1, "config: attack enabled but f = 0");
     require(attack_observes == "wire" || attack_observes == "clean",
@@ -46,6 +48,7 @@ void ExperimentConfig::validate() const {
 
 std::string ExperimentConfig::label() const {
   std::string out = gar;
+  if (shards > 1) out += "+S" + std::to_string(shards);
   if (dp_enabled)
     out += "+dp(eps=" + strings::format_double(epsilon) + ")";
   if (attack_enabled) out += "+" + attack;

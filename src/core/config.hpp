@@ -66,6 +66,19 @@ struct ExperimentConfig {
 
   // --- robustness ----------------------------------------------------------
   std::string gar = "mda";
+  /// Number of aggregation shards S (see docs/ARCHITECTURE.md, "Sharded
+  /// aggregation").  1 = the paper's flat path (bit-identical).  S > 1
+  /// partitions the n submissions into S contiguous row-range views,
+  /// aggregates each with `gar` at a per-shard budget of ceil(f / S),
+  /// and robust-merges the S shard aggregates with `shard_merge_gar`.
+  /// Both stages must be admissible at their derived (count, f) pairs or
+  /// the trainer's aggregator construction throws.
+  size_t shards = 1;
+  /// Second-stage GAR applied across the S shard aggregates when
+  /// shards > 1.  "median" is admissible whenever S >= 2 f_merge + 1 and
+  /// is the recommended default; "mda" is the stronger choice when its
+  /// (S, f_merge) constraints hold.
+  std::string shard_merge_gar = "median";
   bool attack_enabled = false;
   std::string attack = "little";  ///< "little" | "empire" | auxiliary names
   /// Attack factor nu; NaN = the attack's paper default (1.5 / 1.1).

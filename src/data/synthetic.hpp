@@ -5,7 +5,8 @@
 // in this offline environment, so `make_phishing_like` synthesizes a
 // stand-in with the same shape and the same property the experiments rely
 // on: a d = 69-parameter linear model converges on it within ~100 SGD
-// steps at batch size 50 (see DESIGN.md §2 for the substitution argument).
+// steps at batch size 50 — the calibration the `class_separation` field
+// below documents.
 //
 // The real phishing features are categorical, encoded into {0, 0.5, 1}
 // levels.  We reproduce that marginal structure by drawing class-
@@ -28,7 +29,7 @@ struct PhishingLikeConfig {
   /// per-coordinate noise.  3.0 gives a Bayes accuracy around 93% before
   /// quantization, which calibrates the task so the paper's d = 69 linear
   /// model converges to >88% test accuracy in under 100 steps at b = 50
-  /// (the property the experiments rely on; see DESIGN.md §2).
+  /// (the property the experiments rely on).
   double class_separation = 3.0;
   double noise_sigma = 1.0;       ///< within-class Gaussian spread
   double positive_fraction = 0.557;  ///< approximate label balance of phishing

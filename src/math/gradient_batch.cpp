@@ -12,6 +12,7 @@ namespace dpbyz {
 GradientBatch::GradientBatch(size_t rows, size_t dim) { reshape(rows, dim); }
 
 void GradientBatch::reshape(size_t rows, size_t dim) {
+  require(!is_view_, "GradientBatch::reshape: views cannot be reshaped");
   rows_ = rows;
   dim_ = dim;
   // resize() never reallocates when the new extent fits the current
@@ -19,14 +20,31 @@ void GradientBatch::reshape(size_t rows, size_t dim) {
   data_.resize(rows * dim, 0.0);
 }
 
+GradientBatch GradientBatch::view(size_t lo, size_t hi) const {
+  require(lo <= hi, "GradientBatch::view: lo must be <= hi");
+  require(hi <= rows_, "GradientBatch::view: row range out of bounds");
+  GradientBatch v;
+  v.rows_ = hi - lo;
+  v.dim_ = dim_;
+  v.is_view_ = true;
+  v.view_base_ = base() + lo * dim_;
+  return v;
+}
+
 std::span<double> GradientBatch::row(size_t i) {
+  require(!is_view_, "GradientBatch::row: views are read-only");
   require(i < rows_, "GradientBatch::row: index out of range");
   return {data_.data() + i * dim_, dim_};
 }
 
 std::span<const double> GradientBatch::row(size_t i) const {
   require(i < rows_, "GradientBatch::row: index out of range");
-  return {data_.data() + i * dim_, dim_};
+  return {base() + i * dim_, dim_};
+}
+
+std::span<double> GradientBatch::flat() {
+  require(!is_view_, "GradientBatch::flat: views are read-only");
+  return {data_.data(), rows_ * dim_};
 }
 
 void GradientBatch::set_row(size_t i, std::span<const double> v) {

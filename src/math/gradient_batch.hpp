@@ -15,6 +15,11 @@
 // Row views alias the arena: writing through row(i) is visible through
 // flat() and vice versa.  Views are invalidated by reshape() calls that
 // grow the arena beyond its capacity, exactly like std::vector iterators.
+//
+// A GradientBatch can also be a *row-range view* of another batch
+// (view(lo, hi)): same row/flat/kernel surface, but read-only and
+// non-owning — the sharded aggregation layer hands each shard a
+// contiguous slice of the round's arena without copying a byte.
 #pragma once
 
 #include <cstddef>
@@ -38,20 +43,35 @@ class GradientBatch {
   /// retained rows keep their values and newly grown rows are zero;
   /// when `dim` changes, the flat buffer is reinterpreted with new row
   /// boundaries and ALL row contents are unspecified — overwrite every
-  /// row before reading.
+  /// row before reading.  Not available on views.
   void reshape(size_t rows, size_t dim);
 
   size_t rows() const { return rows_; }
   size_t dim() const { return dim_; }
   bool empty() const { return rows_ == 0; }
 
+  /// Read-only, non-owning view of the contiguous row range [lo, hi)
+  /// (hi <= rows(); lo == hi yields an empty view).  No copies: the view
+  /// aliases this batch's arena, so writes through the parent are visible
+  /// through the view.  The view is invalidated by whatever invalidates
+  /// the parent's row spans (reshape beyond capacity, destruction).
+  /// Views compose: view(a, b).view(c, d) slices rows [a+c, a+d) of the
+  /// original arena.  Mutable access (non-const row()/flat(), set_row,
+  /// reshape) through a view throws — shard consumers are readers.
+  GradientBatch view(size_t lo, size_t hi) const;
+
+  /// True when this batch is a non-owning row-range view.
+  bool is_view() const { return is_view_; }
+
   /// Mutable / const view of row i (length dim()).  Aliases the arena.
+  /// The mutable overload throws on views.
   std::span<double> row(size_t i);
   std::span<const double> row(size_t i) const;
 
-  /// The whole arena as one rows()*dim() row-major span.
-  std::span<double> flat() { return {data_.data(), rows_ * dim_}; }
-  std::span<const double> flat() const { return {data_.data(), rows_ * dim_}; }
+  /// The whole arena as one rows()*dim() row-major span.  The mutable
+  /// overload throws on views.
+  std::span<double> flat();
+  std::span<const double> flat() const { return {base(), rows_ * dim_}; }
 
   /// Copy `v` (length dim()) into row i.
   void set_row(size_t i, std::span<const double> v);
@@ -67,9 +87,15 @@ class GradientBatch {
   bool all_finite() const;
 
  private:
+  /// Start of the arena this batch reads: its own buffer when owning,
+  /// a slice of the parent's when a view.
+  const double* base() const { return is_view_ ? view_base_ : data_.data(); }
+
   size_t rows_ = 0;
   size_t dim_ = 0;
-  std::vector<double> data_;
+  bool is_view_ = false;
+  const double* view_base_ = nullptr;  // set iff is_view_
+  std::vector<double> data_;           // empty on views
 };
 
 /// Mean of all rows written into `out` (length dim).  Accumulates row by

@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "aggregation/aggregator.hpp"
 #include "math/rng.hpp"
@@ -104,6 +106,109 @@ TEST(GradientBatch, MeanHelpersMatchVectorPath) {
   mean_rows_into(batch, 6, mean);
   stddev_rows_into(batch, 6, mean, sigma);
   EXPECT_EQ(sigma, stats::coordinate_stddev(vs));
+}
+
+TEST(GradientBatchView, AliasesTheParentArena) {
+  GradientBatch batch(6, 4);
+  for (size_t i = 0; i < 6; ++i)
+    for (size_t c = 0; c < 4; ++c) batch.row(i)[c] = 10.0 * i + c;
+
+  const GradientBatch v = batch.view(2, 5);
+  EXPECT_TRUE(v.is_view());
+  EXPECT_FALSE(batch.is_view());
+  ASSERT_EQ(v.rows(), 3u);
+  ASSERT_EQ(v.dim(), 4u);
+  // View row 0 IS parent row 2 — same address, not a copy.
+  EXPECT_EQ(v.row(0).data(), std::as_const(batch).row(2).data());
+  EXPECT_EQ(v.flat().data(), std::as_const(batch).flat().data() + 2 * 4);
+  // Writes through the parent are visible through the view.
+  batch.row(3)[1] = -99.0;
+  EXPECT_EQ(v.row(1)[1], -99.0);
+}
+
+TEST(GradientBatchView, EmptyAndSingleRowRanges) {
+  GradientBatch batch(5, 3);
+  batch.row(4)[2] = 1.5;
+
+  const GradientBatch empty = batch.view(2, 2);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.rows(), 0u);
+  EXPECT_EQ(empty.flat().size(), 0u);
+
+  const GradientBatch single = batch.view(4, 5);
+  ASSERT_EQ(single.rows(), 1u);
+  EXPECT_EQ(single.row(0)[2], 1.5);
+
+  EXPECT_THROW(batch.view(3, 2), std::invalid_argument);  // lo > hi
+  EXPECT_THROW(batch.view(0, 6), std::invalid_argument);  // past the end
+}
+
+TEST(GradientBatchView, UnevenShardSplitCoversEveryRowOnce) {
+  // n = 7 rows into S = 3 contiguous ranges via the balanced split the
+  // sharded aggregator uses: [s*n/S, (s+1)*n/S).  Sizes 2/2/3.
+  GradientBatch batch(7, 2);
+  for (size_t i = 0; i < 7; ++i) batch.row(i)[0] = static_cast<double>(i);
+
+  const size_t S = 3;
+  size_t covered = 0;
+  size_t min_size = 7, max_size = 0;
+  for (size_t s = 0; s < S; ++s) {
+    const size_t lo = s * 7 / S, hi = (s + 1) * 7 / S;
+    const GradientBatch shard = batch.view(lo, hi);
+    min_size = std::min(min_size, shard.rows());
+    max_size = std::max(max_size, shard.rows());
+    for (size_t i = 0; i < shard.rows(); ++i)
+      EXPECT_EQ(shard.row(i)[0], static_cast<double>(lo + i));
+    covered += shard.rows();
+  }
+  EXPECT_EQ(covered, 7u);
+  EXPECT_LE(max_size - min_size, 1u);
+}
+
+TEST(GradientBatchView, ViewsComposeAndStayReadOnly) {
+  GradientBatch batch(8, 2);
+  for (size_t i = 0; i < 8; ++i) batch.row(i)[0] = static_cast<double>(i);
+
+  const GradientBatch outer = batch.view(2, 7);
+  const GradientBatch inner = outer.view(1, 3);  // rows 3, 4 of the arena
+  ASSERT_EQ(inner.rows(), 2u);
+  EXPECT_EQ(inner.row(0)[0], 3.0);
+  EXPECT_EQ(inner.row(1)[0], 4.0);
+
+  // Mutable access through a view throws: shard consumers are readers.
+  GradientBatch mut_view = batch.view(0, 4);
+  EXPECT_THROW(mut_view.row(0), std::invalid_argument);
+  EXPECT_THROW(mut_view.flat(), std::invalid_argument);
+  EXPECT_THROW(mut_view.set_row(0, Vector{1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(mut_view.reshape(2, 2), std::invalid_argument);
+}
+
+TEST(GradientBatchView, KernelsSeeExactlyTheSlicedRows) {
+  const auto vs = random_vectors(9, 12, 11);
+  const GradientBatch batch = GradientBatch::from_vectors(vs);
+  const GradientBatch shard = batch.view(3, 7);
+
+  // mean over the view == vec::mean over the corresponding vectors.
+  Vector out(12);
+  mean_rows_into(shard, out);
+  EXPECT_EQ(out, vec::mean(std::span<const Vector>(vs.data() + 3, 4)));
+
+  // pairwise distances over the view == scalar kernel on the sub-rows.
+  std::vector<double> dist(4 * 4);
+  pairwise_dist_sq(shard, dist);
+  for (size_t i = 0; i < 4; ++i)
+    for (size_t j = 0; j < 4; ++j)
+      EXPECT_EQ(dist[i * 4 + j], vec::dist_sq(vs[3 + i], vs[3 + j]));
+
+  // A full GAR over the view == the same GAR over an owning copy.
+  const auto agg = make_aggregator("krum", 4, 0);
+  AggregatorWorkspace ws_view, ws_copy;
+  const auto from_view = agg->aggregate(shard, ws_view);
+  const GradientBatch copy =
+      GradientBatch::from_vectors(std::span<const Vector>(vs.data() + 3, 4));
+  const auto from_copy = agg->aggregate(copy, ws_copy);
+  EXPECT_EQ(Vector(from_view.begin(), from_view.end()),
+            Vector(from_copy.begin(), from_copy.end()));
 }
 
 TEST(PairwiseDistSq, BitIdenticalToScalarKernel) {

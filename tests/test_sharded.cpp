@@ -1,0 +1,295 @@
+// Tests for the two-level ShardedAggregator: S = 1 bit-identity with the
+// flat GARs (golden), shard partition/budget arithmetic, admissibility
+// failures, resilience when the Byzantine rows concentrate in one shard,
+// threaded-vs-serial determinism, and the config/trainer plumbing.
+#include "aggregation/sharded.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/experiment.hpp"
+#include "core/trainer.hpp"
+#include "math/gradient_batch.hpp"
+#include "math/rng.hpp"
+
+namespace dpbyz {
+namespace {
+
+/// Seeded cluster of rows around a shifted mean, the honest population.
+GradientBatch honest_batch(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  GradientBatch batch(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    const Vector v = rng.normal_vector(d, 1.0);
+    batch.set_row(i, v);
+    batch.row(i)[0] += 2.0;
+  }
+  return batch;
+}
+
+Vector aggregate_with(const Aggregator& agg, const GradientBatch& batch) {
+  AggregatorWorkspace ws;
+  const auto view = agg.aggregate(batch, ws);
+  return Vector(view.begin(), view.end());
+}
+
+// ---- S = 1 golden: the sharded path degenerates to the flat rule ----------
+
+TEST(ShardedGolden, S1BitIdenticalToFlatOnRandomInputs) {
+  const size_t n = 11, f = 2, d = 33;
+  const GradientBatch batch = honest_batch(n, d, 7);
+  for (const std::string& gar : aggregator_names()) {
+    const ShardedAggregator sharded(gar, "median", n, f, /*shards=*/1);
+    const auto flat = make_aggregator(gar, n, f);
+    EXPECT_EQ(aggregate_with(sharded, batch), aggregate_with(*flat, batch))
+        << "S=1 sharded " << gar << " diverged from the flat path";
+  }
+}
+
+TEST(ShardedGolden, S1BitIdenticalOnAdversarialDuplicates) {
+  // Colluding adversary: f identical extreme rows, the tie-heavy shape
+  // that exposes any ordering difference between the two paths.
+  const size_t n = 11, f = 2, d = 17;
+  GradientBatch batch = honest_batch(n, d, 9);
+  for (size_t i = n - f; i < n; ++i) {
+    for (size_t c = 0; c < d; ++c) batch.row(i)[c] = 1e3;
+  }
+  for (const std::string& gar : aggregator_names()) {
+    const ShardedAggregator sharded(gar, "median", n, f, 1);
+    const auto flat = make_aggregator(gar, n, f);
+    EXPECT_EQ(aggregate_with(sharded, batch), aggregate_with(*flat, batch)) << gar;
+  }
+}
+
+// ---- partition and budget arithmetic --------------------------------------
+
+TEST(Sharded, ShardRangesPartitionTheRows) {
+  // n = 13 over S = 4 gives shard sizes 3/3/3/4, all admissible for the
+  // inner median at f_shard = ceil(1/4) = 1.
+  const ShardedAggregator agg("median", "median", /*n=*/13, /*f=*/1, /*shards=*/4);
+  size_t expected_lo = 0;
+  size_t min_size = 13, max_size = 0;
+  for (size_t s = 0; s < agg.shards(); ++s) {
+    const auto [lo, hi] = agg.shard_range(s);
+    EXPECT_EQ(lo, expected_lo);  // contiguous, in order, no gaps
+    EXPECT_LT(lo, hi);           // never empty
+    min_size = std::min(min_size, hi - lo);
+    max_size = std::max(max_size, hi - lo);
+    expected_lo = hi;
+  }
+  EXPECT_EQ(expected_lo, 13u);  // covers every row exactly once
+  EXPECT_LE(max_size - min_size, 1u);
+  EXPECT_THROW(agg.shard_range(4), std::invalid_argument);
+}
+
+TEST(Sharded, FBudgetIsCeilSplitWithWorstCaseMergeBudget) {
+  // f = 5 over S = 4: each shard provisions ceil(5/4) = 2; overwhelming a
+  // shard costs 3 of the adversary's 5 rows, so at most 1 shard falls.
+  const ShardedAggregator agg("median", "median", 20, 5, 4);
+  EXPECT_EQ(agg.shard_f(), 2u);
+  EXPECT_EQ(agg.merge_f(), 1u);
+  EXPECT_EQ(agg.inner(0).f(), 2u);
+  EXPECT_EQ(agg.merge_rule().n(), 4u);
+  EXPECT_EQ(agg.merge_rule().f(), 1u);
+  EXPECT_EQ(agg.name(), "sharded(median/median,S=4)");
+
+  // The static worst-case bound itself.
+  EXPECT_EQ(ShardedAggregator::corruptible_shards(0, 0), 0u);
+  EXPECT_EQ(ShardedAggregator::corruptible_shards(5, 2), 1u);
+  EXPECT_EQ(ShardedAggregator::corruptible_shards(6, 1), 3u);
+  EXPECT_EQ(ShardedAggregator::corruptible_shards(2, 1), 1u);
+
+  // f = 0 propagates zeros through both stages.
+  const ShardedAggregator clean("average", "median", 8, 0, 4);
+  EXPECT_EQ(clean.shard_f(), 0u);
+  EXPECT_EQ(clean.merge_f(), 0u);
+}
+
+TEST(Sharded, InadmissibleConfigurationsThrow) {
+  // Shard-count sanity.
+  EXPECT_THROW(ShardedAggregator("median", "median", 8, 1, 0), std::invalid_argument);
+  EXPECT_THROW(ShardedAggregator("median", "median", 8, 1, 9), std::invalid_argument);
+  // Inner stage: Krum needs n_s >= 2 f_shard + 3; 8/4 = 2 rows per shard
+  // cannot host Krum at f_shard = 1.
+  EXPECT_THROW(ShardedAggregator("krum", "median", 8, 4, 4), std::invalid_argument);
+  // Merge stage: f = 2 over S = 2 gives f_shard = 1, f_merge = 1, and
+  // median needs S >= 2 f_merge + 1 = 3.  This is the documented
+  // worst-case price of small S, not a bug.
+  EXPECT_THROW(ShardedAggregator("median", "median", 12, 2, 2), std::invalid_argument);
+  // Same f over S = 3 shards is fine.
+  EXPECT_NO_THROW(ShardedAggregator("median", "median", 12, 2, 3));
+  // Unknown rule names propagate from make_aggregator.
+  EXPECT_THROW(ShardedAggregator("nope", "median", 12, 2, 3), std::invalid_argument);
+  EXPECT_THROW(ShardedAggregator("median", "nope", 12, 2, 3), std::invalid_argument);
+}
+
+// ---- resilience properties -------------------------------------------------
+
+TEST(ShardedResilience, MergeAbsorbsAFullyCorruptedShard) {
+  // n = 16, S = 4, f = 2 with BOTH Byzantine rows in shard 0: the shard
+  // has 4 rows, 2 of them poisoned, which exceeds its f_shard = 1 budget
+  // — the inner median (average of the two middle values) is provably
+  // dragged out of the honest range.  The merge median over the 4 shard
+  // aggregates at f_merge = 1 must absorb that corrupted value.
+  const size_t n = 16, d = 8, f = 2;
+  GradientBatch batch = honest_batch(n, d, 19);
+  for (size_t i = 0; i < f; ++i) {
+    for (size_t c = 0; c < d; ++c) batch.row(i)[c] = 1e6;
+  }
+
+  // Honest envelope over rows f..n.
+  Vector lo(d, 1e18), hi(d, -1e18);
+  for (size_t i = f; i < n; ++i) {
+    for (size_t c = 0; c < d; ++c) {
+      lo[c] = std::min(lo[c], batch.row(i)[c]);
+      hi[c] = std::max(hi[c], batch.row(i)[c]);
+    }
+  }
+
+  const ShardedAggregator agg("median", "median", n, f, 4);
+  ASSERT_EQ(agg.shard_f(), 1u);
+  ASSERT_EQ(agg.merge_f(), 1u);
+
+  // The overwhelmed shard's own aggregate really is corrupted...
+  const auto [lo0, hi0] = agg.shard_range(0);
+  const Vector shard0 = aggregate_with(agg.inner(0), batch.view(lo0, hi0));
+  EXPECT_GT(shard0[0], hi[0]) << "shard 0 should have escaped the honest envelope";
+
+  // ...and the merged output still is not.
+  const Vector out = aggregate_with(agg, batch);
+  for (size_t c = 0; c < d; ++c) {
+    ASSERT_GE(out[c], lo[c]) << "coordinate " << c;
+    ASSERT_LE(out[c], hi[c]) << "coordinate " << c;
+  }
+}
+
+TEST(ShardedResilience, AllByzantineRowsConcentratedInOneShard) {
+  // n = 24, S = 4, f = 2: shard budget f_shard = 1, merge budget
+  // f_merge = floor(2/2) = 1.  Both Byzantine rows land in shard 0,
+  // exceeding its budget — that shard's aggregate is arbitrary, and the
+  // merge stage must absorb it.
+  const size_t n = 24, d = 16, f = 2;
+  GradientBatch batch = honest_batch(n, d, 21);
+  for (size_t i = 0; i < f; ++i) {
+    for (size_t c = 0; c < d; ++c) batch.row(i)[c] = 1e6;
+  }
+
+  for (const char* inner : {"krum", "median", "mda"}) {
+    const ShardedAggregator agg(inner, "median", n, f, 4);
+    const Vector out = aggregate_with(agg, batch);
+    // Honest rows are 2..n; build the envelope over them by viewing the
+    // batch without its poisoned prefix.
+    for (size_t c = 0; c < d; ++c) {
+      double lo = batch.row(f)[c], hi = batch.row(f)[c];
+      for (size_t i = f; i < n; ++i) {
+        lo = std::min(lo, batch.row(i)[c]);
+        hi = std::max(hi, batch.row(i)[c]);
+      }
+      ASSERT_GE(out[c], lo) << inner << " coordinate " << c;
+      ASSERT_LE(out[c], hi) << inner << " coordinate " << c;
+    }
+  }
+}
+
+TEST(ShardedResilience, ByzantineRowsSpreadWithinEveryShardBudget) {
+  // Same (n, f, S) but the adversary spreads out: one Byzantine row in
+  // shard 0 and one in shard 2, each within the per-shard budget of 1,
+  // so every shard aggregate is already resilient.
+  const size_t n = 24, d = 16, f = 2;
+  GradientBatch batch = honest_batch(n, d, 22);
+  const size_t byz_rows[] = {3, 14};  // shard 0 holds rows 0-5, shard 2 rows 12-17
+  for (size_t i : byz_rows) {
+    for (size_t c = 0; c < d; ++c) batch.row(i)[c] = -1e6;
+  }
+
+  const ShardedAggregator agg("median", "median", n, f, 4);
+  const Vector out = aggregate_with(agg, batch);
+  for (size_t c = 0; c < d; ++c) {
+    double lo = 1e18, hi = -1e18;
+    for (size_t i = 0; i < n; ++i) {
+      bool byz = false;
+      for (size_t b : byz_rows) byz = byz || b == i;
+      if (byz) continue;
+      lo = std::min(lo, batch.row(i)[c]);
+      hi = std::max(hi, batch.row(i)[c]);
+    }
+    ASSERT_GE(out[c], lo) << "coordinate " << c;
+    ASSERT_LE(out[c], hi) << "coordinate " << c;
+  }
+}
+
+// ---- threading -------------------------------------------------------------
+
+TEST(Sharded, ThreadedDispatchMatchesSerialBitForBit) {
+  const size_t n = 24, f = 2, d = 64;
+  const GradientBatch batch = honest_batch(n, d, 31);
+  const ShardedAggregator serial("krum", "median", n, f, 4, /*threads=*/1);
+  const ShardedAggregator threaded("krum", "median", n, f, 4, /*threads=*/4);
+  // threads = 0 means hardware concurrency — the parallel path, not a
+  // silent fallback to serial.
+  const ShardedAggregator hw_threads("krum", "median", n, f, 4, /*threads=*/0);
+  // Repeated calls stay deterministic too (workspace reuse).
+  const Vector want = aggregate_with(serial, batch);
+  for (int rep = 0; rep < 3; ++rep) {
+    EXPECT_EQ(aggregate_with(threaded, batch), want);
+    EXPECT_EQ(aggregate_with(hw_threads, batch), want);
+  }
+}
+
+// ---- config / trainer plumbing ---------------------------------------------
+
+TEST(ShardedConfig, ValidateAndLabelCoverTheShardsKnob) {
+  ExperimentConfig c;
+  c.shards = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c.shards = c.num_workers + 1;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c.shards = 3;
+  EXPECT_NO_THROW(c.validate());
+  EXPECT_NE(c.label().find("+S3"), std::string::npos);
+  c.shards = 1;
+  EXPECT_EQ(c.label().find("+S"), std::string::npos);
+}
+
+TEST(ShardedConfig, TrainerRunsShardedAndMatchesFlatAtS1) {
+  // A small blobs task, n = 12 workers, f = 2, median inner.  shards = 3
+  // gives 4-row shards at f_shard = 1 and a median merge over 3 shard
+  // aggregates at f_merge = 1 — admissible end to end.
+  BlobsConfig bc;
+  bc.num_samples = 200;
+  bc.num_features = 6;
+  bc.separation = 4.0;
+  const Dataset data = make_blobs(bc, 8);
+  LinearModel model(6, LinearLoss::kMseOnSigmoid);
+
+  ExperimentConfig config;
+  config.num_workers = 12;
+  config.num_byzantine = 2;
+  config.gar = "median";
+  config.steps = 25;
+  config.eval_every = 25;
+  config.batch_size = 10;
+  config.attack_enabled = true;
+  config.attack = "little";
+
+  ExperimentConfig sharded = config;
+  sharded.shards = 3;
+  const RunResult sharded_run = Trainer(sharded, model, data, data).run();
+  EXPECT_TRUE(std::isfinite(sharded_run.final_train_loss));
+  EXPECT_TRUE(vec::all_finite(sharded_run.final_parameters));
+
+  // shards = 1 must reproduce the flat trainer run exactly — same
+  // parameters, same losses — since the S = 1 path is bit-identical and
+  // all randomness is seed-derived.
+  ExperimentConfig one_shard = config;
+  one_shard.shards = 1;
+  const RunResult flat_run = Trainer(config, model, data, data).run();
+  const RunResult s1_run = Trainer(one_shard, model, data, data).run();
+  EXPECT_EQ(s1_run.final_parameters, flat_run.final_parameters);
+  EXPECT_EQ(s1_run.train_loss, flat_run.train_loss);
+}
+
+}  // namespace
+}  // namespace dpbyz
