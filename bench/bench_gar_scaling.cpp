@@ -15,6 +15,17 @@
 // budget), reporting wall-clock speedup of sharded vs the flat rule at
 // the same (n, f) and asserting the S = 1 path is bit-identical to flat.
 //
+// A third sweep measures the FULL training step (the worker→server
+// pipeline): n honest workers sample / compute / clip / DP-noise into the
+// round arena, the server aggregates and updates.  For each configuration
+// it reports
+//   * allocations per steady-state step on the serial path (must be 0 —
+//     the PR-3 _into rewire),
+//   * wall-clock per step for the serial loop, for worker submission on
+//     the persistent ThreadPool, and for the per-call std::thread spawn
+//     dispatch the pool replaced (re-implemented locally for comparison),
+//   * whether a threaded trainer run is bit-identical to the serial run.
+//
 // Results go to stdout as a table and to BENCH_gar_scaling.json in the
 // working directory.  Flags: --fast (skip d = 1e5), --budget-ms M
 // (per-measurement time budget, default 300).
@@ -29,12 +40,22 @@
 #include <string>
 #include <vector>
 
+#include <thread>
+
 #include "aggregation/aggregator.hpp"
 #include "aggregation/mda.hpp"
 #include "aggregation/reference_gars.hpp"
 #include "aggregation/sharded.hpp"
+#include "core/server.hpp"
+#include "core/trainer.hpp"
+#include "core/worker.hpp"
+#include "data/synthetic.hpp"
+#include "dp/gaussian_mechanism.hpp"
 #include "math/gradient_batch.hpp"
 #include "math/rng.hpp"
+#include "models/linear_model.hpp"
+#include "models/optimizer.hpp"
+#include "utils/parallel.hpp"
 
 // ---- global allocation counter -------------------------------------------
 // Replacing the global allocation functions lets the bench *prove* the
@@ -138,6 +159,77 @@ struct ShardRow {
   double sharded_s, flat_s;
   size_t allocs;
   bool s1_identical;  // measured at shards == 1 only (false/unused, emitted as null, elsewhere)
+};
+
+struct PipelineRow {
+  std::string mechanism, gar;
+  size_t n, d, threads;
+  double allocs_per_step;  // serial steady-state (must be 0)
+  double serial_step_s, pool_step_s, spawn_step_s;
+  bool threaded_identical;  // pool-backed trainer == serial trainer, bit-for-bit
+};
+
+/// The per-call std::thread dispatch the persistent pool replaced — kept
+/// here (only) so the pool's spawn-cost win is measured, not asserted.
+template <typename Fn>
+void spawn_dispatch(size_t count, Fn fn, size_t threads) {
+  std::atomic<size_t> cursor{0};
+  std::vector<std::thread> spawned;
+  spawned.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    spawned.emplace_back([&] {
+      while (true) {
+        const size_t i = cursor.fetch_add(1);
+        if (i >= count) return;
+        fn(i);
+      }
+    });
+  }
+  for (auto& th : spawned) th.join();
+}
+
+/// One full worker→server training-step harness over the paper-shaped
+/// linear task (d = 69), reused across the measurement modes.
+struct PipelineHarness {
+  dpbyz::Dataset data;
+  dpbyz::LinearModel model;
+  dpbyz::GaussianMechanism mechanism;
+  std::vector<dpbyz::HonestWorker> workers;
+  dpbyz::ParameterServer server;
+  GradientBatch submissions;
+  size_t t = 1;
+
+  PipelineHarness(size_t n, const std::string& gar, size_t batch_size)
+      : data(dpbyz::make_phishing_like(dpbyz::PhishingLikeConfig{}, 42)),
+        model(dpbyz::PhishingLikeConfig{}.num_features, dpbyz::LinearLoss::kMseOnSigmoid),
+        mechanism(dpbyz::GaussianMechanism::for_clipped_gradients(0.2, 1e-6, 1e-2,
+                                                                  batch_size)),
+        server(dpbyz::make_aggregator(gar, n, gar == "average" ? 0 : 2),
+               dpbyz::SgdOptimizer(model.dim(), dpbyz::constant_lr(2.0), 0.99),
+               model.initial_parameters()),
+        submissions(n, model.dim()) {
+    Rng root(1);
+    workers.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+      workers.emplace_back(model, data, batch_size, 1e-2, mechanism,
+                           root.derive("worker-" + std::to_string(i)));
+  }
+
+  /// One synchronous round; threads == 1 is the serial loop, "pool" mode
+  /// dispatches submission on the shared ThreadPool, "spawn" mode on
+  /// per-call std::threads.
+  void step(size_t threads, bool use_spawn) {
+    const Vector& w = server.parameters();
+    auto submit = [&](size_t i) { workers[i].submit_into(w, submissions.row(i)); };
+    if (threads <= 1) {
+      for (size_t i = 0; i < workers.size(); ++i) submit(i);
+    } else if (use_spawn) {
+      spawn_dispatch(workers.size(), submit, threads);
+    } else {
+      dpbyz::ThreadPool::shared().run(workers.size(), submit, threads);
+    }
+    server.step(submissions, t++);
+  }
 };
 
 }  // namespace
@@ -284,6 +376,84 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ---- pipeline sweep: the full worker→server step -----------------------
+  // d = 69 linear task at paper batch sizes; the serial path must be
+  // allocation-free at steady state (the PR-3 _into rewire), and the
+  // pool dispatch must beat per-call thread spawn.  Thread width for the
+  // threaded modes: min(4, hardware).
+  std::vector<PipelineRow> pipeline_rows;
+  {
+    // A fixed dispatch width of 4: on wide hosts the threaded modes show
+    // the parallel win, on narrow ones they still measure what the pool
+    // exists for — per-step dispatch overhead (persistent wake/join vs
+    // 4 fresh std::thread clones every step).
+    const size_t threads = 4;
+    std::printf("\n%-10s %-8s %4s %4s %3s | %11s | %11s %11s %11s | %9s | %9s\n",
+                "mechanism", "gar", "n", "d", "T", "allocs/step", "serial (ms)",
+                "pool (ms)", "spawn (ms)", "pool/spwn", "thr ident");
+    std::printf(
+        "--------------------------------------------------------------------------"
+        "--------------------------\n");
+    dpbyz::ThreadPool::shared();  // warm the pool outside any measurement
+
+    for (const auto& [gar, n] : std::vector<std::pair<std::string, size_t>>{
+             {"average", 11}, {"mda", 11}, {"mda", 25}}) {
+      const size_t batch_size = 50;
+
+      // Serial steady-state allocation count, over 5 steps after warmup.
+      PipelineHarness counted(n, gar, batch_size);
+      for (int s = 0; s < 3; ++s) counted.step(1, false);
+      g_alloc_count.store(0);
+      g_count_allocs.store(true);
+      for (int s = 0; s < 5; ++s) counted.step(1, false);
+      g_count_allocs.store(false);
+      const double allocs_per_step = static_cast<double>(g_alloc_count.load()) / 5.0;
+
+      // Wall-clock per step for the three dispatch modes.  One harness
+      // per mode: each advances its own worker RNG streams; the per-step
+      // work is identical, which is all a timing comparison needs.
+      PipelineHarness serial_h(n, gar, batch_size);
+      serial_h.step(1, false);
+      const double serial_s = time_call([&] { serial_h.step(1, false); }, budget_s);
+      PipelineHarness pool_h(n, gar, batch_size);
+      pool_h.step(threads, false);
+      const double pool_s = time_call([&] { pool_h.step(threads, false); }, budget_s);
+      PipelineHarness spawn_h(n, gar, batch_size);
+      spawn_h.step(threads, true);
+      const double spawn_s = time_call([&] { spawn_h.step(threads, true); }, budget_s);
+
+      // Pool-backed threaded trainer must be bit-identical to serial —
+      // checked on a real Trainer run (short, but long enough that any
+      // divergence would compound into the parameters).
+      dpbyz::ExperimentConfig config;
+      config.num_workers = n;
+      config.num_byzantine = gar == "average" ? 0 : 2;
+      config.gar = gar;
+      config.steps = 20;
+      config.eval_every = 20;
+      config.batch_size = 10;
+      config.dp_enabled = true;
+      config.epsilon = 0.2;
+      const dpbyz::LinearModel& model = serial_h.model;
+      const dpbyz::Dataset& data = serial_h.data;
+      const auto serial_run = dpbyz::Trainer(config, model, data, data).run();
+      config.threads = threads;
+      const auto threaded_run = dpbyz::Trainer(config, model, data, data).run();
+      const bool identical =
+          serial_run.final_parameters == threaded_run.final_parameters &&
+          serial_run.train_loss == threaded_run.train_loss;
+
+      pipeline_rows.push_back({"gaussian", gar, n, serial_h.model.dim(), threads,
+                               allocs_per_step, serial_s, pool_s, spawn_s, identical});
+      std::printf("%-10s %-8s %4zu %4zu %3zu | %11.1f | %11.4f %11.4f %11.4f | "
+                  "%8.2fx | %9s\n",
+                  "gaussian", gar.c_str(), n, serial_h.model.dim(), threads,
+                  allocs_per_step, serial_s * 1e3, pool_s * 1e3, spawn_s * 1e3,
+                  spawn_s / pool_s, identical ? "yes" : "NO");
+      std::fflush(stdout);
+    }
+  }
+
   FILE* out = std::fopen("BENCH_gar_scaling.json", "w");
   if (!out) {
     std::fprintf(stderr, "cannot open BENCH_gar_scaling.json for writing\n");
@@ -314,8 +484,24 @@ int main(int argc, char** argv) {
                  r.shards > 1 ? "null" : (r.s1_identical ? "true" : "false"),
                  i + 1 < shard_rows.size() ? "," : "");
   }
+  std::fprintf(out, "  ],\n  \"pipeline_sweep\": [\n");
+  for (size_t i = 0; i < pipeline_rows.size(); ++i) {
+    const PipelineRow& r = pipeline_rows[i];
+    std::fprintf(out,
+                 "    {\"mechanism\": \"%s\", \"gar\": \"%s\", \"n\": %zu, "
+                 "\"d\": %zu, \"threads\": %zu, \"allocs_per_step_serial\": %.1f, "
+                 "\"serial_step_ms\": %.6f, \"pool_step_ms\": %.6f, "
+                 "\"spawn_step_ms\": %.6f, \"pool_speedup_vs_spawn\": %.3f, "
+                 "\"threaded_bit_identical\": %s}%s\n",
+                 r.mechanism.c_str(), r.gar.c_str(), r.n, r.d, r.threads,
+                 r.allocs_per_step, r.serial_step_s * 1e3, r.pool_step_s * 1e3,
+                 r.spawn_step_s * 1e3, r.spawn_step_s / r.pool_step_s,
+                 r.threaded_identical ? "true" : "false",
+                 i + 1 < pipeline_rows.size() ? "," : "");
+  }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
-  std::printf("\nwrote BENCH_gar_scaling.json (%zu configurations)\n", rows.size());
+  std::printf("\nwrote BENCH_gar_scaling.json (%zu configurations)\n",
+              rows.size() + shard_rows.size() + pipeline_rows.size());
   return 0;
 }

@@ -26,6 +26,12 @@ ShardedAggregator::ShardedAggregator(const std::string& inner, const std::string
   // Likewise the merge stage at (S, f_merge); median is admissible for
   // any S >= 2 f_merge + 1, which is the usual binding constraint.
   merge_ = make_aggregator(merge, shard_count_, merge_f_);
+  // An "average" merge over uneven shards weights by shard size (the
+  // unweighted mean of shard means over-weights the small shards); see
+  // aggregate_into.  Equal shard sizes (S | n, including S = 1) make the
+  // weighted and plain means coincide, so the plain merge path is kept
+  // there — bit-identical to the flat rule at S = 1.
+  weighted_merge_ = merge_->name() == "average" && n % shard_count_ != 0;
   shard_ws_.resize(shard_count_);
 }
 
@@ -59,21 +65,44 @@ void ShardedAggregator::aggregate_into(const GradientBatch& batch,
     const GradientBatch shard = batch.view(lo, hi);
     const auto aggregate = inners_[s]->aggregate(shard, shard_ws_[s]);
     std::copy(aggregate.begin(), aggregate.end(), shard_aggregates_.row(s).begin());
-    return 0;
   };
 
-  // One task per shard is already the coarsest possible grain; the serial
-  // loop (threads_ == 1, the default) keeps the path allocation-free,
-  // mirroring pairwise_dist_sq's dispatch policy.  threads_ == 0 goes to
-  // parallel_map, which resolves it to the hardware concurrency.
+  // One task per shard is already the coarsest possible grain.  Both
+  // paths are allocation-free after warmup: the serial loop trivially,
+  // the threaded one because ThreadPool::run keeps its job descriptor on
+  // this stack frame (no per-call spawn, no result vector).  threads_
+  // == 0 resolves to the pool width.
   if (threads_ == 1 || shard_count_ <= 1) {
     for (size_t s = 0; s < shard_count_; ++s) do_shard(s);
   } else {
-    parallel_map(shard_count_, do_shard, threads_, /*grain=*/1);
+    ThreadPool::shared().run(shard_count_, do_shard, threads_);
   }
 
+  if (weighted_merge_) {
+    // Size-weighted average merge: out = (1/n) * sum_s n_s * agg_s.  With
+    // an average inner stage each agg_s is the shard mean, so this equals
+    // the flat average over all n rows for every (n, S) — uneven shards
+    // included — up to floating-point rounding of the per-shard
+    // normalisation (sharded(average/average) used to be exact only when
+    // S | n; now the S | n case is exact on the plain path below and the
+    // uneven case is exact up to that rounding).  Our own NVI wrapper has
+    // already sized ws.output to d, matching the contract the plain
+    // merge_->aggregate path satisfies.
+    vec::fill(ws.output, 0.0);
+    for (size_t s = 0; s < shard_count_; ++s) {
+      const auto [lo, hi] = shard_range(s);
+      vec::axpy_inplace(ws.output, static_cast<double>(hi - lo),
+                        shard_aggregates_.row(s));
+    }
+    vec::scale_inplace(ws.output, 1.0 / static_cast<double>(n()));
+    return;
+  }
   // The merge GAR's public NVI sizes ws.output to d and writes the final
   // aggregate into it — precisely this function's own postcondition.
+  // Robust (order-statistic) merges stay unweighted: shard sizes differ
+  // by at most one row, and there is no canonical size-weighted variant
+  // of a selection rule — the worst-case budget derivation in
+  // docs/ARCHITECTURE.md treats every shard aggregate as one vote.
   merge_->aggregate(shard_aggregates_, ws);
 }
 

@@ -65,6 +65,15 @@ class ShardedAggregator final : public Aggregator {
   const Aggregator& inner(size_t s) const { return *inners_.at(s); }
   const Aggregator& merge_rule() const { return *merge_; }
 
+  /// True when the merge stage is the size-weighted average: an "average"
+  /// merge over uneven shard sizes weights each shard aggregate by its
+  /// row count (out = (1/n) Σ n_s·agg_s), so sharded(average/average)
+  /// matches the flat average for every (n, S) instead of only S | n.
+  /// Equal shard sizes keep the plain (unweighted, bit-identical) path;
+  /// robust merges are always unweighted — every shard aggregate is one
+  /// vote in the worst-case budget argument.
+  bool weighted_merge() const { return weighted_merge_; }
+
   /// The worst-case number of shards whose Byzantine count can exceed
   /// `shard_f` when `f` total Byzantine rows are placed adversarially:
   /// floor(f / (shard_f + 1)).  Exposed for tests and the docs' bound.
@@ -72,12 +81,13 @@ class ShardedAggregator final : public Aggregator {
 
  protected:
   /// Aggregates every shard view through its pooled workspace (serially
-  /// or via parallel_map when threads > 1), gathers the S results into
-  /// the internal S×d merge arena, then runs the merge GAR through the
-  /// caller's workspace — ws.output ends up holding the final aggregate,
-  /// exactly as the NVI contract requires.  The serial path is zero-alloc
-  /// after warmup; threaded dispatch allocates for thread spawn and is an
-  /// explicit opt-in (the trainer stays serial).
+  /// or on the process-wide ThreadPool when threads > 1), gathers the S
+  /// results into the internal S×d merge arena, then runs the merge
+  /// stage through the caller's workspace — ws.output ends up holding
+  /// the final aggregate, exactly as the NVI contract requires.  Both
+  /// dispatch modes are zero-alloc after warmup (the pool keeps its job
+  /// descriptor on the caller's stack); ExperimentConfig::threads drives
+  /// the width in the trainer.
   void aggregate_into(const GradientBatch& batch, AggregatorWorkspace& ws) const override;
 
  private:
@@ -85,6 +95,7 @@ class ShardedAggregator final : public Aggregator {
   size_t threads_;
   size_t shard_f_;
   size_t merge_f_;
+  bool weighted_merge_ = false;
   std::vector<std::unique_ptr<Aggregator>> inners_;  // one per shard
   std::unique_ptr<Aggregator> merge_;
   // Per-shard scratch lives in the aggregator (not the caller's

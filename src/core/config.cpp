@@ -49,6 +49,7 @@ void ExperimentConfig::validate() const {
 std::string ExperimentConfig::label() const {
   std::string out = gar;
   if (shards > 1) out += "+S" + std::to_string(shards);
+  if (threads != 1) out += "+T" + std::to_string(threads);
   if (dp_enabled)
     out += "+dp(eps=" + strings::format_double(epsilon) + ")";
   if (attack_enabled) out += "+" + attack;

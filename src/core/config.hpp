@@ -57,6 +57,17 @@ struct ExperimentConfig {
   ///                  (fraction `label_skew_fraction`, best effort)
   std::string data_partition = "shared";
   double label_skew_fraction = 0.8;  ///< majority share for "label-skew"
+  /// Thread budget for one training step: honest-worker submission runs
+  /// one pipeline per thread on the process-wide ThreadPool, and the
+  /// sharded aggregator (shards > 1) dispatches its shard tasks at the
+  /// same width.  1 (the default) keeps every step on the calling thread
+  /// — the paper's serial loop, bit-identical to the seed; 0 picks the
+  /// hardware concurrency.  Any value yields bit-identical results to
+  /// serial (workers own disjoint arena rows and independent RNG
+  /// streams; losses are reduced in index order after the join) — the
+  /// knob only changes wall-clock, which is why it is safe to flip on
+  /// existing experiments.
+  size_t threads = 1;
 
   // --- privacy -------------------------------------------------------------
   bool dp_enabled = false;

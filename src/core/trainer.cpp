@@ -8,6 +8,7 @@
 #include "dp/laplace_mechanism.hpp"
 #include "math/statistics.hpp"
 #include "utils/errors.hpp"
+#include "utils/parallel.hpp"
 
 namespace dpbyz {
 
@@ -76,12 +77,14 @@ RunResult Trainer::run() {
   // ShardedAggregator so the paper-default path is byte-for-byte the
   // code the golden tests pin (the S = 1 sharded path is itself golden-
   // tested bit-identical, but there is no reason to pay its indirection).
-  // The sharded path stays serial here: run_seeds_parallel already owns
-  // the thread budget, and nesting pools would oversubscribe.
+  // config.threads drives the shard dispatch width too; nesting inside
+  // run_seeds_parallel is safe because the process-wide ThreadPool runs
+  // nested jobs serially on the worker they were issued from.
   std::unique_ptr<Aggregator> gar =
       config_.shards > 1
           ? std::make_unique<ShardedAggregator>(config_.gar, config_.shard_merge_gar, n,
-                                                config_.num_byzantine, config_.shards)
+                                                config_.num_byzantine, config_.shards,
+                                                config_.threads)
           : make_aggregator(config_.gar, n, config_.num_byzantine);
   ParameterServer server(std::move(gar),
                          SgdOptimizer(model_.dim(), schedule, config_.momentum),
@@ -103,12 +106,28 @@ RunResult Trainer::run() {
   for (size_t t = 1; t <= config_.steps; ++t) {
     const Vector& w = server.parameters();
 
-    // 1. Honest pipelines write straight into their arena rows.
+    // 1. Honest pipelines write straight into their arena rows.  Workers
+    // are independent by construction — disjoint arena rows, private RNG
+    // streams and buffers, shared data strictly const — so the threaded
+    // path dispatches one pipeline per index on the process-wide pool
+    // and is bit-identical to the serial loop (the loss reduction runs
+    // in index order after the join either way).
     double loss_acc = 0.0;
-    for (size_t i = 0; i < honest.size(); ++i) {
-      honest[i].submit_into(w, submissions.row(i));
-      loss_acc += honest[i].last_batch_loss();
-      if (observe_clean) clean.set_row(i, honest[i].last_clean_gradient());
+    if (config_.threads != 1 && honest.size() > 1) {
+      ThreadPool::shared().run(
+          honest.size(),
+          [&](size_t i) {
+            honest[i].submit_into(w, submissions.row(i));
+            if (observe_clean) clean.set_row(i, honest[i].last_clean_gradient());
+          },
+          config_.threads);
+      for (const HonestWorker& worker : honest) loss_acc += worker.last_batch_loss();
+    } else {
+      for (size_t i = 0; i < honest.size(); ++i) {
+        honest[i].submit_into(w, submissions.row(i));
+        loss_acc += honest[i].last_batch_loss();
+        if (observe_clean) clean.set_row(i, honest[i].last_clean_gradient());
+      }
     }
     result.train_loss.push_back(loss_acc / static_cast<double>(honest.size()));
 

@@ -12,9 +12,13 @@
 //   4. metrics are recorded (per-step honest batch loss; test accuracy
 //      every eval_every steps).
 //
-// The trainer is deliberately single-threaded and allocation-light: runs
-// are deterministic given (config, model, datasets), which the test suite
-// checks bit-for-bit.
+// The trainer is serial by default and allocation-free at steady state
+// (every per-step stage writes into reused arenas/buffers; measured by
+// bench_gar_scaling's pipeline sweep).  ExperimentConfig::threads > 1
+// runs the honest-worker pipelines — and, with shards > 1, the shard
+// dispatch — on the process-wide ThreadPool; results stay deterministic
+// and bit-identical to the serial run given (config, model, datasets),
+// which the test suite checks bit-for-bit.
 #pragma once
 
 #include <memory>

@@ -18,29 +18,34 @@ HonestWorker::HonestWorker(const Model& model, const Dataset& train, size_t batc
       velocity_(model.dim(), 0.0),
       sampler_(train.size()),
       sample_rng_(rng.derive("sampling")),
-      noise_rng_(rng.derive("dp-noise")) {
+      noise_rng_(rng.derive("dp-noise")),
+      last_clean_gradient_(model.dim(), 0.0) {
   require(batch_size >= 1, "HonestWorker: batch size must be positive");
   require(clip_norm > 0, "HonestWorker: clip norm must be positive");
   require(momentum >= 0 && momentum < 1, "HonestWorker: momentum must be in [0,1)");
 }
 
 void HonestWorker::submit_into(const Vector& w, std::span<double> out) {
-  const auto batch = sampler_.next(batch_size_, sample_rng_);
+  // Every stage writes into a reused member buffer or straight into
+  // `out`: after the first call the full pipeline (sample, gradient,
+  // clip, momentum, noise) touches the heap zero times — measured by the
+  // operator-new counter in bench_gar_scaling's pipeline sweep.
+  sampler_.next_into(batch_size_, sample_rng_, batch_);
   // Loss is evaluated on the same batch the gradient is computed on —
   // this is the per-step training loss series the paper plots.
-  last_batch_loss_ = model_.batch_loss(w, train_, batch);
-  Vector g = model_.batch_gradient(w, train_, batch);
-  if (clip_) clip_l2_inplace(g, clip_norm_);
+  last_batch_loss_ = model_.batch_loss(w, train_, batch_);
+  model_.batch_gradient_into(w, train_, batch_, last_clean_gradient_);
+  if (clip_) clip_l2_inplace(last_clean_gradient_, clip_norm_);
   if (momentum_ > 0.0) {
     // Worker-side exponential averaging over clipped gradients.  Note the
     // noise is applied to the *momentum* vector below, so every message
     // leaving the worker remains (eps, delta)-DP for the current batch.
-    for (size_t i = 0; i < g.size(); ++i)
-      velocity_[i] = momentum_ * velocity_[i] + g[i];
-    g = velocity_;
+    for (size_t i = 0; i < last_clean_gradient_.size(); ++i) {
+      velocity_[i] = momentum_ * velocity_[i] + last_clean_gradient_[i];
+      last_clean_gradient_[i] = velocity_[i];
+    }
   }
-  last_clean_gradient_ = std::move(g);
-  vec::copy(mechanism_.perturb(last_clean_gradient_, noise_rng_), out);
+  mechanism_.perturb_into(last_clean_gradient_, noise_rng_, out);
 }
 
 Vector HonestWorker::submit(const Vector& w) {

@@ -39,6 +39,11 @@ class HonestWorker {
   /// Run one full step pipeline at parameters `w` and write the sanitized
   /// gradient o_t^(i) into `out` — typically this worker's row of the
   /// round's GradientBatch arena, so the "send" is the in-place write.
+  /// Allocation-free after the first call: the batch indices and the
+  /// clean gradient live in reused member buffers, and every stage
+  /// (model, clip, mechanism) writes through _into variants.  Distinct
+  /// workers may run submit_into concurrently (the threaded trainer
+  /// does); a single worker's calls must stay sequential.
   void submit_into(const Vector& w, std::span<double> out);
 
   /// Allocating convenience wrapper around submit_into.
@@ -67,7 +72,11 @@ class HonestWorker {
   Rng sample_rng_;
   Rng noise_rng_;
   double last_batch_loss_ = 0.0;
+  /// Reused across steps: sized to dim() once, then written in place by
+  /// batch_gradient_into / clip / momentum every submit.
   Vector last_clean_gradient_;
+  /// Reused batch-index buffer (sampler_.next_into target).
+  std::vector<size_t> batch_;
 };
 
 }  // namespace dpbyz

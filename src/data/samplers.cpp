@@ -8,18 +8,18 @@ IidSampler::IidSampler(size_t population_size) : n_(population_size) {
   require(n_ > 0, "IidSampler: population must be positive");
 }
 
-std::vector<size_t> IidSampler::next(size_t batch_size, Rng& rng) {
+void IidSampler::next_into(size_t batch_size, Rng& rng, std::vector<size_t>& out) {
   require(batch_size > 0, "IidSampler::next: batch_size must be positive");
-  std::vector<size_t> out(batch_size);
+  out.resize(batch_size);  // no-op on a warmed-up caller buffer
   for (size_t& i : out) i = rng.uniform_index(n_);
-  return out;
 }
 
 EpochShuffleSampler::EpochShuffleSampler(size_t population_size) : n_(population_size) {
   require(n_ > 0, "EpochShuffleSampler: population must be positive");
 }
 
-std::vector<size_t> EpochShuffleSampler::next(size_t batch_size, Rng& rng) {
+void EpochShuffleSampler::next_into(size_t batch_size, Rng& rng,
+                                    std::vector<size_t>& out) {
   require(batch_size > 0, "EpochShuffleSampler::next: batch_size must be positive");
   require(batch_size <= n_,
           "EpochShuffleSampler::next: batch_size exceeds population");
@@ -30,10 +30,9 @@ std::vector<size_t> EpochShuffleSampler::next(size_t batch_size, Rng& rng) {
     order_ = rng.permutation(n_);
     cursor_ = 0;
   }
-  std::vector<size_t> out(order_.begin() + static_cast<std::ptrdiff_t>(cursor_),
-                          order_.begin() + static_cast<std::ptrdiff_t>(cursor_ + batch_size));
+  out.assign(order_.begin() + static_cast<std::ptrdiff_t>(cursor_),
+             order_.begin() + static_cast<std::ptrdiff_t>(cursor_ + batch_size));
   cursor_ += batch_size;
-  return out;
 }
 
 }  // namespace dpbyz

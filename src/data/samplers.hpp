@@ -19,8 +19,18 @@ class BatchSampler {
  public:
   virtual ~BatchSampler() = default;
 
-  /// Next batch of exactly `batch_size` indices in [0, population()).
-  virtual std::vector<size_t> next(size_t batch_size, Rng& rng) = 0;
+  /// Write the next batch of exactly `batch_size` indices in
+  /// [0, population()) into `out` (resized to batch_size) — the worker
+  /// pipeline's hot path: with a reused caller buffer, steady-state calls
+  /// perform no heap allocation.  Draw-for-draw identical to next().
+  virtual void next_into(size_t batch_size, Rng& rng, std::vector<size_t>& out) = 0;
+
+  /// Allocating convenience wrapper around next_into.
+  std::vector<size_t> next(size_t batch_size, Rng& rng) {
+    std::vector<size_t> out;
+    next_into(batch_size, rng, out);
+    return out;
+  }
 
   /// Size of the underlying index population.
   virtual size_t population() const = 0;
@@ -30,7 +40,7 @@ class BatchSampler {
 class IidSampler final : public BatchSampler {
  public:
   explicit IidSampler(size_t population_size);
-  std::vector<size_t> next(size_t batch_size, Rng& rng) override;
+  void next_into(size_t batch_size, Rng& rng, std::vector<size_t>& out) override;
   size_t population() const override { return n_; }
 
  private:
@@ -43,7 +53,7 @@ class IidSampler final : public BatchSampler {
 class EpochShuffleSampler final : public BatchSampler {
  public:
   explicit EpochShuffleSampler(size_t population_size);
-  std::vector<size_t> next(size_t batch_size, Rng& rng) override;
+  void next_into(size_t batch_size, Rng& rng, std::vector<size_t>& out) override;
   size_t population() const override { return n_; }
 
  private:

@@ -32,10 +32,12 @@ double GaussianMechanism::noise_scale(double epsilon, double delta, double g_max
          (static_cast<double>(batch_size) * epsilon);
 }
 
-Vector GaussianMechanism::perturb(const Vector& gradient, Rng& rng) const {
-  Vector out = gradient;
-  for (double& x : out) x += rng.normal(0.0, s_);
-  return out;
+void GaussianMechanism::perturb_into(std::span<const double> gradient, Rng& rng,
+                                     std::span<double> out) const {
+  require(out.size() == gradient.size(),
+          "GaussianMechanism::perturb_into: dimension mismatch");
+  for (size_t i = 0; i < gradient.size(); ++i)
+    out[i] = gradient[i] + rng.normal(0.0, s_);
 }
 
 std::string GaussianMechanism::describe() const {

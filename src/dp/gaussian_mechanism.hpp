@@ -30,7 +30,8 @@ class GaussianMechanism final : public NoiseMechanism {
   static double noise_scale(double epsilon, double delta, double g_max,
                             size_t batch_size);
 
-  Vector perturb(const Vector& gradient, Rng& rng) const override;
+  void perturb_into(std::span<const double> gradient, Rng& rng,
+                    std::span<double> out) const override;
   double noise_stddev() const override { return s_; }
   std::string describe() const override;
 

@@ -20,10 +20,12 @@ LaplaceMechanism LaplaceMechanism::for_clipped_gradients(double epsilon, double 
   return LaplaceMechanism(epsilon, dp::l1_sensitivity(g_max, batch_size, dim));
 }
 
-Vector LaplaceMechanism::perturb(const Vector& gradient, Rng& rng) const {
-  Vector out = gradient;
-  for (double& x : out) x += rng.laplace(0.0, scale_);
-  return out;
+void LaplaceMechanism::perturb_into(std::span<const double> gradient, Rng& rng,
+                                    std::span<double> out) const {
+  require(out.size() == gradient.size(),
+          "LaplaceMechanism::perturb_into: dimension mismatch");
+  for (size_t i = 0; i < gradient.size(); ++i)
+    out[i] = gradient[i] + rng.laplace(0.0, scale_);
 }
 
 double LaplaceMechanism::noise_stddev() const { return std::sqrt(2.0) * scale_; }

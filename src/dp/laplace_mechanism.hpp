@@ -23,7 +23,8 @@ class LaplaceMechanism final : public NoiseMechanism {
   static LaplaceMechanism for_clipped_gradients(double epsilon, double g_max,
                                                 size_t batch_size, size_t dim);
 
-  Vector perturb(const Vector& gradient, Rng& rng) const override;
+  void perturb_into(std::span<const double> gradient, Rng& rng,
+                    std::span<double> out) const override;
 
   /// stddev of Laplace(0, scale) is sqrt(2) * scale.
   double noise_stddev() const override;

@@ -21,8 +21,21 @@ class NoiseMechanism {
  public:
   virtual ~NoiseMechanism() = default;
 
-  /// Sanitize a gradient: returns g + y with fresh noise y from `rng`.
-  virtual Vector perturb(const Vector& gradient, Rng& rng) const = 0;
+  /// Sanitize a gradient in place into `out` (same length): out = g + y
+  /// with fresh noise y from `rng` — the worker pipeline's hot path,
+  /// where `out` is the worker's row of the round's GradientBatch arena.
+  /// Draw-for-draw identical to perturb on the same rng state; performs
+  /// no heap allocation.  `out` may alias `gradient`.
+  virtual void perturb_into(std::span<const double> gradient, Rng& rng,
+                            std::span<double> out) const = 0;
+
+  /// Allocating convenience wrapper around perturb_into — value-identical
+  /// by construction (tests, theory module, cold call sites).
+  Vector perturb(const Vector& gradient, Rng& rng) const {
+    Vector out(gradient.size());
+    perturb_into(gradient, rng, out);
+    return out;
+  }
 
   /// Per-coordinate standard deviation of the injected noise (the `s` of
   /// Eq. 6 for the Gaussian mechanism; sqrt(2)*scale for Laplace).
@@ -44,7 +57,10 @@ class NoiseMechanism {
 /// explicit object (instead of a null pointer) keeps worker code uniform.
 class NoNoise final : public NoiseMechanism {
  public:
-  Vector perturb(const Vector& gradient, Rng&) const override { return gradient; }
+  void perturb_into(std::span<const double> gradient, Rng&,
+                    std::span<double> out) const override {
+    if (out.data() != gradient.data()) vec::copy(gradient, out);
+  }
   double noise_stddev() const override { return 0.0; }
   std::string describe() const override { return "none"; }
 };

@@ -123,13 +123,13 @@ void mean_rows_of_into(const GradientBatch& batch, std::span<const size_t> idx,
 /// is computed once; per-pair accumulation runs a single forward pass over
 /// the coordinates, so every entry is bit-identical to vec::dist_sq on the
 /// same rows.  The pair loop is tiled over row blocks for cache reuse and
-/// dispatched through parallel_map (coarse grain) when the work is large
-/// enough to amortise thread spawn; `threads` = 0 picks the hardware
-/// concurrency, 1 (the default) forces serial.  The serial path is
-/// allocation-free, which is why the GAR hot path uses it — threaded
-/// dispatch is an explicit opt-in for future sharded callers (thread
-/// spawn allocates, and nesting it inside run_seeds_parallel would
-/// oversubscribe the machine).
+/// dispatched through parallel_map (coarse grain, on the process-wide
+/// ThreadPool) when the work is large enough to amortise dispatch;
+/// `threads` = 0 picks the hardware concurrency, 1 (the default) forces
+/// serial.  The serial path is allocation-free, which is why the GAR hot
+/// path uses it — threaded dispatch is an explicit opt-in for callers
+/// that own the thread budget (parallel_map's result vector allocates,
+/// and a nested call inside run_seeds_parallel runs serially anyway).
 void pairwise_dist_sq(const GradientBatch& batch, std::span<double> out,
                       size_t threads = 1);
 

@@ -1,6 +1,7 @@
 #include "math/rng.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "utils/errors.hpp"
 
@@ -51,12 +52,26 @@ double Rng::normal(double mean, double stddev) {
   return dist(engine_);
 }
 
-double Rng::laplace(double mu, double scale) {
+double Rng::laplace_from_uniform(double u, double mu, double scale) {
   require(scale > 0, "Rng::laplace: scale must be positive");
-  // Inverse CDF: X = mu - scale * sign(u) * log(1 - 2|u|), u ~ U(-1/2, 1/2).
-  const double u = uniform(-0.5, 0.5);
+  require(u >= -0.5 && u <= 0.5, "Rng::laplace_from_uniform: u must be in [-0.5, 0.5]");
   const double sign = (u >= 0.0) ? 1.0 : -1.0;
-  return mu - scale * sign * std::log(1.0 - 2.0 * std::abs(u));
+  // Inverse CDF: X = mu - scale * sign(u) * log(1 - 2|u|).
+  // std::uniform_real_distribution is INCLUSIVE at its lower bound, so
+  // laplace()'s draw can return exactly -0.5, making the log argument 0
+  // and the sample -inf — infinite "DP noise" that would reach the wire
+  // and poison every downstream aggregate.  Clamp the argument to the
+  // smallest positive normal double: the boundary draw maps to a huge
+  // but finite tail value (|X - mu| ~ 708 scale), and every interior u
+  // is untouched, so non-boundary draws stay bit-identical to the
+  // unclamped formula.
+  const double tail =
+      std::max(1.0 - 2.0 * std::abs(u), std::numeric_limits<double>::min());
+  return mu - scale * sign * std::log(tail);
+}
+
+double Rng::laplace(double mu, double scale) {
+  return laplace_from_uniform(uniform(-0.5, 0.5), mu, scale);
 }
 
 bool Rng::bernoulli(double p) {

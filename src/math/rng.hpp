@@ -41,8 +41,17 @@ class Rng {
   /// Standard normal draw N(mean, stddev^2).
   double normal(double mean = 0.0, double stddev = 1.0);
 
-  /// Laplace(mu, scale) draw via inverse CDF.
+  /// Laplace(mu, scale) draw via inverse CDF.  Always finite: the
+  /// uniform draw is inclusive at -1/2 (where the raw inverse CDF is
+  /// -inf), and that boundary is clamped — see laplace_from_uniform.
   double laplace(double mu, double scale);
+
+  /// The deterministic inverse-CDF transform behind laplace():
+  /// X = mu - scale * sign(u) * log(1 - 2|u|) for u in [-1/2, 1/2], with
+  /// the log argument clamped to the smallest positive normal double so
+  /// the boundary draws |u| = 1/2 map to finite tail values instead of
+  /// ±inf.  Exposed so the boundary behaviour is directly testable.
+  static double laplace_from_uniform(double u, double mu, double scale);
 
   /// Bernoulli draw with success probability p.
   bool bernoulli(double p);

@@ -27,13 +27,27 @@ double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
 double quantile_inplace(std::span<double> xs, double p) {
   require(!xs.empty(), "stats::quantile: empty sample");
   require(p >= 0.0 && p <= 1.0, "stats::quantile: p must be in [0,1]");
-  std::sort(xs.begin(), xs.end());
   if (xs.size() == 1) return xs[0];
   const double pos = p * static_cast<double>(xs.size() - 1);
   const size_t lo = static_cast<size_t>(pos);
   const size_t hi = std::min(lo + 1, xs.size() - 1);
   const double frac = pos - static_cast<double>(lo);
-  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+  // Two-point selection instead of a full sort: the GAR hot paths
+  // (median family) call this once per coordinate, and only the lo-th
+  // and hi-th order statistics enter the result.  nth_element places the
+  // lo-th order stat and partitions everything greater above it, so the
+  // hi-th order stat is the minimum of that upper part.  Order statistics
+  // are the same values a full sort would produce and the interpolation
+  // formula is unchanged, so the result is bit-identical to the sorting
+  // implementation (golden-tested); only the O(n log n) -> O(n) cost and
+  // the buffer's (unspecified either way) post-call ordering differ.
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(lo), xs.end());
+  const double lo_val = xs[lo];
+  const double hi_val =
+      hi == lo ? lo_val
+               : *std::min_element(xs.begin() + static_cast<std::ptrdiff_t>(lo + 1),
+                                   xs.end());
+  return lo_val * (1.0 - frac) + hi_val * frac;
 }
 
 double median_inplace(std::span<double> xs) { return quantile_inplace(xs, 0.5); }
@@ -81,13 +95,16 @@ Vector coordinate_median(std::span<const Vector> vs) {
   require(!vs.empty(), "stats::coordinate_median: empty sample");
   const size_t d = vs[0].size();
   Vector out(d);
+  // One gather column reused across all d coordinates (median_inplace
+  // permutes it, and the next iteration overwrites every slot); the old
+  // by-value median(column) call copied the column d times.
   std::vector<double> column(vs.size());
   for (size_t i = 0; i < d; ++i) {
     for (size_t k = 0; k < vs.size(); ++k) {
       require(vs[k].size() == d, "stats::coordinate_median: dimension mismatch");
       column[k] = vs[k][i];
     }
-    out[i] = median(column);
+    out[i] = median_inplace(column);
   }
   return out;
 }

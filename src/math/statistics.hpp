@@ -30,9 +30,11 @@ double quantile(std::vector<double> xs, double p);
 /// Median (0.5-quantile).
 double median(std::vector<double> xs);
 
-/// Allocation-free variants for the aggregation hot path: sort the caller's
-/// scratch buffer in place and return the same value quantile()/median()
-/// would return for the same sample.
+/// Allocation-free variants for the aggregation hot path: select within
+/// the caller's scratch buffer in place (std::nth_element two-point
+/// selection, O(n) expected instead of a full sort) and return a value
+/// bit-identical to quantile()/median() on the same sample.  The buffer's
+/// element order after the call is unspecified.
 double quantile_inplace(std::span<double> xs, double p);
 double median_inplace(std::span<double> xs);
 

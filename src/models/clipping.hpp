@@ -16,6 +16,8 @@ namespace dpbyz {
 Vector clip_l2(const Vector& g, double max_norm);
 
 /// In-place variant; returns the pre-clip norm (useful for diagnostics).
-double clip_l2_inplace(Vector& g, double max_norm);
+/// Takes a view so it works on arena rows and reused worker buffers
+/// (Vectors bind implicitly); performs no heap allocation.
+double clip_l2_inplace(std::span<double> g, double max_norm);
 
 }  // namespace dpbyz

@@ -12,6 +12,13 @@ double Model::full_loss(const Vector& w, const Dataset& data) const {
   return batch_loss(w, data, all);
 }
 
+Vector Model::batch_gradient(const Vector& w, const Dataset& data,
+                             std::span<const size_t> batch) const {
+  Vector g(dim(), 0.0);
+  batch_gradient_into(w, data, batch, g);
+  return g;
+}
+
 double Model::accuracy(const Vector&, const Dataset&) const {
   return std::nan("");
 }
@@ -52,11 +59,13 @@ double LinearModel::predict(const Vector& w, std::span<const double> x) const {
   return loss_ == LinearLoss::kLeastSquares ? z : sigmoid(z);
 }
 
-Vector LinearModel::batch_gradient(const Vector& w, const Dataset& data,
-                                   std::span<const size_t> batch) const {
+void LinearModel::batch_gradient_into(const Vector& w, const Dataset& data,
+                                      std::span<const size_t> batch,
+                                      std::span<double> g) const {
   require(!batch.empty(), "LinearModel::batch_gradient: empty batch");
   require(data.labeled(), "LinearModel::batch_gradient: dataset must be labeled");
-  Vector g(dim(), 0.0);
+  require(g.size() == dim(), "LinearModel::batch_gradient: wrong output dimension");
+  vec::fill(g, 0.0);
   for (size_t i : batch) {
     const auto x = data.x(i);
     const double y = data.y(i);
@@ -80,7 +89,6 @@ Vector LinearModel::batch_gradient(const Vector& w, const Dataset& data,
     g[num_features_] += dz;  // bias input is 1
   }
   vec::scale_inplace(g, 1.0 / static_cast<double>(batch.size()));
-  return g;
 }
 
 double LinearModel::batch_loss(const Vector& w, const Dataset& data,

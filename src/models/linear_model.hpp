@@ -30,8 +30,9 @@ class LinearModel final : public Model {
   size_t dim() const override { return num_features_ + 1; }
   LinearLoss loss_kind() const { return loss_; }
 
-  Vector batch_gradient(const Vector& w, const Dataset& data,
-                        std::span<const size_t> batch) const override;
+  void batch_gradient_into(const Vector& w, const Dataset& data,
+                           std::span<const size_t> batch,
+                           std::span<double> out) const override;
   double batch_loss(const Vector& w, const Dataset& data,
                     std::span<const size_t> batch) const override;
   double accuracy(const Vector& w, const Dataset& data) const override;

@@ -43,17 +43,27 @@ double MlpModel::forward(const Vector& w, std::span<const double> x, Vector& a1)
   return z2;
 }
 
-double MlpModel::predict(const Vector& w, std::span<const double> x) const {
-  Vector a1(hidden_);
-  return sigmoid(forward(w, x, a1));
+Vector& MlpModel::hidden_scratch() const {
+  // One buffer per thread: the threaded trainer runs one worker pipeline
+  // per thread, each of which needs its own activation scratch.  resize()
+  // is a no-op once the thread has warmed up at this hidden width.
+  thread_local Vector a1;
+  a1.resize(hidden_);
+  return a1;
 }
 
-Vector MlpModel::batch_gradient(const Vector& w, const Dataset& data,
-                                std::span<const size_t> batch) const {
+double MlpModel::predict(const Vector& w, std::span<const double> x) const {
+  return sigmoid(forward(w, x, hidden_scratch()));
+}
+
+void MlpModel::batch_gradient_into(const Vector& w, const Dataset& data,
+                                   std::span<const size_t> batch,
+                                   std::span<double> g) const {
   require(!batch.empty(), "MlpModel::batch_gradient: empty batch");
   require(data.labeled(), "MlpModel::batch_gradient: dataset must be labeled");
-  Vector g(dim_, 0.0);
-  Vector a1(hidden_);
+  require(g.size() == dim_, "MlpModel::batch_gradient: wrong output dimension");
+  vec::fill(g, 0.0);
+  Vector& a1 = hidden_scratch();
   for (size_t i : batch) {
     const auto x = data.x(i);
     const double y = data.y(i);
@@ -72,14 +82,13 @@ Vector MlpModel::batch_gradient(const Vector& w, const Dataset& data,
     }
   }
   vec::scale_inplace(g, 1.0 / static_cast<double>(batch.size()));
-  return g;
 }
 
 double MlpModel::batch_loss(const Vector& w, const Dataset& data,
                             std::span<const size_t> batch) const {
   require(!batch.empty(), "MlpModel::batch_loss: empty batch");
   require(data.labeled(), "MlpModel::batch_loss: dataset must be labeled");
-  Vector a1(hidden_);
+  Vector& a1 = hidden_scratch();
   double acc = 0.0;
   for (size_t i : batch) {
     const double p = sigmoid(forward(w, data.x(i), a1));
@@ -91,7 +100,7 @@ double MlpModel::batch_loss(const Vector& w, const Dataset& data,
 
 double MlpModel::accuracy(const Vector& w, const Dataset& data) const {
   require(data.labeled() && data.size() > 0, "MlpModel::accuracy: bad dataset");
-  Vector a1(hidden_);
+  Vector& a1 = hidden_scratch();
   size_t correct = 0;
   for (size_t i = 0; i < data.size(); ++i) {
     const bool predicted = forward(w, data.x(i), a1) > 0.0;

@@ -29,8 +29,9 @@ class MlpModel final : public Model {
   size_t dim() const override { return dim_; }
   size_t hidden_units() const { return hidden_; }
 
-  Vector batch_gradient(const Vector& w, const Dataset& data,
-                        std::span<const size_t> batch) const override;
+  void batch_gradient_into(const Vector& w, const Dataset& data,
+                           std::span<const size_t> batch,
+                           std::span<double> out) const override;
   double batch_loss(const Vector& w, const Dataset& data,
                     std::span<const size_t> batch) const override;
   double accuracy(const Vector& w, const Dataset& data) const override;
@@ -51,6 +52,11 @@ class MlpModel final : public Model {
 
   /// Forward to (a1, z2); a1 must have size hidden_.
   double forward(const Vector& w, std::span<const double> x, Vector& a1) const;
+
+  /// Per-thread hidden-activation scratch sized to hidden_.  thread_local
+  /// so concurrent worker pipelines never share it; allocation-free after
+  /// each thread's first call at this width.
+  Vector& hidden_scratch() const;
 
   size_t features_;
   size_t hidden_;

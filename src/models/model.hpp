@@ -23,9 +23,21 @@ class Model {
   /// Number of trainable parameters d.
   virtual size_t dim() const = 0;
 
-  /// Mini-batch gradient (1/|batch|) sum over batch of grad Q(w, x_i).
-  virtual Vector batch_gradient(const Vector& w, const Dataset& data,
-                                std::span<const size_t> batch) const = 0;
+  /// Mini-batch gradient (1/|batch|) sum over batch of grad Q(w, x_i),
+  /// written into `out` (length dim()) without heap allocation — the
+  /// worker pipeline's hot path, where `out` is the worker's row of the
+  /// round's GradientBatch arena or its reused clean-gradient buffer.
+  /// Implementations keep any per-call scratch on the stack or in
+  /// thread_local buffers so concurrent calls from distinct threads are
+  /// safe (the threaded trainer runs one worker pipeline per thread).
+  virtual void batch_gradient_into(const Vector& w, const Dataset& data,
+                                   std::span<const size_t> batch,
+                                   std::span<double> out) const = 0;
+
+  /// Allocating convenience wrapper around batch_gradient_into —
+  /// value-identical by construction (tests and cold call sites).
+  Vector batch_gradient(const Vector& w, const Dataset& data,
+                        std::span<const size_t> batch) const;
 
   /// Mean loss over the given rows of `data`.
   virtual double batch_loss(const Vector& w, const Dataset& data,

@@ -10,21 +10,24 @@ QuadraticModel::QuadraticModel(size_t dim, Vector optimum)
   require(optimum_.size() == dim_, "QuadraticModel: optimum dimension mismatch");
 }
 
-Vector QuadraticModel::batch_gradient(const Vector& w, const Dataset& data,
-                                      std::span<const size_t> batch) const {
+void QuadraticModel::batch_gradient_into(const Vector& w, const Dataset& data,
+                                         std::span<const size_t> batch,
+                                         std::span<double> out) const {
   require(!batch.empty(), "QuadraticModel::batch_gradient: empty batch");
   require(w.size() == dim_, "QuadraticModel::batch_gradient: wrong dimension");
   require(data.dim() == dim_, "QuadraticModel::batch_gradient: dataset dimension mismatch");
-  // grad Q(w, x) = w - x; batch mean = w - mean(batch x).
-  Vector g(w);
-  Vector batch_mean(dim_, 0.0);
+  require(out.size() == dim_, "QuadraticModel::batch_gradient: wrong output dimension");
+  // grad Q(w, x) = w - x; batch gradient = w - mean(batch x).  The batch
+  // mean accumulates in `out` itself (no scratch vector), then flips to
+  // w - mean coordinate-wise — the same subtraction the allocating
+  // version performed, so the values are bit-identical.
+  vec::fill(out, 0.0);
   for (size_t i : batch) {
     const auto x = data.x(i);
-    for (size_t j = 0; j < dim_; ++j) batch_mean[j] += x[j];
+    for (size_t j = 0; j < dim_; ++j) out[j] += x[j];
   }
-  vec::scale_inplace(batch_mean, 1.0 / static_cast<double>(batch.size()));
-  vec::sub_inplace(g, batch_mean);
-  return g;
+  vec::scale_inplace(out, 1.0 / static_cast<double>(batch.size()));
+  for (size_t j = 0; j < dim_; ++j) out[j] = w[j] - out[j];
 }
 
 double QuadraticModel::batch_loss(const Vector& w, const Dataset& data,

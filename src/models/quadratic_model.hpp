@@ -22,8 +22,9 @@ class QuadraticModel final : public Model {
   size_t dim() const override { return dim_; }
   const Vector& optimum() const { return optimum_; }
 
-  Vector batch_gradient(const Vector& w, const Dataset& data,
-                        std::span<const size_t> batch) const override;
+  void batch_gradient_into(const Vector& w, const Dataset& data,
+                           std::span<const size_t> batch,
+                           std::span<double> out) const override;
 
   /// Empirical loss 1/(2|batch|) sum ||w - x_i||^2.
   double batch_loss(const Vector& w, const Dataset& data,

@@ -1,0 +1,128 @@
+// Allocation-count assertions for the steady-state training step.
+//
+// bench_gar_scaling proves the GAR kernel is zero-alloc; this test pins
+// the stronger end-to-end property the PR-3 worker-pipeline rewire
+// delivers: one full worker→server round — sample, batch loss, gradient,
+// clip, DP noise, aggregate, optimizer update — performs ZERO heap
+// allocations once every arena and buffer has warmed up.
+//
+// The mechanism is the same as the bench's: this TU replaces the global
+// allocation functions with counting wrappers (exactly one TU in the test
+// binary may do this).  Counting is toggled only around the measured
+// steps, so the rest of the suite is unaffected beyond a relaxed atomic
+// load per allocation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "core/server.hpp"
+#include "core/worker.hpp"
+#include "data/synthetic.hpp"
+#include "dp/gaussian_mechanism.hpp"
+#include "dp/laplace_mechanism.hpp"
+#include "math/gradient_batch.hpp"
+#include "models/linear_model.hpp"
+#include "models/optimizer.hpp"
+
+namespace {
+std::atomic<size_t> g_alloc_count{0};
+std::atomic<bool> g_count_allocs{false};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (g_count_allocs.load(std::memory_order_relaxed))
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace dpbyz {
+namespace {
+
+/// Allocations performed by `steps` full training rounds after `warmup`
+/// rounds have populated every arena, workspace, and worker buffer.
+template <typename Mechanism>
+size_t steady_state_allocs(const std::string& gar_name, const Mechanism& mechanism,
+                           size_t warmup = 3, size_t steps = 2) {
+  BlobsConfig bc;
+  bc.num_samples = 200;
+  bc.num_features = 6;
+  bc.separation = 4.0;
+  const Dataset data = make_blobs(bc, 8);
+  const LinearModel model(6, LinearLoss::kMseOnSigmoid);
+
+  const size_t n = 11, batch_size = 10;
+  Rng root(1);
+  std::vector<HonestWorker> workers;
+  workers.reserve(n);
+  for (size_t i = 0; i < n; ++i)
+    workers.emplace_back(model, data, batch_size, 1e-2, mechanism,
+                         root.derive("worker-" + std::to_string(i)));
+
+  ParameterServer server(make_aggregator(gar_name, n, 2),
+                         SgdOptimizer(model.dim(), constant_lr(0.5), 0.99),
+                         model.initial_parameters());
+  GradientBatch submissions(n, model.dim());
+
+  auto one_step = [&](size_t t) {
+    const Vector& w = server.parameters();
+    for (size_t i = 0; i < n; ++i) workers[i].submit_into(w, submissions.row(i));
+    server.step(submissions, t);
+  };
+
+  size_t t = 1;
+  for (size_t s = 0; s < warmup; ++s) one_step(t++);
+
+  g_alloc_count.store(0);
+  g_count_allocs.store(true);
+  for (size_t s = 0; s < steps; ++s) one_step(t++);
+  g_count_allocs.store(false);
+  return g_alloc_count.load();
+}
+
+TEST(AllocationFree, SteadyStateStepWithGaussianDpAndMda) {
+  const auto mech = GaussianMechanism::for_clipped_gradients(0.2, 1e-6, 1e-2, 10);
+  EXPECT_EQ(steady_state_allocs("mda", mech), 0u);
+}
+
+TEST(AllocationFree, SteadyStateStepWithLaplaceDpAndMedian) {
+  const auto mech = LaplaceMechanism::for_clipped_gradients(0.2, 1e-2, 10, 7);
+  EXPECT_EQ(steady_state_allocs("median", mech), 0u);
+}
+
+TEST(AllocationFree, SteadyStateStepWithoutDpAndAverage) {
+  const NoNoise mech;
+  EXPECT_EQ(steady_state_allocs("average", mech), 0u);
+}
+
+TEST(AllocationFree, WorkerMomentumPathIsAllocationFreeToo) {
+  // The momentum branch reuses velocity_ and the clean-gradient buffer.
+  BlobsConfig bc;
+  bc.num_samples = 100;
+  bc.num_features = 4;
+  const Dataset data = make_blobs(bc, 9);
+  const LinearModel model(4, LinearLoss::kMseOnSigmoid);
+  const NoNoise mech;
+  HonestWorker worker(model, data, 8, 1e-2, mech, Rng(3), /*clip=*/true,
+                      /*momentum=*/0.9);
+  Vector out(model.dim(), 0.0);
+  const Vector w(model.dim(), 0.1);
+  for (int s = 0; s < 3; ++s) worker.submit_into(w, out);
+  g_alloc_count.store(0);
+  g_count_allocs.store(true);
+  for (int s = 0; s < 2; ++s) worker.submit_into(w, out);
+  g_count_allocs.store(false);
+  EXPECT_EQ(g_alloc_count.load(), 0u);
+}
+
+}  // namespace
+}  // namespace dpbyz

@@ -117,5 +117,43 @@ TEST(Mechanisms, DescribeMentionsParameters) {
   EXPECT_NE(l.describe().find("laplace"), std::string::npos);
 }
 
+TEST(Mechanisms, PerturbIntoDrawForDrawIdenticalToPerturb) {
+  // The hot-path _into variant must consume the rng stream identically
+  // and produce the same doubles as the allocating wrapper — the worker
+  // pipeline rewire relies on it for bit-identical training runs.
+  const GaussianMechanism gauss(0.5, 1e-5, 0.02);
+  const LaplaceMechanism lap(0.5, 0.02);
+  const NoNoise none;
+  const Vector g{0.5, -1.25, 3.0, 0.0};
+  const NoiseMechanism* mechs[] = {&gauss, &lap, &none};
+  for (const NoiseMechanism* mech : mechs) {
+    Rng a(7), b(7);
+    const Vector via_wrapper = mech->perturb(g, a);
+    Vector via_into(g.size(), 0.0);
+    mech->perturb_into(g, b, via_into);
+    EXPECT_EQ(via_wrapper, via_into) << mech->describe();
+  }
+}
+
+TEST(Mechanisms, PerturbIntoSupportsAliasedOutput) {
+  // The worker may sanitize in place (out aliasing the input buffer).
+  const GaussianMechanism mech(0.5, 1e-5, 0.02);
+  Vector g{1.0, 2.0, -3.0};
+  Rng a(11), b(11);
+  const Vector want = mech.perturb(g, a);
+  mech.perturb_into(g, b, g);
+  EXPECT_EQ(g, want);
+}
+
+TEST(Mechanisms, PerturbIntoRejectsDimensionMismatch) {
+  const GaussianMechanism gauss(0.5, 1e-5, 0.02);
+  const LaplaceMechanism lap(0.5, 0.02);
+  const Vector g{1.0, 2.0};
+  Vector out(3, 0.0);
+  Rng rng(1);
+  EXPECT_THROW(gauss.perturb_into(g, rng, out), std::invalid_argument);
+  EXPECT_THROW(lap.perturb_into(g, rng, out), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace dpbyz

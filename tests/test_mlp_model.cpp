@@ -117,6 +117,16 @@ TEST(MlpModel, TrainsThroughTheFullPipeline) {
   EXPECT_GT(r.final_accuracy, 0.8);
 }
 
+TEST(MlpModel, BatchGradientIntoMatchesAllocatingWrapperBitForBit) {
+  const MlpModel m(2, 5);
+  const Dataset d = xor_like();
+  const std::vector<size_t> batch{0, 1, 2, 3};
+  const Vector w = m.initial_parameters();
+  Vector into(m.dim(), 99.0);  // stale contents must be overwritten
+  m.batch_gradient_into(w, d, batch, into);
+  EXPECT_EQ(into, m.batch_gradient(w, d, batch));
+}
+
 TEST(MlpModel, ValidatesConstructionAndInputs) {
   EXPECT_THROW(MlpModel(0, 4), std::invalid_argument);
   EXPECT_THROW(MlpModel(4, 0), std::invalid_argument);

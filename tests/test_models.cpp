@@ -170,5 +170,37 @@ TEST(Clipping, RejectsNonPositiveBound) {
   EXPECT_THROW(clip_l2_inplace(g, 0.0), std::invalid_argument);
 }
 
+TEST(BatchGradientInto, LinearMatchesAllocatingWrapperBitForBit) {
+  const Dataset d = tiny_classification();
+  const auto batch = all_rows(d);
+  for (LinearLoss loss :
+       {LinearLoss::kMseOnSigmoid, LinearLoss::kLeastSquares, LinearLoss::kLogistic}) {
+    const LinearModel m(2, loss);
+    const Vector w{0.5, -0.3, 0.2};
+    Vector into(m.dim(), 99.0);  // stale contents must be overwritten
+    m.batch_gradient_into(w, d, batch, into);
+    EXPECT_EQ(into, m.batch_gradient(w, d, batch)) << to_string(loss);
+  }
+}
+
+TEST(BatchGradientInto, QuadraticMatchesAllocatingWrapperBitForBit) {
+  const Dataset d(Matrix::from_rows({{1.0, 2.0}, {3.0, -1.0}, {0.5, 0.5}}), Vector{});
+  const QuadraticModel m(2, Vector{0.0, 0.0});
+  const std::vector<size_t> batch{0, 1, 2};
+  const Vector w{0.25, -0.75};
+  Vector into(2, 99.0);
+  m.batch_gradient_into(w, d, batch, into);
+  EXPECT_EQ(into, m.batch_gradient(w, d, batch));
+}
+
+TEST(BatchGradientInto, RejectsWrongOutputDimension) {
+  const Dataset d = tiny_classification();
+  const LinearModel m(2, LinearLoss::kLogistic);
+  const auto batch = all_rows(d);
+  Vector wrong(m.dim() + 1);
+  EXPECT_THROW(m.batch_gradient_into(Vector(m.dim(), 0.0), d, batch, wrong),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace dpbyz

@@ -6,6 +6,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 
 #include "core/experiment.hpp"
 
@@ -94,6 +95,92 @@ TEST(ParallelMap, SerialFallbackMatches) {
   const auto serial = parallel_map(20, [](size_t i) { return 3 * i + 1; }, 1);
   const auto parallel = parallel_map(20, [](size_t i) { return 3 * i + 1; }, 4);
   EXPECT_EQ(serial, parallel);
+}
+
+TEST(ThreadPool, RunCoversEveryIndexExactlyOnceAndIsReusable) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.workers(), 3u);
+  // Many jobs through ONE pool instance: reuse is the whole point.
+  for (int round = 0; round < 20; ++round) {
+    std::vector<int> hits(137, 0);
+    std::atomic<int> calls{0};
+    pool.run(hits.size(), [&](size_t i) {
+      hits[i] += 1;
+      calls.fetch_add(1);
+    });
+    EXPECT_EQ(calls.load(), 137);
+    for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i], 1) << i;
+  }
+}
+
+TEST(ThreadPool, GrainChunksCoverEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(101);
+  pool.run(101, [&](size_t i) { hits[i].fetch_add(1); }, /*max_threads=*/0,
+           /*grain=*/7);
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ZeroCountIsANoOp) {
+  ThreadPool pool(2);
+  pool.run(0, [](size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, PropagatesFirstTaskException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.run(64,
+                        [](size_t i) {
+                          if (i % 9 == 3) throw std::runtime_error("task failed");
+                        }),
+               std::runtime_error);
+  // The pool must survive a failed job and run the next one normally.
+  std::atomic<int> calls{0};
+  pool.run(16, [&](size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 16);
+}
+
+TEST(ThreadPool, MaxThreadsOneRunsSerially) {
+  ThreadPool pool(4);
+  const auto caller = std::this_thread::get_id();
+  pool.run(10, [&](size_t) { EXPECT_EQ(std::this_thread::get_id(), caller); },
+           /*max_threads=*/1);
+}
+
+TEST(ThreadPool, NestedRunFromAWorkerFallsBackToSerial) {
+  // A task dispatched on the pool that itself calls into the parallel
+  // layer (e.g. a threaded trainer inside run_seeds_parallel) must
+  // execute the nested range serially instead of deadlocking.
+  std::atomic<int> inner_calls{0};
+  ThreadPool::shared().run(4, [&](size_t) {
+    // Whether this task landed on a pool worker or on the participating
+    // submitter, the nested call must divert to the serial path.
+    EXPECT_TRUE(ThreadPool::in_serial_context());
+    const auto inner = parallel_map(25, [&](size_t i) {
+      inner_calls.fetch_add(1);
+      return i * i;
+    });
+    for (size_t i = 0; i < 25; ++i) EXPECT_EQ(inner[i], i * i);
+  });
+  EXPECT_EQ(inner_calls.load(), 4 * 25);
+}
+
+TEST(ThreadPool, SharedPoolIsAProcessWideSingleton) {
+  EXPECT_EQ(&ThreadPool::shared(), &ThreadPool::shared());
+  EXPECT_GE(ThreadPool::shared().workers(), 1u);
+}
+
+TEST(ThreadPool, ConcurrentSubmittersSerializeSafely) {
+  // Two non-pool threads submitting simultaneously: jobs must queue one
+  // after the other with every index of both jobs computed exactly once.
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> a(64), b(64);
+  std::thread other([&] { pool.run(64, [&](size_t i) { a[i].fetch_add(1); }); });
+  pool.run(64, [&](size_t i) { b[i].fetch_add(1); });
+  other.join();
+  for (size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(a[i].load(), 1) << i;
+    EXPECT_EQ(b[i].load(), 1) << i;
+  }
 }
 
 TEST(ParallelSeeds, BitIdenticalToSerialRuns) {

@@ -115,5 +115,41 @@ TEST(Splitmix, IsDeterministicAndMixes) {
   EXPECT_GT(__builtin_popcountll(diff), 16);
 }
 
+TEST(RngLaplace, BoundaryUniformDrawStaysFinite) {
+  // Regression: std::uniform_real_distribution is inclusive at its lower
+  // bound, so the inverse-CDF draw u ~ U(-1/2, 1/2) can return exactly
+  // -0.5, which made log(1 - 2|u|) = log(0) = -inf and injected infinite
+  // DP noise into the submitted gradient.  Both boundaries must now map
+  // to finite (huge) tail values.
+  const double at_lo = Rng::laplace_from_uniform(-0.5, 0.0, 1.0);
+  const double at_hi = Rng::laplace_from_uniform(0.5, 0.0, 1.0);
+  EXPECT_TRUE(std::isfinite(at_lo));
+  EXPECT_TRUE(std::isfinite(at_hi));
+  // The clamped boundary is the distribution's most extreme realizable
+  // value: |X - mu| = scale * -log(DBL_MIN) ~ 708 * scale, symmetric
+  // (u = -1/2 is the negative tail, u = +1/2 the positive one).
+  EXPECT_LT(at_lo, -700.0);
+  EXPECT_GT(at_hi, 700.0);
+  EXPECT_DOUBLE_EQ(at_lo, -at_hi);
+  // Scale and location transform the boundary value like any other draw.
+  EXPECT_DOUBLE_EQ(Rng::laplace_from_uniform(-0.5, 3.0, 2.0), 3.0 + 2.0 * at_lo);
+}
+
+TEST(RngLaplace, InteriorDrawsMatchTheUnclampedInverseCdf) {
+  // The clamp must not perturb any non-boundary value: bit-identical to
+  // the raw formula everywhere in the open interval.
+  for (double u : {-0.49999, -0.25, -1e-12, 0.0, 1e-12, 0.25, 0.49999}) {
+    const double sign = (u >= 0.0) ? 1.0 : -1.0;
+    const double raw = 1.5 - 0.7 * sign * std::log(1.0 - 2.0 * std::abs(u));
+    EXPECT_EQ(Rng::laplace_from_uniform(u, 1.5, 0.7), raw) << "u = " << u;
+  }
+}
+
+TEST(RngLaplace, TransformValidatesItsArguments) {
+  EXPECT_THROW(Rng::laplace_from_uniform(0.0, 0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(Rng::laplace_from_uniform(0.6, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Rng::laplace_from_uniform(-0.6, 0.0, 1.0), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace dpbyz

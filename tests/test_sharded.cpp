@@ -220,6 +220,66 @@ TEST(ShardedResilience, ByzantineRowsSpreadWithinEveryShardBudget) {
   }
 }
 
+// ---- size-weighted average merge -------------------------------------------
+
+TEST(ShardedWeightedMerge, UnevenShardsMatchTheFlatAverage) {
+  // n = 10 over S = 3 gives shard sizes 3/3/4.  The old unweighted merge
+  // averaged the three shard means equally, over-weighting the small
+  // shards; the size-weighted merge recovers the flat average over all
+  // n rows (up to rounding of the per-shard normalisation).
+  const size_t n = 10, d = 16;
+  const GradientBatch batch = honest_batch(n, d, 40);
+  const ShardedAggregator sharded("average", "average", n, 0, 3);
+  EXPECT_TRUE(sharded.weighted_merge());
+  const Vector got = aggregate_with(sharded, batch);
+  const auto flat = make_aggregator("average", n, 0);
+  const Vector want = aggregate_with(*flat, batch);
+  EXPECT_TRUE(vec::approx_equal(got, want, 1e-13))
+      << "size-weighted sharded average diverged from the flat average";
+}
+
+TEST(ShardedWeightedMerge, ExactlyRepresentableInputsAreBitEqualToFlat) {
+  // Shard-constant rows with power-of-two-friendly values make every
+  // intermediate exact, so the weighted merge must equal the flat
+  // average bit-for-bit — and expose the old equal-weight bug, whose
+  // result (mean of shard means) differs in the first decimal.
+  const size_t n = 5, d = 3;
+  GradientBatch batch(n, d);
+  for (size_t c = 0; c < d; ++c) {
+    for (size_t i = 0; i < 2; ++i) batch.row(i)[c] = 1.0;  // shard 0: rows 0-1
+    for (size_t i = 2; i < n; ++i) batch.row(i)[c] = 0.0;  // shard 1: rows 2-4
+  }
+  const ShardedAggregator sharded("average", "average", n, 0, 2);
+  const Vector got = aggregate_with(sharded, batch);
+  const auto flat = make_aggregator("average", n, 0);
+  EXPECT_EQ(got, aggregate_with(*flat, batch));  // (2*1 + 3*0)/5 = 0.4
+  EXPECT_EQ(got[0], 0.4);
+  // The pre-fix merge returned (1 + 0)/2 = 0.5 — the uneven-shard bias.
+  EXPECT_NE(got[0], 0.5);
+}
+
+TEST(ShardedWeightedMerge, EqualShardSizesKeepThePlainMergePath) {
+  // S | n: weighted and plain means coincide, so the implementation keeps
+  // the historical (bit-identical) unweighted path — including S = 1,
+  // which the golden tests pin against the flat rule.
+  const ShardedAggregator even("average", "average", 12, 0, 4);
+  EXPECT_FALSE(even.weighted_merge());
+  const ShardedAggregator single("average", "average", 12, 0, 1);
+  EXPECT_FALSE(single.weighted_merge());
+  // Robust merges are never weighted, uneven shards or not.
+  const ShardedAggregator robust("median", "median", 13, 1, 4);
+  EXPECT_FALSE(robust.weighted_merge());
+}
+
+TEST(ShardedWeightedMerge, ThreadedDispatchStaysBitIdentical) {
+  const size_t n = 22, d = 32;
+  const GradientBatch batch = honest_batch(n, d, 41);
+  const ShardedAggregator serial("average", "average", n, 0, 4, /*threads=*/1);
+  const ShardedAggregator threaded("average", "average", n, 0, 4, /*threads=*/4);
+  EXPECT_TRUE(serial.weighted_merge());
+  EXPECT_EQ(aggregate_with(serial, batch), aggregate_with(threaded, batch));
+}
+
 // ---- threading -------------------------------------------------------------
 
 TEST(Sharded, ThreadedDispatchMatchesSerialBitForBit) {

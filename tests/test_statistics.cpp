@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -110,6 +111,42 @@ TEST(Statistics, DimensionMismatchThrows) {
   const std::vector<Vector> vs{{1.0, 2.0}, {1.0}};
   EXPECT_THROW(stats::coordinate_stddev(vs), std::invalid_argument);
   EXPECT_THROW(stats::coordinate_median(vs), std::invalid_argument);
+}
+
+TEST(Statistics, SelectionQuantileBitIdenticalToSortingQuantile) {
+  // quantile_inplace now uses nth_element two-point selection instead of
+  // a full sort; the GAR golden tests require the value to stay
+  // bit-identical.  Pin it against the sort-based computation on seeded
+  // random samples, heavy ties, and both odd and even sizes.
+  Rng rng(2024);
+  for (size_t n : {1u, 2u, 3u, 4u, 7u, 10u, 25u, 64u}) {
+    for (double p : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+      std::vector<double> xs(n);
+      for (double& x : xs) x = rng.normal(0.0, 3.0);
+      if (n > 4) xs[1] = xs[3] = xs[0];  // exact ties
+      std::vector<double> sorted = xs;
+      std::sort(sorted.begin(), sorted.end());
+      const double pos = p * static_cast<double>(n - 1);
+      const size_t lo = static_cast<size_t>(pos);
+      const size_t hi = std::min(lo + 1, n - 1);
+      const double frac = pos - static_cast<double>(lo);
+      const double want = n == 1 ? sorted[0]
+                                 : sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+      std::vector<double> scratch = xs;
+      EXPECT_EQ(stats::quantile_inplace(scratch, p), want)
+          << "n = " << n << ", p = " << p;
+      // The copying overload must agree with the in-place one.
+      EXPECT_EQ(stats::quantile(xs, p), want);
+    }
+  }
+}
+
+TEST(Statistics, MedianInplaceMatchesMedianOnEvenAndOddSizes) {
+  std::vector<double> odd{5.0, -1.0, 3.0};
+  EXPECT_EQ(stats::median_inplace(odd), 3.0);
+  std::vector<double> even{4.0, 1.0, 3.0, 2.0};
+  EXPECT_EQ(stats::median_inplace(even), 2.5);
+  EXPECT_EQ(stats::median({4.0, 1.0, 3.0, 2.0}), 2.5);
 }
 
 }  // namespace

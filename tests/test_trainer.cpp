@@ -199,6 +199,50 @@ TEST(Trainer, MechanismReflectsConfig) {
   EXPECT_NE(lap.mechanism().describe().find("laplace"), std::string::npos);
 }
 
+TEST(Trainer, ThreadedSubmissionBitIdenticalToSerial) {
+  // config.threads only changes which thread runs each worker pipeline;
+  // workers own disjoint arena rows and private RNG streams, and the
+  // loss reduction runs in index order after the join, so the threaded
+  // run must be bit-identical to the serial one — including under DP
+  // noise, worker momentum, and an attack observing the wire.
+  SmallTask task;
+  auto c = fast_config().with_dp(0.5).with_attack("little");
+  c.num_workers = 12;
+  c.num_byzantine = 2;
+  c.gar = "median";
+  c.worker_momentum = 0.5;
+  const RunResult serial = Trainer(c, task.model, task.train, task.test).run();
+  c.threads = 4;
+  const RunResult threaded = Trainer(c, task.model, task.train, task.test).run();
+  EXPECT_EQ(threaded.final_parameters, serial.final_parameters);
+  EXPECT_EQ(threaded.train_loss, serial.train_loss);
+  c.threads = 0;  // hardware concurrency — still bit-identical
+  const RunResult hw = Trainer(c, task.model, task.train, task.test).run();
+  EXPECT_EQ(hw.final_parameters, serial.final_parameters);
+}
+
+TEST(Trainer, ThreadedShardedTrainerBitIdenticalToSerial) {
+  // threads drives both honest submission and the shard dispatch.
+  SmallTask task;
+  auto c = fast_config();
+  c.num_workers = 12;
+  c.num_byzantine = 2;
+  c.gar = "median";
+  c.shards = 3;
+  const RunResult serial = Trainer(c, task.model, task.train, task.test).run();
+  c.threads = 3;
+  const RunResult threaded = Trainer(c, task.model, task.train, task.test).run();
+  EXPECT_EQ(threaded.final_parameters, serial.final_parameters);
+  EXPECT_EQ(threaded.train_loss, serial.train_loss);
+}
+
+TEST(Config, LabelShowsThreadsKnob) {
+  ExperimentConfig c;
+  EXPECT_EQ(c.label().find("+T"), std::string::npos);
+  c.threads = 4;
+  EXPECT_NE(c.label().find("+T4"), std::string::npos);
+}
+
 TEST(Metrics, SummariesAggregateAcrossRuns) {
   RunResult a, b;
   a.train_loss = {1.0, 2.0};
