@@ -1,12 +1,21 @@
-// bench_dropout_resilience — the §2.1 synchrony convention, stress-tested.
+// bench_dropout_resilience — the §2.1 synchrony convention, stress-tested,
+// and the round engine's participation schedules beside it.
 //
 // "The training is divided into sequential synchronous steps, hence the
-// parameter server considers any non-received gradient to be 0."  This
-// bench measures what that convention costs under increasing loss rates:
-// zero vectors act as unintentional Byzantine gradients, and robust GARs
-// filter them while plain averaging silently shrinks its aggregate.
-// With DP noise on top, dropped workers also reduce the effective
-// averaging that hides the noise — compounding the paper's antagonism.
+// parameter server considers any non-received gradient to be 0."  The
+// first table measures what that convention costs under increasing loss
+// rates: zero vectors act as unintentional Byzantine gradients, and
+// robust GARs filter them while plain averaging silently shrinks its
+// aggregate.  With DP noise on top, dropped workers also reduce the
+// effective averaging that hides the noise — compounding the paper's
+// antagonism.
+//
+// The second table runs the same loss rates through the round engine's
+// first-class participation mode (ExperimentConfig::participation =
+// "iid"): a non-delivering worker is *excluded* from the round — rows
+// compacted, the GAR re-instantiated at the per-round (n', f) budget —
+// instead of being zero-substituted.  The engine run also reports the
+// per-phase wall-clock split (RunResult::phase) through the CSV.
 //
 // Flags: --steps N --seeds K --fast
 #include <cstdio>
@@ -68,5 +77,75 @@ int main(int argc, char** argv) {
       "the DP column: it degrades steadily with the drop rate, because fewer\n"
       "delivered honest gradients mean less averaging over the injected noise —\n"
       "the same mechanism behind the paper's batch-size dependence.\n");
+
+  // ---- engine mode: exclusion instead of zero-substitution ----------------
+  // The same kind of loss process, but as a first-class participation
+  // schedule: a worker that misses the round timeout is *excluded* from
+  // the aggregation (rows compacted, the GAR re-instantiated at the
+  // per-round (n', f) budget) rather than counted as a zero vector.  The
+  // deterministic straggler schedule is used — k fixed stragglers miss
+  // every other round — so every round's (n', f) is admissible by
+  // construction (an iid schedule can legally draw an inadmissible n',
+  // which the engine rejects by throwing: that contract is tested, not
+  // benched).  The zero-substitution column runs at the matched average
+  // loss rate k / (2 n).  The engine rows also report the per-phase
+  // (fill / aggregate / apply) wall-clock split from RunResult::phase.
+  table::banner("Round-engine participation (straggler exclusion) vs zero-substitution");
+  table::Printer t2({"stragglers", "mda+dp (zeroed)", "mda+dp (excluded)", "mean n'",
+                     "fill (ms/st)", "agg (ms/st)", "apply (ms/st)"});
+  csv::Writer out2("bench_out/dropout_participation.csv",
+                   {"stragglers", "mda_dp_zeroed", "mda_dp_excluded", "mean_rows",
+                    "fill_ms_per_step", "agg_ms_per_step", "apply_ms_per_step"});
+  for (size_t stragglers : {0, 1, 2, 3}) {
+    ExperimentConfig zeroed;
+    zeroed.steps = steps;
+    zeroed.batch_size = 50;
+    zeroed.num_byzantine = 2;  // same f budget as the engine rows
+    // Matched average loss rate: k stragglers miss every other round,
+    // so k / (2n) of the honest submissions go missing on average.
+    zeroed.dropout_prob = static_cast<double>(stragglers) /
+                          (2.0 * static_cast<double>(zeroed.num_workers));
+    const double z =
+        summarize_final_accuracy(exp.run_seeds(zeroed.with_dp(0.2), seeds)).mean;
+
+    // Worst round: n' = 11 - k >= 2f + 1 = 5 for every k here, so the
+    // per-round admissibility check passes by construction.
+    ExperimentConfig excl;
+    excl.steps = steps;
+    excl.batch_size = 50;
+    excl.num_byzantine = 2;
+    excl.participation = "stragglers";
+    excl.num_stragglers = stragglers;
+    excl.straggler_period = 2;
+    excl = excl.with_dp(0.2);
+    const auto runs = exp.run_seeds(excl, seeds);
+    const double e = summarize_final_accuracy(runs).mean;
+    double rows_sum = 0.0;
+    PhaseSeconds phase;
+    for (const RunResult& r : runs) {
+      for (size_t rows : r.round_rows) rows_sum += static_cast<double>(rows);
+      phase.fill += r.phase.fill;
+      phase.aggregate += r.phase.aggregate;
+      phase.apply += r.phase.apply;
+    }
+    const double total_steps = static_cast<double>(steps * runs.size());
+    const double mean_rows = rows_sum / total_steps;
+    const double fill_ms = phase.fill / total_steps * 1e3;
+    const double agg_ms = phase.aggregate / total_steps * 1e3;
+    const double apply_ms = phase.apply / total_steps * 1e3;
+    t2.row({std::to_string(stragglers), strings::format_double(z, 4),
+            strings::format_double(e, 4), strings::format_double(mean_rows, 2),
+            strings::format_double(fill_ms, 3), strings::format_double(agg_ms, 3),
+            strings::format_double(apply_ms, 3)});
+    out2.row({static_cast<double>(stragglers), z, e, mean_rows, fill_ms, agg_ms,
+              apply_ms});
+  }
+  t2.print();
+  std::printf(
+      "\nReading: exclusion keeps the GAR honest about its population — MDA\n"
+      "filters its f budgeted outliers out of the n' gradients that actually\n"
+      "arrived, instead of also having to treat silent workers' zeros as\n"
+      "adversarial.  Keeping every round admissible is exactly the per-round\n"
+      "(n', f) check the engine enforces (inadmissible rounds throw).\n");
   return 0;
 }

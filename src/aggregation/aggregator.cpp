@@ -66,8 +66,9 @@ void Aggregator::validate_inputs(std::span<const Vector> gradients) const {
 }
 
 std::vector<std::string> aggregator_names() {
-  return {"average", "krum",   "multi-krum", "mda",    "median",          "trimmed-mean",
-          "bulyan",  "meamed", "phocas",     "cge",    "geometric-median"};
+  return {"average", "krum",       "multi-krum", "mda", "mda_greedy",
+          "median",  "trimmed-mean", "bulyan",   "meamed", "phocas",
+          "cge",     "geometric-median"};
 }
 
 std::unique_ptr<Aggregator> make_aggregator(const std::string& name, size_t n, size_t f) {
@@ -75,6 +76,7 @@ std::unique_ptr<Aggregator> make_aggregator(const std::string& name, size_t n, s
   if (name == "krum") return std::make_unique<Krum>(n, f);
   if (name == "multi-krum") return std::make_unique<MultiKrum>(n, f);
   if (name == "mda") return std::make_unique<Mda>(n, f);
+  if (name == "mda_greedy") return std::make_unique<MdaGreedy>(n, f);
   if (name == "median") return std::make_unique<CoordinateMedian>(n, f);
   if (name == "trimmed-mean") return std::make_unique<TrimmedMean>(n, f);
   if (name == "bulyan") return std::make_unique<Bulyan>(n, f);

@@ -101,9 +101,9 @@ class Aggregator {
 /// Names accepted by make_aggregator.
 std::vector<std::string> aggregator_names();
 
-/// Factory: name in {"average", "krum", "multi-krum", "mda", "median",
-/// "trimmed-mean", "bulyan", "meamed", "phocas", "cge",
-/// "geometric-median"} — the list aggregator_names() returns, catalogued
+/// Factory: name in {"average", "krum", "multi-krum", "mda",
+/// "mda_greedy", "median", "trimmed-mean", "bulyan", "meamed", "phocas",
+/// "cge", "geometric-median"} — the list aggregator_names() returns, catalogued
 /// with budgets/complexities/citations in docs/AGGREGATORS.md.  Throws
 /// std::invalid_argument for unknown names or inadmissible (n, f).
 /// (The two-level ShardedAggregator is constructed directly — it needs

@@ -12,6 +12,12 @@
 // calls, any GAR may scribble over any member, and a single workspace can
 // be shared across different GARs as long as calls are sequential.  It is
 // NOT thread-safe; concurrent aggregations need one workspace each.
+//
+// Row counts may vary call to call on the same workspace: every buffer is
+// (re)sized by the rule per call and reserve() only ever grows capacity,
+// so the round engine's partial-participation rounds (n' < n rows, a
+// different per-round GAR) stay allocation-free once the workspace has
+// warmed up at the largest (n, d) it has seen.
 #pragma once
 
 #include <cstddef>

@@ -42,6 +42,15 @@ struct AttackContext {
   size_t observed_rows = 0;  ///< how many leading rows are observable
   size_t num_byzantine = 0;  ///< how many copies of the forged vector will be sent
   size_t step = 0;           ///< 1-based training step t
+  /// Parameter-version staleness of the observed gradients: 0 under the
+  /// synchronous loop; 1 under the double-buffered round engine, where
+  /// the adversary forges against the fill of round t — gradients the
+  /// honest workers computed at θ_{t-2} while the server was still
+  /// aggregating round t-1 (see core/pipeline.hpp).  The paper's
+  /// template attacks forge relative to the observed batch and so adapt
+  /// automatically; attacks that model the server's current parameters
+  /// explicitly can use this to account for the lag.
+  size_t staleness = 0;
 };
 
 /// A colluding Byzantine strategy: one forged gradient per step.

@@ -39,6 +39,20 @@ void ExperimentConfig::validate() const {
   }
   require(shards >= 1, "config: shards must be at least 1");
   require(shards <= num_workers, "config: cannot have more shards than workers");
+  require(pipeline_depth <= 1, "config: pipeline_depth must be 0 or 1");
+  require(participation == "full" || participation == "iid" ||
+              participation == "stragglers",
+          "config: participation must be full|iid|stragglers");
+  if (participation == "iid")
+    require(participation_prob > 0 && participation_prob <= 1,
+            "config: participation_prob must be in (0,1]");
+  if (participation == "stragglers") {
+    require(straggler_period >= 1, "config: straggler_period must be at least 1");
+    const size_t honest =
+        attack_enabled ? num_workers - num_byzantine : num_workers;
+    require(num_stragglers <= honest,
+            "config: num_stragglers cannot exceed the honest worker count");
+  }
   if (attack_enabled) {
     require(num_byzantine >= 1, "config: attack enabled but f = 0");
     require(attack_observes == "wire" || attack_observes == "clean",
@@ -50,6 +64,8 @@ std::string ExperimentConfig::label() const {
   std::string out = gar;
   if (shards > 1) out += "+S" + std::to_string(shards);
   if (threads != 1) out += "+T" + std::to_string(threads);
+  if (pipeline_depth > 0) out += "+D" + std::to_string(pipeline_depth);
+  if (participation != "full") out += "+" + participation;
   if (dp_enabled)
     out += "+dp(eps=" + strings::format_double(epsilon) + ")";
   if (attack_enabled) out += "+" + attack;

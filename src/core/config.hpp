@@ -68,6 +68,37 @@ struct ExperimentConfig {
   /// knob only changes wall-clock, which is why it is safe to flip on
   /// existing experiments.
   size_t threads = 1;
+  /// Round-engine depth (see docs/ARCHITECTURE.md, "Round pipeline").
+  ///   0 — the paper's synchronous loop: every round blocks on all
+  ///       submissions before the GAR runs.  Bit-identical to the
+  ///       pre-pipeline trainer (golden-tested).
+  ///   1 — bounded-staleness-1 SGD: while the server aggregates round t,
+  ///       the fill of round t+1 (honest pipelines + attack forgery)
+  ///       already runs against the stale parameters θ_{t-1} on a
+  ///       dedicated fill thread.  The trajectory differs from depth 0
+  ///       (gradients are one version stale from round 2 on) but is
+  ///       fully deterministic given (seed, depth) and bit-identical
+  ///       across `threads` settings.
+  size_t pipeline_depth = 0;
+  /// Which workers deliver a gradient each round (the round engine's
+  /// per-round participation; distinct from `dropout_prob`, which keeps
+  /// the §2.1 zero-substitution convention for *delivered-but-lost*
+  /// gradients).  Non-participating workers are excluded from the round
+  /// entirely: live rows are compacted to the batch prefix in worker-
+  /// index order and the GAR runs on the (n', f) round — revalidated
+  /// against the rule's admissibility every round, throwing when a
+  /// round's n' is inadmissible.  Byzantine workers always deliver.
+  ///   "full"       — every worker, every round (default)
+  ///   "iid"        — each honest worker delivers independently with
+  ///                  probability `participation_prob` per round
+  ///   "stragglers" — the last `num_stragglers` honest workers only beat
+  ///                  the round timeout every `straggler_period`-th round
+  std::string participation = "full";
+  double participation_prob = 0.9;  ///< per-round delivery prob for "iid"
+  size_t num_stragglers = 0;        ///< fixed straggler count for "stragglers"
+  /// Stragglers deliver on rounds t with t % straggler_period == 0 (they
+  /// time out on every other round).  1 means they always deliver.
+  size_t straggler_period = 2;
 
   // --- privacy -------------------------------------------------------------
   bool dp_enabled = false;

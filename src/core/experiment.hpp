@@ -34,7 +34,12 @@ class PhishingExperiment {
 
   /// Same runs on a thread pool (`threads` = 0 -> hardware concurrency).
   /// Results are bit-identical to run_seeds: each seeded run is fully
-  /// self-contained and only shares the const dataset/model.
+  /// self-contained and only shares the const dataset/model.  Round-
+  /// engine configs compose with this: a pipeline_depth = 1 run spawns
+  /// its own fill thread, but detects it is nested inside a pool job and
+  /// pins the fill's dispatch width to serial (see RoundPipeline), so
+  /// the seeds×depth matrix cannot deadlock the shared pool — and the
+  /// results stay bit-identical to the same config run serially.
   std::vector<RunResult> run_seeds_parallel(const ExperimentConfig& config,
                                             size_t num_seeds = 5,
                                             size_t threads = 0) const;

@@ -20,12 +20,32 @@ struct EvalRecord {
   double accuracy;  ///< cross-accuracy over the full test set
 };
 
+/// Wall-clock totals of the three per-step phases, accumulated over a
+/// run (seconds).  Under the round engine (pipeline_depth = 1) `fill`
+/// counts only the time the main thread spent *blocked* on the fill
+/// thread — the non-overlapped remainder — so the overlap win of the
+/// double-buffered pipeline is directly observable per run:
+/// fill + aggregate + apply approaches max(fill, aggregate) + apply as
+/// the overlap improves.  Timing never feeds back into the trajectory;
+/// two runs differing only in recorded phase times are bit-identical.
+struct PhaseSeconds {
+  double fill = 0.0;       ///< worker pipelines + forgery (or fill wait)
+  double aggregate = 0.0;  ///< GAR over the round batch
+  double apply = 0.0;      ///< optimizer update on the aggregate
+};
+
 /// Everything recorded from a single training run.
 struct RunResult {
   /// Mean honest-worker batch loss at every step (size == steps).
   std::vector<double> train_loss;
   /// Test accuracy every eval_every steps (plus the final step).
   std::vector<EvalRecord> eval;
+  /// Per-phase wall-clock totals (see PhaseSeconds).
+  PhaseSeconds phase;
+  /// Rows aggregated per round, n' = live honest + delivered Byzantine
+  /// (size == steps).  Constant n under full participation; varies under
+  /// the round engine's iid / straggler schedules.
+  std::vector<size_t> round_rows;
   Vector final_parameters;
   double final_accuracy = 0.0;
   double final_train_loss = 0.0;

@@ -1,0 +1,263 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "aggregation/sharded.hpp"
+#include "utils/errors.hpp"
+#include "utils/parallel.hpp"
+#include "utils/stopwatch.hpp"
+
+namespace dpbyz {
+
+// ---- ParticipationSchedule -------------------------------------------------
+
+ParticipationSchedule::ParticipationSchedule(const ExperimentConfig& config,
+                                             size_t honest_count, Rng rng)
+    : kind_(Kind::kFull), honest_count_(honest_count), rng_(std::move(rng)) {
+  require(honest_count >= 1, "ParticipationSchedule: need at least one honest worker");
+  if (config.participation == "iid") {
+    kind_ = Kind::kIid;
+    prob_ = config.participation_prob;
+  } else if (config.participation == "stragglers") {
+    kind_ = Kind::kStragglers;
+    num_stragglers_ = std::min(config.num_stragglers, honest_count);
+    period_ = config.straggler_period;
+  }
+}
+
+size_t ParticipationSchedule::live_round(size_t t, std::vector<uint8_t>& live) {
+  live.assign(honest_count_, 1);
+  size_t count = honest_count_;
+  switch (kind_) {
+    case Kind::kFull:
+      break;
+    case Kind::kIid:
+      // One draw per honest worker per round, in index order — the
+      // stream is consumed identically at every depth/thread setting.
+      for (size_t i = 0; i < honest_count_; ++i)
+        if (!rng_.bernoulli(prob_)) {
+          live[i] = 0;
+          --count;
+        }
+      break;
+    case Kind::kStragglers:
+      // The last num_stragglers_ honest workers only beat the round
+      // timeout every period_-th round.
+      if (period_ > 1 && t % period_ != 0) {
+        for (size_t i = honest_count_ - num_stragglers_; i < honest_count_; ++i)
+          live[i] = 0;
+        count -= num_stragglers_;
+      }
+      break;
+  }
+  if (count == 0) {  // documented floor: force one honest gradient
+    live[0] = 1;
+    count = 1;
+  }
+  return count;
+}
+
+// ---- RoundPipeline ---------------------------------------------------------
+
+RoundPipeline::RoundPipeline(const ExperimentConfig& config,
+                             std::vector<HonestWorker>& honest, const Attack* attack,
+                             size_t byzantine_rows, bool observe_clean, size_t dim,
+                             Rng attack_rng, Rng dropout_rng,
+                             ParticipationSchedule schedule,
+                             const Aggregator* full_rows_gar)
+    : config_(config),
+      honest_(honest),
+      attack_(attack),
+      byzantine_rows_(byzantine_rows),
+      observe_clean_(observe_clean),
+      dim_(dim),
+      // A fill dispatched from inside a pool job (a seeded run inside
+      // run_seeds_parallel) must not fork from its own fresh thread: the
+      // pool's one-job-at-a-time submit lock is held until the *outer*
+      // job drains, and the outer job is waiting on this run — a cycle.
+      // The depth-0 path is safe as-is (ThreadPool::run detects the
+      // serial context on the calling thread itself); only the depth-1
+      // fill thread needs the width pinned here, where the nesting is
+      // still visible.
+      fill_threads_(ThreadPool::in_serial_context() ? 1 : config.threads),
+      attack_rng_(std::move(attack_rng)),
+      dropout_rng_(std::move(dropout_rng)),
+      schedule_(std::move(schedule)) {
+  require(schedule_.honest_count() == honest_.size(),
+          "RoundPipeline: schedule sized for a different worker count");
+  const size_t n = honest_.size() + byzantine_rows_;
+  if (full_rows_gar != nullptr) gar_by_rows_.emplace(n, full_rows_gar);
+  ready_.batch.reshape(n, dim_);
+  ready_.params.reserve(dim_);
+  if (config_.pipeline_depth > 0) {
+    filling_.batch.reshape(n, dim_);
+    filling_.params.reserve(dim_);
+  }
+  if (observe_clean_) clean_.reshape(honest_.size(), dim_);
+  live_.reserve(honest_.size());
+  live_idx_.reserve(honest_.size());
+  if (config_.pipeline_depth > 0)
+    fill_thread_ = std::thread([this] { fill_thread_loop(); });
+}
+
+RoundPipeline::~RoundPipeline() {
+  if (fill_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    request_cv_.notify_one();
+    fill_thread_.join();
+  }
+}
+
+void RoundPipeline::fill_into(Slot& slot, size_t t, const Vector& p) {
+  const size_t live_count = schedule_.live_round(t, live_);
+  live_idx_.clear();
+  for (size_t i = 0; i < honest_.size(); ++i)
+    if (live_[i]) live_idx_.push_back(i);
+
+  // Live pipelines write straight into the compacted prefix: the k-th
+  // live worker (ascending worker index) owns row k, so the "stable
+  // compaction" is the placement itself — no row is moved afterwards.
+  // Rows are disjoint and every worker owns private RNG streams and
+  // buffers, so the threaded dispatch is bit-identical to the serial
+  // loop (the loss reduction below runs in index order either way).
+  auto submit = [&](size_t k) {
+    HonestWorker& worker = honest_[live_idx_[k]];
+    worker.submit_into(p, slot.batch.row(k));
+    if (observe_clean_) clean_.set_row(k, worker.last_clean_gradient());
+  };
+  if (fill_threads_ != 1 && live_count > 1) {
+    ThreadPool::shared().run(live_count, submit, fill_threads_);
+  } else {
+    for (size_t k = 0; k < live_count; ++k) submit(k);
+  }
+  double loss_sum = 0.0;
+  for (size_t k = 0; k < live_count; ++k)
+    loss_sum += honest_[live_idx_[k]].last_batch_loss();
+
+  // Byzantine forgery against this round's (stale, under depth 1)
+  // observation batch; the f colluding copies sit right behind the live
+  // honest prefix.
+  if (attack_ != nullptr && byzantine_rows_ > 0) {
+    const size_t staleness = config_.pipeline_depth > 0 && t > 1 ? 1 : 0;
+    const AttackContext ctx{observe_clean_ ? clean_ : slot.batch, live_count,
+                            byzantine_rows_, t, staleness};
+    attack_->forge_into(ctx, attack_rng_, slot.batch.row(live_count));
+    for (size_t r = live_count + 1; r < live_count + byzantine_rows_; ++r)
+      vec::copy(slot.batch.row(live_count), slot.batch.row(r));
+  }
+
+  // §2.1 zero-substitution for delivered-but-lost gradients, one draw
+  // per *live* honest worker in compacted order (non-participants never
+  // reached the wire, so they draw nothing).
+  if (config_.dropout_prob > 0.0) {
+    for (size_t k = 0; k < live_count; ++k)
+      if (dropout_rng_.bernoulli(config_.dropout_prob))
+        vec::fill(slot.batch.row(k), 0.0);
+  }
+
+  slot.rows = live_count + byzantine_rows_;
+  slot.live_honest = live_count;
+  slot.loss_sum = loss_sum;
+}
+
+void RoundPipeline::dispatch_fill(size_t t) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    has_request_ = true;
+    request_round_ = t;
+    fill_done_.store(false, std::memory_order_relaxed);
+  }
+  request_cv_.notify_one();
+}
+
+void RoundPipeline::wait_fill_done() {
+  // Fill completion lands at step cadence; spin briefly before paying
+  // the condvar sleep (zero budget on single-CPU hosts — see parallel).
+  for (int s = 0;
+       s < parallel::spin_budget() && !fill_done_.load(std::memory_order_acquire); ++s)
+    parallel::cpu_relax();
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return fill_done_.load(std::memory_order_relaxed); });
+  if (fill_error_) std::rethrow_exception(fill_error_);
+}
+
+void RoundPipeline::fill_thread_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    request_cv_.wait(lock, [&] { return stop_ || has_request_; });
+    if (stop_) return;
+    has_request_ = false;
+    const size_t t = request_round_;
+    lock.unlock();
+    try {
+      fill_into(filling_, t, filling_.params);
+    } catch (...) {
+      fill_error_ = std::current_exception();
+    }
+    lock.lock();
+    fill_done_.store(true, std::memory_order_release);
+    done_cv_.notify_one();
+  }
+}
+
+const RoundPipeline::Round& RoundPipeline::acquire(size_t t, const Vector& w) {
+  Stopwatch wait_watch;
+  if (config_.pipeline_depth == 0) {
+    // Synchronous: the server's vector is stable for the whole fill, so
+    // it is read in place — no snapshot copy on the paper-default path.
+    fill_into(ready_, t, w);
+  } else {
+    if (t == 1) {  // prologue round: nothing to overlap yet
+      filling_.params.assign(w.begin(), w.end());
+      dispatch_fill(1);
+    }
+    wait_fill_done();
+    // O(1) double-buffer rotation: the filled arena becomes the round
+    // the caller aggregates, the previous round's arena becomes the
+    // next fill target.
+    ready_.batch.swap(filling_.batch);
+    ready_.params.swap(filling_.params);
+    std::swap(ready_.rows, filling_.rows);
+    std::swap(ready_.live_honest, filling_.live_honest);
+    std::swap(ready_.loss_sum, filling_.loss_sum);
+    if (t < total_rounds()) {
+      filling_.params.assign(w.begin(), w.end());
+      dispatch_fill(t + 1);
+    }
+  }
+  round_.fill_wait_seconds = wait_watch.seconds();
+  round_.batch_view = ready_.batch.view(0, ready_.rows);
+  round_.rows = ready_.rows;
+  round_.live_honest = ready_.live_honest;
+  round_.loss_sum = ready_.loss_sum;
+  return round_;
+}
+
+const Aggregator& RoundPipeline::aggregator_for(size_t rows) {
+  auto it = gar_by_rows_.find(rows);
+  if (it == gar_by_rows_.end()) {
+    std::unique_ptr<Aggregator> gar;
+    try {
+      gar = config_.shards > 1
+                ? std::make_unique<ShardedAggregator>(
+                      config_.gar, config_.shard_merge_gar, rows,
+                      config_.num_byzantine, config_.shards, config_.threads)
+                : make_aggregator(config_.gar, rows, config_.num_byzantine);
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument(
+          "RoundPipeline: round budget (n' = " + std::to_string(rows) +
+          ", f = " + std::to_string(config_.num_byzantine) +
+          ") is inadmissible for gar '" + config_.gar + "': " + e.what());
+    }
+    it = gar_by_rows_.emplace(rows, gar.get()).first;
+    owned_gars_.push_back(std::move(gar));
+  }
+  return *it->second;
+}
+
+}  // namespace dpbyz

@@ -1,0 +1,237 @@
+// pipeline.hpp — the double-buffered async round engine.
+//
+// The paper's loop is round-synchronous: step t blocks on all n workers
+// submitting before the GAR runs.  This subsystem is the layer between
+// the trainer and the server that removes that barrier without giving up
+// determinism:
+//
+//   * Double buffering.  The engine owns TWO GradientBatch arenas, each
+//     paired with a snapshot of the parameters its fill ran against.
+//     While the server aggregates round t out of one buffer, a dedicated
+//     fill thread produces round t+1 into the other — honest worker
+//     pipelines (dispatched on ThreadPool::shared() when
+//     ExperimentConfig::threads != 1) plus the attack's forgery, both
+//     against the stale snapshot θ_{t-1}.  That is bounded-staleness-1
+//     SGD: θ_{t+1} = θ_t − γ·F(gradients at θ_{t-1}).
+//
+//   * Determinism.  Rounds are filled strictly in order by a single fill
+//     agent, every RNG stream (worker sampling/noise, attack, dropout,
+//     participation) is consumed only by that agent, workers write
+//     disjoint arena rows, and the loss reduction runs in worker-index
+//     order — so the trajectory depends on (config, seed, depth) only,
+//     never on timing or on `threads` (bit-equality across thread widths
+//     is pinned by tests/test_pipeline.cpp under TSAN).
+//
+//   * Per-round participation.  A ParticipationSchedule decides which
+//     honest workers deliver each round; live submissions are compacted
+//     into the buffer's leading rows (stable: worker-index order —
+//     workers write their row directly at its compacted position, so the
+//     compaction copies nothing), Byzantine forgeries follow, and the
+//     round aggregates a GradientBatch::view of that live prefix.  The
+//     (n', f) budget is revalidated against the GAR's own admissibility
+//     by constructing the rule at (n', f) the first time each n' occurs
+//     (cached; std::invalid_argument propagates for inadmissible rounds).
+//
+// Depth semantics (ExperimentConfig::pipeline_depth):
+//   depth 0 — fill and aggregate run back to back on the caller's
+//             thread, in exactly the order of the synchronous trainer
+//             loop; with full participation the trajectory is
+//             bit-identical to it (golden-tested).
+//   depth 1 — the overlapped mode described above.  Round 1 is
+//             necessarily staleness-0 (there is nothing to overlap).
+//
+// Steady-state allocation budget: zero.  The two arenas, the snapshots,
+// the clean-observation arena and the per-n' GAR cache all warm up once;
+// the handshake passes raw pointers under a mutex.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "attacks/attack.hpp"
+#include "core/config.hpp"
+#include "core/server.hpp"
+#include "core/worker.hpp"
+#include "math/gradient_batch.hpp"
+#include "math/rng.hpp"
+
+namespace dpbyz {
+
+/// Deterministic per-round live-set generator over the honest workers.
+/// Byzantine workers always deliver (an adversary does not miss its
+/// slot), so the schedule only ever excludes honest rows.  Guarantees at
+/// least one live honest worker per round: a round whose draw would
+/// leave nobody live forces the lowest-index worker back in (documented
+/// floor — an SGD round with zero honest gradients has no trajectory
+/// semantics worth defining).
+class ParticipationSchedule {
+ public:
+  /// `honest_count` is the number of honest workers the mask covers;
+  /// `rng` feeds the "iid" draws (unused by the other kinds).
+  ParticipationSchedule(const ExperimentConfig& config, size_t honest_count, Rng rng);
+
+  /// Fill `live[i] = 1` iff honest worker i delivers in (1-based) round
+  /// t, and return the live count.  Rounds must be queried in order
+  /// (t = 1, 2, ...): the iid kind consumes one Bernoulli draw per
+  /// honest worker per round, in worker-index order.
+  size_t live_round(size_t t, std::vector<uint8_t>& live);
+
+  size_t honest_count() const { return honest_count_; }
+
+ private:
+  enum class Kind { kFull, kIid, kStragglers };
+  Kind kind_;
+  size_t honest_count_;
+  double prob_ = 1.0;
+  size_t num_stragglers_ = 0;
+  size_t period_ = 1;
+  Rng rng_;
+};
+
+/// The round engine.  One instance drives one training run: the trainer
+/// constructs it around its workers/attack/server and then consumes
+/// rounds in order.  Not reusable across runs and not thread-safe from
+/// the caller's side — exactly one thread may call acquire().
+class RoundPipeline {
+ public:
+  /// One produced round, valid from acquire() until the next acquire().
+  struct Round {
+    /// Read-only view of the live prefix: rows [0, live_honest) are the
+    /// compacted honest submissions, rows [live_honest, rows) the
+    /// Byzantine forgeries.
+    GradientBatch batch_view;
+    size_t rows = 0;         ///< n' — rows to aggregate
+    size_t live_honest = 0;  ///< honest rows delivered this round
+    double loss_sum = 0.0;   ///< Σ live workers' batch losses (index order)
+    /// Seconds the caller was blocked waiting for this round's fill —
+    /// the whole fill at depth 0, only the non-overlapped remainder at
+    /// depth 1 (the Metrics "fill" phase).
+    double fill_wait_seconds = 0.0;
+  };
+
+  /// Keeps references; caller owns lifetimes (workers/attack must
+  /// outlive the pipeline).  `attack` may be null (no forgery rows).
+  /// `byzantine_rows` is the f forged copies appended per round (0 when
+  /// the attack is disabled).  `observe_clean` selects the adversary's
+  /// observation point exactly as in the synchronous loop.  RNG streams
+  /// move in: the engine is their sole consumer from here on.
+  /// `full_rows_gar`, when non-null, seeds the per-n' rule cache for
+  /// full rounds (rows == honest + byzantine) so the caller's existing
+  /// (n, f) instance — typically the server's — is reused instead of
+  /// constructed a second time; it must outlive the pipeline.
+  RoundPipeline(const ExperimentConfig& config, std::vector<HonestWorker>& honest,
+                const Attack* attack, size_t byzantine_rows, bool observe_clean,
+                size_t dim, Rng attack_rng, Rng dropout_rng,
+                ParticipationSchedule schedule,
+                const Aggregator* full_rows_gar = nullptr);
+
+  /// Joins the fill thread (any in-flight fill completes first).
+  ~RoundPipeline();
+
+  RoundPipeline(const RoundPipeline&) = delete;
+  RoundPipeline& operator=(const RoundPipeline&) = delete;
+
+  /// Produce round t (1-based; must be called with t = 1, 2, ... in
+  /// order).  `w` is the server's current parameters θ_{t-1}.
+  ///
+  /// Depth 0: fills round t at `w` synchronously and returns it.
+  /// Depth 1: blocks until the pre-dispatched fill of round t (stale
+  /// params) completes, snapshots `w` and hands the *other* buffer to
+  /// the fill thread for round t+1 (unless t == total_rounds), then
+  /// returns round t — the caller aggregates it while the fill thread
+  /// works.  The returned Round stays valid until the next acquire().
+  const Round& acquire(size_t t, const Vector& w);
+
+  /// The per-(n', f) aggregation rule for a round of `rows` rows:
+  /// the first occurrence of each n' constructs the configured GAR
+  /// (sharded when config.shards > 1) at (n', f) — throwing
+  /// std::invalid_argument when that round budget is inadmissible —
+  /// and caches it.  With full participation every round reuses the
+  /// single (n, f) instance.
+  const Aggregator& aggregator_for(size_t rows);
+
+  /// Total rounds this run will consume (== config.steps); acquire(t)
+  /// with t == total_rounds() skips dispatching a successor fill.
+  size_t total_rounds() const { return config_.steps; }
+
+  size_t depth() const { return config_.pipeline_depth; }
+
+ private:
+  /// One buffer of the double buffer: an n×d arena plus the parameter
+  /// snapshot its fill ran against and the fill's per-round results.
+  struct Slot {
+    GradientBatch batch;  ///< rows [0, rows) are the round
+    Vector params;        ///< θ snapshot the fill ran against
+    size_t rows = 0;
+    size_t live_honest = 0;
+    double loss_sum = 0.0;
+  };
+
+  /// Fill `slot` for round t at parameters `p`: draw the live set, run
+  /// the live honest pipelines (serial, or on ThreadPool::shared() at
+  /// config.threads width), forge the Byzantine rows against the stale
+  /// observation, apply §2.1 dropout zeroing.  `p` is the slot's params
+  /// snapshot on the depth-1 fill thread; the synchronous depth-0 path
+  /// passes the server's live vector directly (it is stable for the
+  /// whole fill there, so no snapshot copy is paid).
+  void fill_into(Slot& slot, size_t t, const Vector& p);
+
+  void fill_thread_loop();
+
+  /// Hand round t to the fill thread, targeting `filling_` (whose
+  /// params snapshot the caller has already written).
+  void dispatch_fill(size_t t);
+
+  /// Block (spin, then condvar) until the in-flight fill completes;
+  /// rethrows any exception the fill raised.
+  void wait_fill_done();
+
+  ExperimentConfig config_;
+  std::vector<HonestWorker>& honest_;
+  const Attack* attack_;  // null = no forgery
+  size_t byzantine_rows_;
+  bool observe_clean_;
+  size_t dim_;
+  size_t fill_threads_;  ///< config.threads, forced serial when nested
+  Rng attack_rng_;
+  Rng dropout_rng_;
+  ParticipationSchedule schedule_;
+
+  /// The double buffer.  `ready_` holds the round the caller is
+  /// aggregating; `filling_` is the fill thread's target.  acquire()
+  /// rotates them with GradientBatch::swap — O(1), no row copied.
+  /// Depth 0 uses only `ready_` (fill and aggregate never coexist).
+  Slot ready_;
+  Slot filling_;
+  GradientBatch clean_;           ///< adversary's clean-observation arena
+  std::vector<uint8_t> live_;     ///< schedule mask scratch
+  std::vector<size_t> live_idx_;  ///< live worker indices, ascending
+  Round round_;                   ///< what acquire() returns
+  /// Per-n' rule lookup; entries point either at the caller-provided
+  /// full-rows instance or at rules this pipeline constructed (owned
+  /// below).  Grows by at most one entry per distinct n'.
+  std::map<size_t, const Aggregator*> gar_by_rows_;
+  std::vector<std::unique_ptr<Aggregator>> owned_gars_;
+
+  // Depth-1 handshake.  Mutex-ordered: the fill thread only touches
+  // `filling_` between claiming a request and publishing fill_done_, the
+  // caller only between wait_fill_done() and the next dispatch_fill().
+  // fill_done_ is atomic so the waiter can spin on it before paying the
+  // condition-variable sleep (parallel::spin_budget).
+  std::thread fill_thread_;
+  std::mutex mutex_;
+  std::condition_variable request_cv_;
+  std::condition_variable done_cv_;
+  bool has_request_ = false;
+  bool stop_ = false;
+  size_t request_round_ = 0;
+  std::atomic<bool> fill_done_{false};
+  std::exception_ptr fill_error_;
+};
+
+}  // namespace dpbyz

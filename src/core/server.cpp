@@ -11,10 +11,20 @@ ParameterServer::ParameterServer(std::unique_ptr<Aggregator> gar, SgdOptimizer o
 }
 
 void ParameterServer::step(const GradientBatch& batch, size_t t) {
-  const auto aggregate = gar_->aggregate(batch, ws_);
-  last_aggregate_.assign(aggregate.begin(), aggregate.end());
-  optimizer_.step(w_, last_aggregate_, t);
+  aggregate(batch);
+  apply(t);
 }
+
+void ParameterServer::aggregate(const GradientBatch& batch) {
+  aggregate_with(*gar_, batch);
+}
+
+void ParameterServer::aggregate_with(const Aggregator& gar, const GradientBatch& batch) {
+  const auto view = gar.aggregate(batch, ws_);
+  last_aggregate_.assign(view.begin(), view.end());
+}
+
+void ParameterServer::apply(size_t t) { optimizer_.step(w_, last_aggregate_, t); }
 
 void ParameterServer::step(std::span<const Vector> gradients, size_t t) {
   legacy_batch_.reshape(gradients.size(), gradients.empty() ? 0 : gradients[0].size());

@@ -26,11 +26,27 @@ class ParameterServer {
 
   /// One synchronous round: aggregate the n batch rows and apply the
   /// update for (1-based) step t.  Allocation-free at steady state.
+  /// Equivalent to aggregate(batch) followed by apply(t) — the split
+  /// exists so the round engine can time (and interleave) the two
+  /// phases separately.
   void step(const GradientBatch& batch, size_t t);
 
   /// Legacy convenience: packs the vectors into an internal arena and
   /// forwards (copies; not for the hot loop).
   void step(std::span<const Vector> gradients, size_t t);
+
+  /// Phase 1 of step(): run the server's own GAR over the batch and
+  /// latch the result into last_aggregate().  Does not touch the model.
+  void aggregate(const GradientBatch& batch);
+
+  /// Same, but through a caller-supplied GAR — the round engine swaps in
+  /// a per-(n', f) rule when participation shrinks the round (the GAR is
+  /// constructed at a fixed row count; see core/pipeline.hpp).  Scratch
+  /// still comes from this server's workspace.
+  void aggregate_with(const Aggregator& gar, const GradientBatch& batch);
+
+  /// Phase 2 of step(): apply the latched aggregate for (1-based) step t.
+  void apply(size_t t);
 
   const Vector& parameters() const { return w_; }
   const Vector& last_aggregate() const { return last_aggregate_; }

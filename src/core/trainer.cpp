@@ -3,12 +3,13 @@
 #include <cmath>
 
 #include "aggregation/sharded.hpp"
+#include "core/pipeline.hpp"
 #include "data/partition.hpp"
 #include "dp/gaussian_mechanism.hpp"
 #include "dp/laplace_mechanism.hpp"
 #include "math/statistics.hpp"
 #include "utils/errors.hpp"
-#include "utils/parallel.hpp"
+#include "utils/stopwatch.hpp"
 
 namespace dpbyz {
 
@@ -92,72 +93,43 @@ RunResult Trainer::run() {
 
   RunResult result;
   result.train_loss.reserve(config_.steps);
+  result.round_rows.reserve(config_.steps);
 
-  // One contiguous arena for the round's n submissions, reused across all
-  // T steps (the server's workspace is likewise persistent), so the
-  // steady-state loop allocates only inside model/mechanism internals.
-  GradientBatch submissions(n, model_.dim());
   const bool observe_clean =
       config_.attack_enabled && config_.attack_observes == "clean";
-  // Separate arena for the adversary's clean-gradient observation point.
-  GradientBatch clean;
-  if (observe_clean) clean.reshape(honest.size(), model_.dim());
-
+  // Every mode runs through the round engine (core/pipeline.hpp): it
+  // owns the double-buffered arenas and every fill-side RNG stream from
+  // here on.  At the defaults (depth 0, full participation) its fill
+  // executes the seed loop's exact stage order — submit in worker-index
+  // order, forge, §2.1 dropout zeroing — on this thread, so the
+  // trajectory stays bit-identical to the synchronous trainer (pinned
+  // by the PR-3 golden trajectories in tests/test_pipeline.cpp).  The
+  // server's own (n, f) rule seeds the engine's per-n' cache, so full
+  // rounds aggregate through the same instance either way.
+  ParticipationSchedule participation(config_, honest.size(),
+                                      root.derive("participation"));
+  RoundPipeline pipeline(config_, honest, attack_.get(), f, observe_clean,
+                         model_.dim(), std::move(attack_rng), std::move(dropout_rng),
+                         std::move(participation), &server.gar());
   for (size_t t = 1; t <= config_.steps; ++t) {
-    const Vector& w = server.parameters();
+    const RoundPipeline::Round& round = pipeline.acquire(t, server.parameters());
+    result.train_loss.push_back(round.loss_sum /
+                                static_cast<double>(round.live_honest));
+    result.round_rows.push_back(round.rows);
+    result.phase.fill += round.fill_wait_seconds;
 
-    // 1. Honest pipelines write straight into their arena rows.  Workers
-    // are independent by construction — disjoint arena rows, private RNG
-    // streams and buffers, shared data strictly const — so the threaded
-    // path dispatches one pipeline per index on the process-wide pool
-    // and is bit-identical to the serial loop (the loss reduction runs
-    // in index order after the join either way).
-    double loss_acc = 0.0;
-    if (config_.threads != 1 && honest.size() > 1) {
-      ThreadPool::shared().run(
-          honest.size(),
-          [&](size_t i) {
-            honest[i].submit_into(w, submissions.row(i));
-            if (observe_clean) clean.set_row(i, honest[i].last_clean_gradient());
-          },
-          config_.threads);
-      for (const HonestWorker& worker : honest) loss_acc += worker.last_batch_loss();
-    } else {
-      for (size_t i = 0; i < honest.size(); ++i) {
-        honest[i].submit_into(w, submissions.row(i));
-        loss_acc += honest[i].last_batch_loss();
-        if (observe_clean) clean.set_row(i, honest[i].last_clean_gradient());
-      }
-    }
-    result.train_loss.push_back(loss_acc / static_cast<double>(honest.size()));
+    // Aggregate the live prefix with the (n', f)-admissible rule —
+    // while, at depth 1, the fill thread already produces round t+1
+    // against the stale parameters.
+    const Aggregator& round_gar = pipeline.aggregator_for(round.rows);
+    Stopwatch agg_watch;
+    server.aggregate_with(round_gar, round.batch_view);
+    result.phase.aggregate += agg_watch.seconds();
+    Stopwatch apply_watch;
+    server.apply(t);
+    result.phase.apply += apply_watch.seconds();
 
-    // 2. Byzantine forgery (colluding: all f submit the same vector,
-    // crafted from the configured observation point — the wire by
-    // default; see ExperimentConfig::attack_observes).  The common
-    // gradient is forged in place into the first Byzantine row and
-    // replicated over the remaining ones.
-    if (config_.attack_enabled && f > 0) {
-      const GradientBatch& observed = observe_clean ? clean : submissions;
-      const AttackContext ctx{observed, honest.size(), f, t};
-      attack_->forge_into(ctx, attack_rng, submissions.row(honest.size()));
-      for (size_t i = honest.size() + 1; i < n; ++i)
-        vec::copy(submissions.row(honest.size()), submissions.row(i));
-    }
-
-    // 2b. Network losses: each honest submission is independently dropped
-    // with probability dropout_prob; the synchronous server substitutes a
-    // zero vector for non-received gradients (paper §2.1).  Byzantine
-    // workers always deliver — an adversary does not miss its slot.
-    if (config_.dropout_prob > 0.0) {
-      for (size_t i = 0; i < honest.size(); ++i)
-        if (dropout_rng.bernoulli(config_.dropout_prob))
-          vec::fill(submissions.row(i), 0.0);
-    }
-
-    // 3. Aggregate + update.
-    server.step(submissions, t);
-
-    // 4. Periodic evaluation (and always at the last step).
+    // Periodic evaluation (and always at the last step).
     if (t % config_.eval_every == 0 || t == config_.steps) {
       const double acc = model_.accuracy(server.parameters(), test_);
       result.eval.push_back({t, acc});

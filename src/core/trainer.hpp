@@ -19,6 +19,19 @@
 // dispatch — on the process-wide ThreadPool; results stay deterministic
 // and bit-identical to the serial run given (config, model, datasets),
 // which the test suite checks bit-for-bit.
+//
+// The synchronous loop above is the pipeline_depth = 0, participation =
+// "full" default.  Every run executes through the round engine
+// (core/pipeline.hpp), which at those defaults reproduces the loop's
+// exact stage order on the calling thread — bit-identical to the seed,
+// pinned by the PR-3 golden trajectories in tests/test_pipeline.cpp.
+// pipeline_depth = 1 switches to double-buffered bounded-staleness-1
+// rounds (fill of t+1 overlaps the aggregation of t); a participation
+// schedule makes per-round partial participation first-class, with
+// (n', f) admissibility revalidated every round.  Engine runs are
+// deterministic given (config, seed) and bit-identical across `threads`
+// settings.  RunResult::phase records per-phase (fill / aggregate /
+// apply) wall-clock for every mode.
 #pragma once
 
 #include <memory>

@@ -39,6 +39,11 @@ class HonestWorker {
   /// Run one full step pipeline at parameters `w` and write the sanitized
   /// gradient o_t^(i) into `out` — typically this worker's row of the
   /// round's GradientBatch arena, so the "send" is the in-place write.
+  /// The worker has no notion of *which* row it owns: under the round
+  /// engine's participation compaction the same worker lands on a
+  /// different (compacted) row each round, and under pipeline_depth = 1
+  /// `w` is the engine's stale parameter snapshot rather than the
+  /// server's live vector.
   /// Allocation-free after the first call: the batch indices and the
   /// clean gradient live in reused member buffers, and every stage
   /// (model, clip, mechanism) writes through _into variants.  Distinct

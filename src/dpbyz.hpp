@@ -46,6 +46,7 @@
 #include "aggregation/meamed.hpp"
 #include "aggregation/median.hpp"
 #include "aggregation/phocas.hpp"
+#include "aggregation/sharded.hpp"
 #include "aggregation/trimmed_mean.hpp"
 
 // attacks — Byzantine strategies
@@ -62,6 +63,7 @@
 #include "core/config.hpp"
 #include "core/experiment.hpp"
 #include "core/metrics.hpp"
+#include "core/pipeline.hpp"
 #include "core/server.hpp"
 #include "core/trainer.hpp"
 #include "core/worker.hpp"

@@ -2,8 +2,9 @@
 
 namespace dpbyz {
 
-namespace {
+namespace parallel {
 
+namespace {
 /// Bounded busy-wait iterations before a thread falls back to its
 /// condition variable.  The trainer submits one fork-join job per
 /// training step, so the gap between jobs is typically far shorter than
@@ -11,16 +12,17 @@ namespace {
 /// thousand pause iterations cover that cadence while still putting
 /// workers properly to sleep when the process goes idle.
 constexpr int kSpinIters = 4096;
+}  // namespace
 
 /// Spinning only helps when another core can make progress while we
 /// burn this one; on a single-CPU host it just delays the thread that
 /// owns the work, so the budget collapses to zero there.
-inline int spin_budget() {
+int spin_budget() {
   static const int budget = std::thread::hardware_concurrency() > 1 ? kSpinIters : 0;
   return budget;
 }
 
-inline void cpu_relax() {
+void cpu_relax() {
 #if defined(__x86_64__) || defined(__i386__)
   __builtin_ia32_pause();
 #elif defined(__aarch64__)
@@ -29,6 +31,13 @@ inline void cpu_relax() {
   std::this_thread::yield();
 #endif
 }
+
+}  // namespace parallel
+
+namespace {
+using parallel::cpu_relax;
+using parallel::spin_budget;
+
 /// Set for the lifetime of every pool worker thread (any pool).  run()
 /// consults it to fall back to serial execution instead of nesting jobs.
 thread_local bool t_on_pool_worker = false;

@@ -46,6 +46,21 @@
 
 namespace dpbyz {
 
+namespace parallel {
+
+/// Bounded busy-wait iterations a thread should spend polling for
+/// step-cadence work before falling back to a condition variable (a
+/// condvar round trip costs tens of microseconds — longer than the gap
+/// between two training-step jobs).  Zero on single-CPU hosts, where
+/// spinning only delays the thread that owns the work.  Shared by the
+/// ThreadPool's wakeup paths and the round engine's fill handshake.
+int spin_budget();
+
+/// Polite single-iteration pause for spin loops (PAUSE / yield).
+void cpu_relax();
+
+}  // namespace parallel
+
 /// Persistent fork-join pool.  Construct once, submit many jobs; worker
 /// threads sleep between jobs and are joined by the destructor.  All
 /// public methods are safe to call from any thread; a run() issued from

@@ -137,7 +137,18 @@ TEST_P(GarGoldenTest, WorkspaceReuseIsStateless) {
   EXPECT_EQ(first_copy, third_copy);
 }
 
-INSTANTIATE_TEST_SUITE_P(AllGars, GarGoldenTest, ::testing::ValuesIn(aggregator_names()));
+/// Every rule that has a seed implementation to pin against.  mda_greedy
+/// is new in this repo (the approximate large-n fallback, PR 4): there is
+/// no seed code to be bit-identical to; its own invariants live in
+/// tests/test_aggregators.cpp.
+std::vector<std::string> gars_with_seed_reference() {
+  auto names = aggregator_names();
+  std::erase(names, "mda_greedy");
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGars, GarGoldenTest,
+                         ::testing::ValuesIn(gars_with_seed_reference()));
 
 TEST(GarGolden, KrumScoresReferenceMatchesMatrixPath) {
   // The free krum_scores function is the reference; the matrix path must
