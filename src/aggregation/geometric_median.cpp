@@ -19,6 +19,20 @@ void GeometricMedian::aggregate_into(const GradientBatch& batch,
   // starting from the mean; points coinciding with z get a capped weight
   // to avoid division by zero (standard epsilon-smoothed variant).
   // z lives in ws.output, the numerator in ws.scratch_d.
+  //
+  // Degenerate-input audit (duplicated / ULP-close rows): a row equal to
+  // the iterate yields dist = 0, clamped to kEps, so its weight caps at
+  // 1e12 — finite, and with rows >= 1 the denominator stays positive.
+  // The one genuine divide-by-zero path is *overflow*, not coincidence:
+  // finite rows with components ~1e200 make dist_sq overflow to +inf, so
+  // EVERY weight underflows to 1/inf = 0 and the denominator hits exactly
+  // 0 — the old code then scaled the numerator by 1/0 and emitted NaNs.
+  // Guard: when the weights carry no information at this scale, fall
+  // back to the coordinate-wise median of the rows.  The fallback must
+  // itself be robust — a single Byzantine row at ~1e200 *causes* this
+  // overflow (the mean-seeded iterate sits ~1e199 from everything), so
+  // falling back to the mean would hand the attacker the aggregate; the
+  // coordinate median keeps the 1/2 breakdown point this rule promises.
   mean_rows_into(batch, ws.output);
   constexpr double kEps = 1e-12;
   ws.scratch_d.resize(batch.dim());
@@ -30,6 +44,10 @@ void GeometricMedian::aggregate_into(const GradientBatch& batch,
       const double w = 1.0 / std::max(vec::dist(CView(ws.output), g), kEps);
       vec::axpy_inplace(View(ws.scratch_d), w, g);
       denominator += w;
+    }
+    if (!(denominator > 0.0) || !std::isfinite(denominator)) {
+      median_rows_into(batch, ws.column, ws.output);
+      break;
     }
     vec::scale_inplace(ws.scratch_d, 1.0 / denominator);
     const double shift = vec::dist(ws.scratch_d, ws.output);

@@ -12,13 +12,7 @@ CoordinateMedian::CoordinateMedian(size_t n, size_t f) : Aggregator(n, f) {
 
 void CoordinateMedian::aggregate_into(const GradientBatch& batch,
                                       AggregatorWorkspace& ws) const {
-  const size_t count = batch.rows();
-  const size_t d = batch.dim();
-  ws.column.resize(count);
-  for (size_t c = 0; c < d; ++c) {
-    for (size_t i = 0; i < count; ++i) ws.column[i] = batch.row(i)[c];
-    ws.output[c] = stats::median_inplace(ws.column);
-  }
+  median_rows_into(batch, ws.column, ws.output);
 }
 
 double CoordinateMedian::vn_threshold() const { return kf::median(n(), f()); }

@@ -65,6 +65,7 @@ std::string ExperimentConfig::label() const {
   if (shards > 1) out += "+S" + std::to_string(shards);
   if (threads != 1) out += "+T" + std::to_string(threads);
   if (pipeline_depth > 0) out += "+D" + std::to_string(pipeline_depth);
+  if (fast_math) out += "+fast";
   if (participation != "full") out += "+" + participation;
   if (dp_enabled)
     out += "+dp(eps=" + strings::format_double(epsilon) + ")";

@@ -80,6 +80,23 @@ struct ExperimentConfig {
   ///       fully deterministic given (seed, depth) and bit-identical
   ///       across `threads` settings.
   size_t pipeline_depth = 0;
+  /// Opt-in fast math kernels for the hot reductions (pairwise dist_sq,
+  /// Krum/MDA/Bulyan scoring, CGE norms, Weiszfeld, clipping, momentum
+  /// axpy — see docs/ARCHITECTURE.md, "Math kernels").
+  ///   false — the seed's single-accumulator scalar loops: bit-identical
+  ///           to every golden-pinned trajectory (default).
+  ///   true  — multi-accumulator / AVX2 kernels: reductions reassociate,
+  ///           so results differ from scalar by a documented ULP bound
+  ///           (2*d*eps relative for the nonnegative reductions) but are
+  ///           fully deterministic per (binary, config, seed) and
+  ///           bit-identical across `threads` widths.  The trainer
+  ///           holds the process in fast mode for the run's duration
+  ///           (scope-counted, so overlapping runs from
+  ///           run_seeds_parallel compose); concurrently running a
+  ///           fast_math run and a non-fast_math run in one process is
+  ///           unsupported — the scalar run would observe the fast
+  ///           kernels while the fast run lives.
+  bool fast_math = false;
   /// Which workers deliver a gradient each round (the round engine's
   /// per-round participation; distinct from `dropout_prob`, which keeps
   /// the §2.1 zero-substitution convention for *delivered-but-lost*

@@ -45,6 +45,17 @@ double RdpAccountant::epsilon_for_delta(double delta) const {
   const double t_rho = static_cast<double>(steps_) * rho_;
   const double log_inv_delta = std::log(1.0 / delta);
   const double alpha_star = 1.0 + std::sqrt(log_inv_delta / t_rho);
+  // Boundary audit: tiny sensitivity/noise ratios (below ~1e-154) make
+  // rho_ — and hence t_rho — underflow toward or to exactly 0, so
+  // alpha_star overflows to +inf and every grid point below evaluates
+  // t_rho * inf (NaN at t_rho == 0, +inf for denormal t_rho); the old
+  // min-fold then returned +inf — the *opposite* of the truth, since a
+  // near-zero Rényi divergence composes to eps -> 0.  When the optimum
+  // is out of floating-point range, return the analytic minimum
+  // f(alpha*) = t_rho + 2 sqrt(t_rho log(1/delta)) directly (exactly 0
+  // when rho_ underflowed to 0).
+  if (!std::isfinite(alpha_star))
+    return t_rho + 2.0 * std::sqrt(t_rho * log_inv_delta);
   double best = std::numeric_limits<double>::infinity();
   for (double factor = 0.25; factor <= 4.0; factor *= 1.05) {
     const double alpha = 1.0 + (alpha_star - 1.0) * factor;

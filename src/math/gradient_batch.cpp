@@ -4,6 +4,8 @@
 #include <cmath>
 #include <thread>
 
+#include "math/kernels.hpp"
+#include "math/statistics.hpp"
 #include "utils/errors.hpp"
 #include "utils/parallel.hpp"
 
@@ -118,6 +120,17 @@ void mean_rows_of_into(const GradientBatch& batch, std::span<const size_t> idx,
   vec::scale_inplace(out, 1.0 / static_cast<double>(idx.size()));
 }
 
+void median_rows_into(const GradientBatch& batch, std::vector<double>& column_scratch,
+                      std::span<double> out) {
+  require(batch.rows() > 0, "median_rows_into: empty batch");
+  require(out.size() == batch.dim(), "median_rows_into: output dimension mismatch");
+  column_scratch.resize(batch.rows());
+  for (size_t c = 0; c < batch.dim(); ++c) {
+    for (size_t i = 0; i < batch.rows(); ++i) column_scratch[i] = batch.row(i)[c];
+    out[c] = stats::median_inplace(column_scratch);
+  }
+}
+
 void pairwise_dist_sq(const GradientBatch& batch, std::span<double> out,
                       size_t threads) {
   const size_t n = batch.rows();
@@ -135,6 +148,10 @@ void pairwise_dist_sq(const GradientBatch& batch, std::span<double> out,
   const size_t rows_per_tile = std::max<size_t>(1, kTileBytes / (sizeof(double) * d));
   const size_t num_tiles = (n + rows_per_tile - 1) / rows_per_tile;
 
+  // Mode is sampled once per call so every pair in this matrix uses one
+  // implementation; each pair is computed by exactly one thread, so the
+  // result is bit-identical across thread widths in either mode.
+  const bool fast = kernels::fast_enabled();
   auto do_tile = [&](size_t tile) {
     const size_t jb = tile * rows_per_tile;
     const size_t je = std::min(n, jb + rows_per_tile);
@@ -142,11 +159,17 @@ void pairwise_dist_sq(const GradientBatch& batch, std::span<double> out,
       const double* ri = batch.row(i).data();
       for (size_t j = std::max(i + 1, jb); j < je; ++j) {
         const double* rj = batch.row(j).data();
-        // Single forward pass — bit-identical to vec::dist_sq.
-        double acc = 0.0;
-        for (size_t k = 0; k < d; ++k) {
-          const double diff = ri[k] - rj[k];
-          acc += diff * diff;
+        double acc;
+        if (fast) {
+          // Opt-in multi-accumulator kernel (ULP-bounded, kernels.hpp).
+          acc = kernels::dist_sq_fast(ri, rj, d);
+        } else {
+          // Single forward pass — bit-identical to vec::dist_sq.
+          acc = 0.0;
+          for (size_t k = 0; k < d; ++k) {
+            const double diff = ri[k] - rj[k];
+            acc += diff * diff;
+          }
         }
         out[i * n + j] = acc;
         out[j * n + i] = acc;

@@ -123,6 +123,14 @@ void stddev_rows_into(const GradientBatch& batch, size_t rows,
 void mean_rows_of_into(const GradientBatch& batch, std::span<const size_t> idx,
                        std::span<double> out);
 
+/// Coordinate-wise median of all rows written into `out` (length dim),
+/// gathering each column into `column_scratch` (resized to rows; element
+/// order afterwards unspecified).  The shared kernel behind the median
+/// GAR and the Weiszfeld overflow fallback — bit-identical to
+/// stats::coordinate_median on the same rows.
+void median_rows_into(const GradientBatch& batch, std::vector<double>& column_scratch,
+                      std::span<double> out);
+
 /// Symmetric pairwise squared-distance kernel shared by Krum, MDA and
 /// Bulyan: fills the rows*rows row-major matrix `out` with
 /// out[i*rows + j] = ||row_i - row_j||², diagonal 0.  Each unordered pair

@@ -1,0 +1,230 @@
+#include "math/kernels.hpp"
+
+#include <atomic>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace dpbyz::kernels {
+
+namespace {
+// Count of live MathModeScope(kFast) instances; the fast path is active
+// while it is positive.  Counting makes overlapping scope lifetimes
+// (run_seeds_parallel) safe — see the thread model in kernels.hpp.
+std::atomic<int> g_fast_scopes{0};
+}  // namespace
+
+MathMode mode() {
+  return g_fast_scopes.load(std::memory_order_relaxed) > 0 ? MathMode::kFast
+                                                           : MathMode::kScalar;
+}
+
+bool fast_enabled() { return g_fast_scopes.load(std::memory_order_relaxed) > 0; }
+
+MathModeScope::MathModeScope(MathMode m) : counted_(m == MathMode::kFast) {
+  if (counted_) g_fast_scopes.fetch_add(1, std::memory_order_relaxed);
+}
+
+MathModeScope::~MathModeScope() {
+  if (counted_) g_fast_scopes.fetch_sub(1, std::memory_order_relaxed);
+}
+
+const char* fast_backend() {
+#if defined(__AVX2__)
+  return "avx2";
+#else
+  return "unrolled8";
+#endif
+}
+
+// Both backends split the index stream into 8 lanes (term i feeds
+// accumulator i mod 8 within each 8-wide block) and combine the partials
+// as ((s0+s4)+(s1+s5)) + ((s2+s6)+(s3+s7)), then add the scalar tail.
+// Keeping the combine order identical across backends makes the AVX2 and
+// portable builds agree bit-for-bit — and makes every run deterministic,
+// since nothing here depends on data values, alignment, or threads.
+// No FMA: each product/difference is the same correctly-rounded double
+// the scalar loop computes, so only summation order is reassociated
+// (the documented 2*d*eps*sum|term| bound in kernels.hpp).
+
+#if defined(__AVX2__)
+
+namespace {
+inline double combine(__m256d acc0, __m256d acc1) {
+  // acc0 lanes = (s0, s1, s2, s3), acc1 lanes = (s4, s5, s6, s7).
+  const __m256d acc = _mm256_add_pd(acc0, acc1);  // (s0+s4, ..., s3+s7)
+  alignas(32) double lane[4];
+  _mm256_store_pd(lane, acc);
+  return (lane[0] + lane[1]) + (lane[2] + lane[3]);
+}
+}  // namespace
+
+double dist_sq_fast(const double* a, const double* b, size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256d d0 = _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    const __m256d d1 =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i + 4), _mm256_loadu_pd(b + i + 4));
+    acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(d0, d0));
+    acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(d1, d1));
+  }
+  double out = combine(acc0, acc1);
+  for (; i < n; ++i) {
+    const double diff = a[i] - b[i];
+    out += diff * diff;
+  }
+  return out;
+}
+
+double dot_fast(const double* a, const double* b, size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_add_pd(acc0,
+                         _mm256_mul_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i)));
+    acc1 = _mm256_add_pd(
+        acc1, _mm256_mul_pd(_mm256_loadu_pd(a + i + 4), _mm256_loadu_pd(b + i + 4)));
+  }
+  double out = combine(acc0, acc1);
+  for (; i < n; ++i) out += a[i] * b[i];
+  return out;
+}
+
+double norm_sq_fast(const double* a, size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256d v0 = _mm256_loadu_pd(a + i);
+    const __m256d v1 = _mm256_loadu_pd(a + i + 4);
+    acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(v0, v0));
+    acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(v1, v1));
+  }
+  double out = combine(acc0, acc1);
+  for (; i < n; ++i) out += a[i] * a[i];
+  return out;
+}
+
+void axpy_fast(double* a, double s, const double* b, size_t n) {
+  const __m256d vs = _mm256_set1_pd(s);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_pd(a + i, _mm256_add_pd(_mm256_loadu_pd(a + i),
+                                          _mm256_mul_pd(vs, _mm256_loadu_pd(b + i))));
+    _mm256_storeu_pd(
+        a + i + 4, _mm256_add_pd(_mm256_loadu_pd(a + i + 4),
+                                 _mm256_mul_pd(vs, _mm256_loadu_pd(b + i + 4))));
+  }
+  for (; i < n; ++i) a[i] += s * b[i];
+}
+
+void scale_fast(double* a, double s, size_t n) {
+  const __m256d vs = _mm256_set1_pd(s);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_pd(a + i, _mm256_mul_pd(vs, _mm256_loadu_pd(a + i)));
+    _mm256_storeu_pd(a + i + 4, _mm256_mul_pd(vs, _mm256_loadu_pd(a + i + 4)));
+  }
+  for (; i < n; ++i) a[i] *= s;
+}
+
+#else  // portable 8-accumulator backend
+
+double dist_sq_fast(const double* a, const double* b, size_t n) {
+  double s0 = 0, s1 = 0, s2 = 0, s3 = 0, s4 = 0, s5 = 0, s6 = 0, s7 = 0;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const double d0 = a[i] - b[i], d1 = a[i + 1] - b[i + 1];
+    const double d2 = a[i + 2] - b[i + 2], d3 = a[i + 3] - b[i + 3];
+    const double d4 = a[i + 4] - b[i + 4], d5 = a[i + 5] - b[i + 5];
+    const double d6 = a[i + 6] - b[i + 6], d7 = a[i + 7] - b[i + 7];
+    s0 += d0 * d0;
+    s1 += d1 * d1;
+    s2 += d2 * d2;
+    s3 += d3 * d3;
+    s4 += d4 * d4;
+    s5 += d5 * d5;
+    s6 += d6 * d6;
+    s7 += d7 * d7;
+  }
+  double out = ((s0 + s4) + (s1 + s5)) + ((s2 + s6) + (s3 + s7));
+  for (; i < n; ++i) {
+    const double diff = a[i] - b[i];
+    out += diff * diff;
+  }
+  return out;
+}
+
+double dot_fast(const double* a, const double* b, size_t n) {
+  double s0 = 0, s1 = 0, s2 = 0, s3 = 0, s4 = 0, s5 = 0, s6 = 0, s7 = 0;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    s0 += a[i] * b[i];
+    s1 += a[i + 1] * b[i + 1];
+    s2 += a[i + 2] * b[i + 2];
+    s3 += a[i + 3] * b[i + 3];
+    s4 += a[i + 4] * b[i + 4];
+    s5 += a[i + 5] * b[i + 5];
+    s6 += a[i + 6] * b[i + 6];
+    s7 += a[i + 7] * b[i + 7];
+  }
+  double out = ((s0 + s4) + (s1 + s5)) + ((s2 + s6) + (s3 + s7));
+  for (; i < n; ++i) out += a[i] * b[i];
+  return out;
+}
+
+double norm_sq_fast(const double* a, size_t n) {
+  double s0 = 0, s1 = 0, s2 = 0, s3 = 0, s4 = 0, s5 = 0, s6 = 0, s7 = 0;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    s0 += a[i] * a[i];
+    s1 += a[i + 1] * a[i + 1];
+    s2 += a[i + 2] * a[i + 2];
+    s3 += a[i + 3] * a[i + 3];
+    s4 += a[i + 4] * a[i + 4];
+    s5 += a[i + 5] * a[i + 5];
+    s6 += a[i + 6] * a[i + 6];
+    s7 += a[i + 7] * a[i + 7];
+  }
+  double out = ((s0 + s4) + (s1 + s5)) + ((s2 + s6) + (s3 + s7));
+  for (; i < n; ++i) out += a[i] * a[i];
+  return out;
+}
+
+void axpy_fast(double* a, double s, const double* b, size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    a[i] += s * b[i];
+    a[i + 1] += s * b[i + 1];
+    a[i + 2] += s * b[i + 2];
+    a[i + 3] += s * b[i + 3];
+    a[i + 4] += s * b[i + 4];
+    a[i + 5] += s * b[i + 5];
+    a[i + 6] += s * b[i + 6];
+    a[i + 7] += s * b[i + 7];
+  }
+  for (; i < n; ++i) a[i] += s * b[i];
+}
+
+void scale_fast(double* a, double s, size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    a[i] *= s;
+    a[i + 1] *= s;
+    a[i + 2] *= s;
+    a[i + 3] *= s;
+    a[i + 4] *= s;
+    a[i + 5] *= s;
+    a[i + 6] *= s;
+    a[i + 7] *= s;
+  }
+  for (; i < n; ++i) a[i] *= s;
+}
+
+#endif  // __AVX2__
+
+}  // namespace dpbyz::kernels

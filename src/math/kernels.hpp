@@ -1,0 +1,125 @@
+// kernels.hpp — opt-in fast-math implementations of the hot reductions.
+//
+// The GAR hot path is dominated by a handful of span reductions:
+// pairwise ||a - b||² (Krum scoring, MDA diameter, Bulyan rescoring),
+// ||a||² (CGE), <a, b> and the elementwise axpy/scale pair (Weiszfeld,
+// clipping, momentum).  The default implementations in vector_ops.cpp are
+// single-accumulator left-to-right loops: they are bit-identical to the
+// seed (the golden tests pin their exact doubles), but a single serial
+// dependency chain caps them at one add per FP-add latency — a fraction
+// of what the machine can retire.
+//
+// This layer provides the opt-in fast path:
+//
+//   * `*_fast` kernels break each reduction into kLanes = 8 independent
+//     accumulators (AVX2 build: two 4-lane vector registers; portable
+//     build: eight unrolled scalars) plus a scalar tail, then combine the
+//     partials pairwise.  The elementwise kernels (axpy, scale) are
+//     restructured the same way but perform the exact same per-element
+//     arithmetic, so they remain bit-identical to the scalar loops.
+//   * a process-global MathMode flag selects which implementation the
+//     vec:: entry points (and pairwise_dist_sq) dispatch to.  The mode
+//     defaults to kScalar, so nothing changes unless a caller opts in —
+//     ExperimentConfig::fast_math is the user-facing knob (the trainer
+//     installs a MathModeScope for the duration of the run).
+//
+// Accuracy contract (the "ULP bound" the fast golden tests enforce):
+// every per-element product/difference is computed exactly as in the
+// scalar loop — only the *summation order* changes.  For a reduction over
+// d terms the classical reassociation bound gives
+//
+//     |fast - scalar| <= 2 * d * eps * sum_i |term_i|,   eps = 2^-53,
+//
+// where term_i is (a_i - b_i)² / a_i² / a_i*b_i respectively.  For the
+// nonnegative-term reductions (dist_sq, norm_sq) sum|term| equals the
+// result itself, so the bound is a plain relative error of 2*d*eps.
+// tests/test_math_kernels.cpp checks this bound on random, adversarial
+// (cancellation-heavy) and denormal-heavy inputs.
+//
+// Determinism contract: for a fixed binary and a fixed input, the fast
+// kernels are pure functions — the lane split depends only on d, never on
+// data, timing or thread count.  pairwise_dist_sq computes each pair on
+// exactly one thread, so fast-mode results are bit-identical across every
+// `threads` width and across reruns (enforced by the bench --check gate).
+// The AVX2 and portable backends use the same lane assignment and the
+// same pairwise combine order, so in practice they agree bit-for-bit too;
+// the *documented* contract is nevertheless "deterministic per (binary,
+// config)" — only the default scalar mode promises bit-identity to the
+// seed across builds, which is why it stays the default.
+//
+// Thread model: the mode is one process-global atomic *count* of live
+// fast scopes (relaxed loads on the hot path) — the fast path is active
+// while at least one MathModeScope(kFast) is alive, and kScalar scopes
+// are no-ops.  Counting (rather than save/restore of the previous mode)
+// makes OVERLAPPING scope lifetimes safe: run_seeds_parallel fans one
+// fast_math config out across pool workers whose scopes construct and
+// destruct in arbitrary interleavings, and with save/restore the first
+// run to finish would have yanked the mode out from under the others
+// (and the last to finish would have "restored" the mode a sibling set,
+// leaving the process stuck in fast mode).  With the count, the mode is
+// fast for exactly the union of the fast scopes' lifetimes and reverts
+// to the scalar default when the last one dies.  The one unsupported
+// pattern is *mixed-mode* concurrency (a fast_math run overlapping a
+// scalar run): the scalar run would observe the fast kernels while the
+// other run lives.  Nothing in the repo does this — concurrent runs
+// share one config — and the config knob documents the restriction.
+#pragma once
+
+#include <cstddef>
+
+namespace dpbyz::kernels {
+
+/// Which implementation the vec:: reductions dispatch to.
+enum class MathMode {
+  kScalar,  ///< seed-bit-identical single-accumulator loops (default)
+  kFast,    ///< multi-accumulator / AVX2 kernels (ULP-bounded, see above)
+};
+
+/// Current process-global mode: kFast while any MathModeScope(kFast) is
+/// alive, kScalar otherwise (relaxed atomic load; safe from any thread).
+MathMode mode();
+
+/// True iff the fast path is currently selected.
+bool fast_enabled();
+
+/// Compile-time backend behind MathMode::kFast: "avx2" when the kernels
+/// TU was built with AVX2 enabled (the DPBYZ_FAST_MATH=ON build),
+/// "unrolled8" otherwise.  Informational (bench/JSON provenance).
+const char* fast_backend();
+
+/// RAII fast-mode participation: a kFast scope holds the process in fast
+/// mode for its lifetime (counted, so overlapping scopes compose — see
+/// the thread model above); a kScalar scope is a no-op, since scalar is
+/// the default the process reverts to.  The trainer wraps each run in
+/// one of these, driven by ExperimentConfig::fast_math.
+class MathModeScope {
+ public:
+  explicit MathModeScope(MathMode m);
+  ~MathModeScope();
+  MathModeScope(const MathModeScope&) = delete;
+  MathModeScope& operator=(const MathModeScope&) = delete;
+
+ private:
+  bool counted_;  // true iff this scope incremented the fast count
+};
+
+// ---- raw fast kernels ------------------------------------------------------
+// Always available regardless of the current mode (the bench times them
+// side by side with the scalar loops).  Null-safe for n == 0.
+
+/// sum_i (a_i - b_i)^2 with 8 partial accumulators.
+double dist_sq_fast(const double* a, const double* b, size_t n);
+
+/// sum_i a_i * b_i with 8 partial accumulators.
+double dot_fast(const double* a, const double* b, size_t n);
+
+/// sum_i a_i^2 with 8 partial accumulators.
+double norm_sq_fast(const double* a, size_t n);
+
+/// a_i += s * b_i.  Elementwise: bit-identical to the scalar loop.
+void axpy_fast(double* a, double s, const double* b, size_t n);
+
+/// a_i *= s.  Elementwise: bit-identical to the scalar loop.
+void scale_fast(double* a, double s, size_t n);
+
+}  // namespace dpbyz::kernels

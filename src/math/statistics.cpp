@@ -15,6 +15,11 @@ double mean(std::span<const double> xs) {
 }
 
 double variance(std::span<const double> xs) {
+  // Boundary audit: a single observation has zero *sample* variance by
+  // convention, but an EMPTY span has no variance at all — the old
+  // silent 0.0 let stddev() report perfect agreement for series that
+  // were never populated (mean() already throws on the same input).
+  require(!xs.empty(), "stats::variance: empty sample");
   if (xs.size() < 2) return 0.0;
   const double m = mean(xs);
   double acc = 0.0;

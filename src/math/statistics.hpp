@@ -18,10 +18,12 @@ namespace dpbyz::stats {
 /// Mean of a non-empty scalar sample.
 double mean(std::span<const double> xs);
 
-/// Unbiased (n-1) sample variance; 0 for samples of size < 2.
+/// Unbiased (n-1) sample variance of a non-empty sample; 0 for a single
+/// observation (throws on empty — an unpopulated series has no variance,
+/// and the old silent 0.0 read as perfect agreement).
 double variance(std::span<const double> xs);
 
-/// Unbiased sample standard deviation.
+/// Unbiased sample standard deviation (same domain as variance()).
 double stddev(std::span<const double> xs);
 
 /// p-quantile (p in [0,1]) with linear interpolation between order stats.

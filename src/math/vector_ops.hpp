@@ -3,8 +3,13 @@
 // Gradients throughout dpbyz are plain `std::vector<double>` ("Vector").
 // The model sizes in this reproduction (d = 69 up to a few 1e4 in the
 // dimension sweeps) do not justify an expression-template library; simple
-// loops are fully vectorized by the compiler at -O2 and keep the code
-// auditable against the paper's equations.
+// loops keep the code auditable against the paper's equations.
+//
+// The reductions (dot, norm_sq, dist_sq) and the axpy/scale pair dispatch
+// at runtime on the process-global math mode (math/kernels.hpp): the
+// default scalar mode is the seed's single-accumulator loop, bit-identical
+// and golden-pinned; the opt-in fast mode (ExperimentConfig::fast_math)
+// routes to multi-accumulator / AVX2 kernels with a documented ULP bound.
 #pragma once
 
 #include <cstddef>

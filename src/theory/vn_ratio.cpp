@@ -1,6 +1,8 @@
 #include "theory/vn_ratio.hpp"
 
 #include <cmath>
+#include <limits>  // boundary-audit fix: numeric_limits was only reached
+                   // transitively, and the inf fallback below depends on it
 
 #include "dp/gaussian_mechanism.hpp"
 #include "math/statistics.hpp"
