@@ -71,15 +71,16 @@ std::vector<std::string> aggregator_names() {
           "cge",     "geometric-median"};
 }
 
-std::unique_ptr<Aggregator> make_aggregator(const std::string& name, size_t n, size_t f) {
+std::unique_ptr<Aggregator> make_aggregator(const std::string& name, size_t n, size_t f,
+                                            PruneMode prune) {
   if (name == "average") return std::make_unique<Average>(n, f);
-  if (name == "krum") return std::make_unique<Krum>(n, f);
-  if (name == "multi-krum") return std::make_unique<MultiKrum>(n, f);
-  if (name == "mda") return std::make_unique<Mda>(n, f);
-  if (name == "mda_greedy") return std::make_unique<MdaGreedy>(n, f);
+  if (name == "krum") return std::make_unique<Krum>(n, f, prune);
+  if (name == "multi-krum") return std::make_unique<MultiKrum>(n, f, prune);
+  if (name == "mda") return std::make_unique<Mda>(n, f, prune);
+  if (name == "mda_greedy") return std::make_unique<MdaGreedy>(n, f, prune);
   if (name == "median") return std::make_unique<CoordinateMedian>(n, f);
   if (name == "trimmed-mean") return std::make_unique<TrimmedMean>(n, f);
-  if (name == "bulyan") return std::make_unique<Bulyan>(n, f);
+  if (name == "bulyan") return std::make_unique<Bulyan>(n, f, prune);
   if (name == "meamed") return std::make_unique<Meamed>(n, f);
   if (name == "phocas") return std::make_unique<Phocas>(n, f);
   if (name == "cge") return std::make_unique<Cge>(n, f);

@@ -106,8 +106,12 @@ std::vector<std::string> aggregator_names();
 /// "cge", "geometric-median"} — the list aggregator_names() returns, catalogued
 /// with budgets/complexities/citations in docs/AGGREGATORS.md.  Throws
 /// std::invalid_argument for unknown names or inadmissible (n, f).
+/// `prune` selects the distance-pruning mode of the selection GARs
+/// (krum, multi-krum, mda, mda_greedy, bulyan — see pruned_oracle.hpp);
+/// the other rules consume no pairwise distances and ignore it.
 /// (The two-level ShardedAggregator is constructed directly — it needs
 /// inner/merge names and a shard count; see aggregation/sharded.hpp.)
-std::unique_ptr<Aggregator> make_aggregator(const std::string& name, size_t n, size_t f);
+std::unique_ptr<Aggregator> make_aggregator(const std::string& name, size_t n, size_t f,
+                                            PruneMode prune = PruneMode::kOff);
 
 }  // namespace dpbyz

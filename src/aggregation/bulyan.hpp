@@ -23,7 +23,7 @@ namespace dpbyz {
 
 class Bulyan final : public Aggregator {
  public:
-  Bulyan(size_t n, size_t f);
+  Bulyan(size_t n, size_t f, PruneMode prune = PruneMode::kOff);
 
   std::string name() const override { return "bulyan"; }
   double vn_threshold() const override;
@@ -37,6 +37,9 @@ class Bulyan final : public Aggregator {
 
  protected:
   void aggregate_into(const GradientBatch& batch, AggregatorWorkspace& ws) const override;
+
+ private:
+  PruneMode prune_;
 };
 
 }  // namespace dpbyz

@@ -52,9 +52,39 @@ void krum_scores_from_matrix(std::span<const double> dist_sq, size_t stride,
 size_t krum_argmin_view(const GradientBatch& batch, std::span<const size_t> active,
                         std::span<const double> scores);
 
+/// Pruned Krum winner over a candidate pool (prune=exact hot path).
+/// `oracle` must be prepared on `batch`.  Certified score lower bounds
+/// skip pool members that provably cannot win; survivors are re-scored by
+/// the exact seed procedure (full pool-ordered exact-distance row through
+/// the same nth_element + accumulate), so the returned position — min
+/// under (score, row-lex, pool position) — is bit-identical to
+/// krum_scores_from_matrix + krum_argmin_view on the full matrix.
+/// Candidates are visited in JL-rank order so the incumbent score drops
+/// fast and the bounds prune hard.  O(pool²) bound work + O(pool²·k)
+/// rank work + O(d) per surviving exact pair (cached in the oracle
+/// across calls).  Callers that invoke this repeatedly on shrinking
+/// pools (Bulyan's theta rounds) pass sketch_rank=false: ranking then
+/// reuses the already-computed lower bounds — visit order is a
+/// heuristic, never a correctness input, so the winner is unchanged —
+/// and the per-round cost stays O(pool²) instead of O(pool²·k).
+size_t krum_argmin_pruned(const GradientBatch& batch, PrunedDistanceOracle& oracle,
+                          std::span<const size_t> active, size_t f,
+                          std::vector<double>& scratch_row, bool sketch_rank = true);
+
+/// Pruned Multi-Krum selection (prune=exact): writes the m selected batch
+/// rows into `out`, ordered ascending by (score, row-lex, row index) —
+/// the same value sequence MultiKrum's partial_sort hands to
+/// mean_rows_of_into, so the averaged aggregate is bit-identical.
+/// Candidate superset: rows whose score lower bound is <= the m-th
+/// smallest score upper bound (a certified cover of the true top-m even
+/// across boundary ties); only candidates pay exact scores.
+void multi_krum_select_pruned(const GradientBatch& batch, PrunedDistanceOracle& oracle,
+                              size_t f, size_t m, std::vector<size_t>& out,
+                              std::vector<double>& scratch_row);
+
 class Krum : public Aggregator {
  public:
-  Krum(size_t n, size_t f);
+  Krum(size_t n, size_t f, PruneMode prune = PruneMode::kOff);
 
   std::string name() const override { return "krum"; }
   double vn_threshold() const override;
@@ -71,13 +101,20 @@ class Krum : public Aggregator {
 
   /// Fill ws.dist_sq / ws.active / ws.scores for the full batch and
   /// return the number of gradients (shared by Krum and Multi-Krum).
+  /// Under prune=approx the matrix entries are JL sketch distances
+  /// instead of exact ones; everything downstream is unchanged.
   size_t score_batch(const GradientBatch& batch, AggregatorWorkspace& ws) const;
+
+  PruneMode prune() const { return prune_; }
+
+ private:
+  PruneMode prune_;
 };
 
 /// Multi-Krum: average of the m = n - f smallest-score gradients.
 class MultiKrum final : public Krum {
  public:
-  MultiKrum(size_t n, size_t f);
+  MultiKrum(size_t n, size_t f, PruneMode prune = PruneMode::kOff);
 
   std::string name() const override { return "multi-krum"; }
 

@@ -30,7 +30,7 @@ namespace dpbyz {
 class Mda final : public Aggregator {
  public:
   /// Requires 1 <= f and n >= 2f + 1, and C(n, f) within the search cap.
-  Mda(size_t n, size_t f);
+  Mda(size_t n, size_t f, PruneMode prune = PruneMode::kOff);
 
   std::string name() const override { return "mda"; }
   double vn_threshold() const override;
@@ -50,6 +50,9 @@ class Mda final : public Aggregator {
 
  protected:
   void aggregate_into(const GradientBatch& batch, AggregatorWorkspace& ws) const override;
+
+ private:
+  PruneMode prune_;
 };
 
 /// Greedy/approximate MDA for committee sizes beyond the exact search's
@@ -75,7 +78,7 @@ class Mda final : public Aggregator {
 class MdaGreedy final : public Aggregator {
  public:
   /// Requires 1 <= f and n >= 2f + 1 (no subset-count cap).
-  MdaGreedy(size_t n, size_t f);
+  MdaGreedy(size_t n, size_t f, PruneMode prune = PruneMode::kOff);
 
   std::string name() const override { return "mda_greedy"; }
 
@@ -91,6 +94,15 @@ class MdaGreedy final : public Aggregator {
 
  protected:
   void aggregate_into(const GradientBatch& batch, AggregatorWorkspace& ws) const override;
+
+ private:
+  /// prune=exact local search: identical swap decisions and subset, with
+  /// every diameter computed as a certified bounded max over the oracle
+  /// (exact distances only for pairs whose upper bound reaches the
+  /// incumbent lower bound).
+  void select_subset_pruned(const GradientBatch& batch, AggregatorWorkspace& ws) const;
+
+  PruneMode prune_;
 };
 
 }  // namespace dpbyz

@@ -8,7 +8,8 @@
 namespace dpbyz {
 
 ShardedAggregator::ShardedAggregator(const std::string& inner, const std::string& merge,
-                                     size_t n, size_t f, size_t shards, size_t threads)
+                                     size_t n, size_t f, size_t shards, size_t threads,
+                                     PruneMode prune)
     : Aggregator(n, f),
       shard_count_(shards),
       threads_(threads),
@@ -21,11 +22,11 @@ ShardedAggregator::ShardedAggregator(const std::string& inner, const std::string
     const auto [lo, hi] = shard_range(s);
     // The inner GAR's own constructor enforces admissibility at
     // (shard size, shard_f) — e.g. Krum's n_s >= 2 f_shard + 3.
-    inners_.push_back(make_aggregator(inner, hi - lo, shard_f_));
+    inners_.push_back(make_aggregator(inner, hi - lo, shard_f_, prune));
   }
   // Likewise the merge stage at (S, f_merge); median is admissible for
   // any S >= 2 f_merge + 1, which is the usual binding constraint.
-  merge_ = make_aggregator(merge, shard_count_, merge_f_);
+  merge_ = make_aggregator(merge, shard_count_, merge_f_, prune);
   // An "average" merge over uneven shards weights by shard size (the
   // unweighted mean of shard means over-weights the small shards); see
   // aggregate_into.  Equal shard sizes (S | n, including S = 1) make the

@@ -46,11 +46,14 @@ class ShardedAggregator final : public Aggregator {
  public:
   /// Two-level GAR over `shards` contiguous row ranges.  `inner` and
   /// `merge` are make_aggregator names; `threads` is the shard dispatch
-  /// width (1 = serial, 0 = hardware concurrency).  Throws
-  /// std::invalid_argument when shards is 0 or > n, or when either stage
-  /// is inadmissible at its derived (count, f) pair.
+  /// width (1 = serial, 0 = hardware concurrency); `prune` is forwarded
+  /// to both stage factories (each shard prunes within its own rows —
+  /// prune=exact composes bit-identically because every inner selection
+  /// does).  Throws std::invalid_argument when shards is 0 or > n, or
+  /// when either stage is inadmissible at its derived (count, f) pair.
   ShardedAggregator(const std::string& inner, const std::string& merge, size_t n,
-                    size_t f, size_t shards, size_t threads = 1);
+                    size_t f, size_t shards, size_t threads = 1,
+                    PruneMode prune = PruneMode::kOff);
 
   std::string name() const override;
 

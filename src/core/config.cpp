@@ -37,6 +37,8 @@ void ExperimentConfig::validate() const {
       require(epsilon > 0, "config: epsilon must be positive");
     }
   }
+  require(prune == "off" || prune == "exact" || prune == "approx",
+          "config: prune must be off|exact|approx");
   require(shards >= 1, "config: shards must be at least 1");
   require(shards <= num_workers, "config: cannot have more shards than workers");
   require(pipeline_depth <= 1, "config: pipeline_depth must be 0 or 1");
@@ -66,6 +68,7 @@ std::string ExperimentConfig::label() const {
   if (threads != 1) out += "+T" + std::to_string(threads);
   if (pipeline_depth > 0) out += "+D" + std::to_string(pipeline_depth);
   if (fast_math) out += "+fast";
+  if (prune != "off") out += "+prune(" + prune + ")";
   if (participation != "full") out += "+" + participation;
   if (dp_enabled)
     out += "+dp(eps=" + strings::format_double(epsilon) + ")";

@@ -125,6 +125,20 @@ struct ExperimentConfig {
 
   // --- robustness ----------------------------------------------------------
   std::string gar = "mda";
+  /// Distance pruning for the selection GARs (krum, multi-krum, mda,
+  /// mda_greedy, bulyan — see docs/ARCHITECTURE.md, "Distance pruning").
+  ///   "off"    — today's full O(n²·d) pairwise matrix (default;
+  ///              byte-for-byte the golden-pinned code path).
+  ///   "exact"  — certified norm/triangle-inequality bounds skip exact
+  ///              distances that provably cannot affect the selection;
+  ///              selections and aggregates stay bit-identical to "off".
+  ///   "approx" — Johnson–Lindenstrauss sketch distances replace the
+  ///              exact matrix outright: O(n·d·k + n²·k) instead of
+  ///              O(n²·d), deterministic, but selections may differ (the
+  ///              measured disagreement envelope is committed in
+  ///              BENCH_gar_scaling.json and docs/AGGREGATORS.md).
+  /// Rules that consume no pairwise distances ignore the knob.
+  std::string prune = "off";
   /// Number of aggregation shards S (see docs/ARCHITECTURE.md, "Sharded
   /// aggregation").  1 = the paper's flat path (bit-identical).  S > 1
   /// partitions the n submissions into S contiguous row-range views,

@@ -90,12 +90,13 @@ RunResult Trainer::run() {
   // config.threads drives the shard dispatch width too; nesting inside
   // run_seeds_parallel is safe because the process-wide ThreadPool runs
   // nested jobs serially on the worker they were issued from.
+  const PruneMode prune = parse_prune_mode(config_.prune);
   std::unique_ptr<Aggregator> gar =
       config_.shards > 1
           ? std::make_unique<ShardedAggregator>(config_.gar, config_.shard_merge_gar, n,
                                                 config_.num_byzantine, config_.shards,
-                                                config_.threads)
-          : make_aggregator(config_.gar, n, config_.num_byzantine);
+                                                config_.threads, prune)
+          : make_aggregator(config_.gar, n, config_.num_byzantine, prune);
   ParameterServer server(std::move(gar),
                          SgdOptimizer(model_.dim(), schedule, config_.momentum),
                          model_.initial_parameters());

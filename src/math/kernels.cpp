@@ -1,10 +1,9 @@
 #include "math/kernels.hpp"
 
 #include <atomic>
+#include <stdexcept>
 
-#if defined(__AVX2__)
-#include <immintrin.h>
-#endif
+#include "math/kernels_isa.hpp"
 
 namespace dpbyz::kernels {
 
@@ -13,6 +12,24 @@ namespace {
 // while it is positive.  Counting makes overlapping scope lifetimes
 // (run_seeds_parallel) safe — see the thread model in kernels.hpp.
 std::atomic<int> g_fast_scopes{0};
+
+// Selected fast backend, resolved lazily on first use (-1 = unresolved).
+// Lazy (rather than a static initializer) so set_fast_backend calls from
+// early test setup never race constructor ordering across TUs.
+std::atomic<int> g_backend{-1};
+
+int default_backend() {
+#if defined(DPBYZ_FORCE_AVX2)
+  // CMake force-override (-DDPBYZ_FAST_MATH=ON): pin the CI legs to the
+  // AVX2 backend so their fast-mode doubles never depend on probe order.
+  // Hosts without AVX2 still get the (bit-identical) portable backend.
+  if (detail::cpu_has_avx2()) return static_cast<int>(FastBackend::kAvx2);
+  return static_cast<int>(FastBackend::kUnrolled8);
+#else
+  return detail::cpu_has_avx2() ? static_cast<int>(FastBackend::kAvx2)
+                                : static_cast<int>(FastBackend::kUnrolled8);
+#endif
+}
 }  // namespace
 
 MathMode mode() {
@@ -30,111 +47,60 @@ MathModeScope::~MathModeScope() {
   if (counted_) g_fast_scopes.fetch_sub(1, std::memory_order_relaxed);
 }
 
-const char* fast_backend() {
-#if defined(__AVX2__)
-  return "avx2";
-#else
-  return "unrolled8";
-#endif
+FastBackend fast_backend_kind() {
+  int b = g_backend.load(std::memory_order_relaxed);
+  if (b < 0) {
+    // Benign race: every thread computes the same cpuid-derived default.
+    b = default_backend();
+    g_backend.store(b, std::memory_order_relaxed);
+  }
+  return static_cast<FastBackend>(b);
 }
 
-// Both backends split the index stream into 8 lanes (term i feeds
-// accumulator i mod 8 within each 8-wide block) and combine the partials
-// as ((s0+s4)+(s1+s5)) + ((s2+s6)+(s3+s7)), then add the scalar tail.
-// Keeping the combine order identical across backends makes the AVX2 and
-// portable builds agree bit-for-bit — and makes every run deterministic,
-// since nothing here depends on data values, alignment, or threads.
-// No FMA: each product/difference is the same correctly-rounded double
-// the scalar loop computes, so only summation order is reassociated
-// (the documented 2*d*eps*sum|term| bound in kernels.hpp).
+const char* fast_backend() {
+  switch (fast_backend_kind()) {
+    case FastBackend::kAvx2:
+      return "avx2";
+    case FastBackend::kAvx2Fma:
+      return "avx2-fma";
+    default:
+      return "unrolled8";
+  }
+}
 
-#if defined(__AVX2__)
+bool backend_supported(FastBackend b) {
+  switch (b) {
+    case FastBackend::kAvx2:
+      return detail::cpu_has_avx2();
+    case FastBackend::kAvx2Fma:
+      return detail::cpu_has_avx2_fma();
+    default:
+      return true;
+  }
+}
+
+void set_fast_backend(FastBackend b) {
+  if (!backend_supported(b))
+    throw std::invalid_argument(
+        "kernels::set_fast_backend: backend not supported by this CPU");
+  g_backend.store(static_cast<int>(b), std::memory_order_relaxed);
+}
+
+// Portable unrolled8 backend.  All backends split the index stream into 8
+// lanes (term i feeds accumulator i mod 8 within each 8-wide block) and
+// combine the partials as ((s0+s4)+(s1+s5)) + ((s2+s6)+(s3+s7)), then add
+// the scalar tail.  Keeping the combine order identical across backends
+// makes the AVX2 and portable paths agree bit-for-bit — and makes every
+// run deterministic, since nothing here depends on data values,
+// alignment, or threads.  No FMA in this backend: each product/difference
+// is the same correctly-rounded double the scalar loop computes, so only
+// summation order is reassociated (the documented 2*d*eps*sum|term| bound
+// in kernels.hpp); the fused variants live in kernels_avx2.cpp behind the
+// explicit kAvx2Fma opt-in.
 
 namespace {
-inline double combine(__m256d acc0, __m256d acc1) {
-  // acc0 lanes = (s0, s1, s2, s3), acc1 lanes = (s4, s5, s6, s7).
-  const __m256d acc = _mm256_add_pd(acc0, acc1);  // (s0+s4, ..., s3+s7)
-  alignas(32) double lane[4];
-  _mm256_store_pd(lane, acc);
-  return (lane[0] + lane[1]) + (lane[2] + lane[3]);
-}
-}  // namespace
 
-double dist_sq_fast(const double* a, const double* b, size_t n) {
-  __m256d acc0 = _mm256_setzero_pd();
-  __m256d acc1 = _mm256_setzero_pd();
-  size_t i = 0;
-  for (; i + 8 <= n; i += 8) {
-    const __m256d d0 = _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
-    const __m256d d1 =
-        _mm256_sub_pd(_mm256_loadu_pd(a + i + 4), _mm256_loadu_pd(b + i + 4));
-    acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(d0, d0));
-    acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(d1, d1));
-  }
-  double out = combine(acc0, acc1);
-  for (; i < n; ++i) {
-    const double diff = a[i] - b[i];
-    out += diff * diff;
-  }
-  return out;
-}
-
-double dot_fast(const double* a, const double* b, size_t n) {
-  __m256d acc0 = _mm256_setzero_pd();
-  __m256d acc1 = _mm256_setzero_pd();
-  size_t i = 0;
-  for (; i + 8 <= n; i += 8) {
-    acc0 = _mm256_add_pd(acc0,
-                         _mm256_mul_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i)));
-    acc1 = _mm256_add_pd(
-        acc1, _mm256_mul_pd(_mm256_loadu_pd(a + i + 4), _mm256_loadu_pd(b + i + 4)));
-  }
-  double out = combine(acc0, acc1);
-  for (; i < n; ++i) out += a[i] * b[i];
-  return out;
-}
-
-double norm_sq_fast(const double* a, size_t n) {
-  __m256d acc0 = _mm256_setzero_pd();
-  __m256d acc1 = _mm256_setzero_pd();
-  size_t i = 0;
-  for (; i + 8 <= n; i += 8) {
-    const __m256d v0 = _mm256_loadu_pd(a + i);
-    const __m256d v1 = _mm256_loadu_pd(a + i + 4);
-    acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(v0, v0));
-    acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(v1, v1));
-  }
-  double out = combine(acc0, acc1);
-  for (; i < n; ++i) out += a[i] * a[i];
-  return out;
-}
-
-void axpy_fast(double* a, double s, const double* b, size_t n) {
-  const __m256d vs = _mm256_set1_pd(s);
-  size_t i = 0;
-  for (; i + 8 <= n; i += 8) {
-    _mm256_storeu_pd(a + i, _mm256_add_pd(_mm256_loadu_pd(a + i),
-                                          _mm256_mul_pd(vs, _mm256_loadu_pd(b + i))));
-    _mm256_storeu_pd(
-        a + i + 4, _mm256_add_pd(_mm256_loadu_pd(a + i + 4),
-                                 _mm256_mul_pd(vs, _mm256_loadu_pd(b + i + 4))));
-  }
-  for (; i < n; ++i) a[i] += s * b[i];
-}
-
-void scale_fast(double* a, double s, size_t n) {
-  const __m256d vs = _mm256_set1_pd(s);
-  size_t i = 0;
-  for (; i + 8 <= n; i += 8) {
-    _mm256_storeu_pd(a + i, _mm256_mul_pd(vs, _mm256_loadu_pd(a + i)));
-    _mm256_storeu_pd(a + i + 4, _mm256_mul_pd(vs, _mm256_loadu_pd(a + i + 4)));
-  }
-  for (; i < n; ++i) a[i] *= s;
-}
-
-#else  // portable 8-accumulator backend
-
-double dist_sq_fast(const double* a, const double* b, size_t n) {
+double u8_dist_sq(const double* a, const double* b, size_t n) {
   double s0 = 0, s1 = 0, s2 = 0, s3 = 0, s4 = 0, s5 = 0, s6 = 0, s7 = 0;
   size_t i = 0;
   for (; i + 8 <= n; i += 8) {
@@ -159,7 +125,7 @@ double dist_sq_fast(const double* a, const double* b, size_t n) {
   return out;
 }
 
-double dot_fast(const double* a, const double* b, size_t n) {
+double u8_dot(const double* a, const double* b, size_t n) {
   double s0 = 0, s1 = 0, s2 = 0, s3 = 0, s4 = 0, s5 = 0, s6 = 0, s7 = 0;
   size_t i = 0;
   for (; i + 8 <= n; i += 8) {
@@ -177,7 +143,7 @@ double dot_fast(const double* a, const double* b, size_t n) {
   return out;
 }
 
-double norm_sq_fast(const double* a, size_t n) {
+double u8_norm_sq(const double* a, size_t n) {
   double s0 = 0, s1 = 0, s2 = 0, s3 = 0, s4 = 0, s5 = 0, s6 = 0, s7 = 0;
   size_t i = 0;
   for (; i + 8 <= n; i += 8) {
@@ -195,7 +161,7 @@ double norm_sq_fast(const double* a, size_t n) {
   return out;
 }
 
-void axpy_fast(double* a, double s, const double* b, size_t n) {
+void u8_axpy(double* a, double s, const double* b, size_t n) {
   size_t i = 0;
   for (; i + 8 <= n; i += 8) {
     a[i] += s * b[i];
@@ -210,7 +176,7 @@ void axpy_fast(double* a, double s, const double* b, size_t n) {
   for (; i < n; ++i) a[i] += s * b[i];
 }
 
-void scale_fast(double* a, double s, size_t n) {
+void u8_scale(double* a, double s, size_t n) {
   size_t i = 0;
   for (; i + 8 <= n; i += 8) {
     a[i] *= s;
@@ -225,6 +191,140 @@ void scale_fast(double* a, double s, size_t n) {
   for (; i < n; ++i) a[i] *= s;
 }
 
-#endif  // __AVX2__
+void u8_dist_sq2(const double* a0, const double* a1, const double* b, size_t n,
+                 double& out0, double& out1) {
+  // Per output, identical lane assignment and combine order to
+  // u8_dist_sq; the two accumulator sets are independent, so sharing the
+  // b stream cannot couple the results.
+  double p0 = 0, p1 = 0, p2 = 0, p3 = 0, p4 = 0, p5 = 0, p6 = 0, p7 = 0;
+  double q0 = 0, q1 = 0, q2 = 0, q3 = 0, q4 = 0, q5 = 0, q6 = 0, q7 = 0;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const double b0 = b[i], b1 = b[i + 1], b2 = b[i + 2], b3 = b[i + 3];
+    const double b4 = b[i + 4], b5 = b[i + 5], b6 = b[i + 6], b7 = b[i + 7];
+    const double c0 = a0[i] - b0, c1 = a0[i + 1] - b1;
+    const double c2 = a0[i + 2] - b2, c3 = a0[i + 3] - b3;
+    const double c4 = a0[i + 4] - b4, c5 = a0[i + 5] - b5;
+    const double c6 = a0[i + 6] - b6, c7 = a0[i + 7] - b7;
+    p0 += c0 * c0;
+    p1 += c1 * c1;
+    p2 += c2 * c2;
+    p3 += c3 * c3;
+    p4 += c4 * c4;
+    p5 += c5 * c5;
+    p6 += c6 * c6;
+    p7 += c7 * c7;
+    const double e0 = a1[i] - b0, e1 = a1[i + 1] - b1;
+    const double e2 = a1[i + 2] - b2, e3 = a1[i + 3] - b3;
+    const double e4 = a1[i + 4] - b4, e5 = a1[i + 5] - b5;
+    const double e6 = a1[i + 6] - b6, e7 = a1[i + 7] - b7;
+    q0 += e0 * e0;
+    q1 += e1 * e1;
+    q2 += e2 * e2;
+    q3 += e3 * e3;
+    q4 += e4 * e4;
+    q5 += e5 * e5;
+    q6 += e6 * e6;
+    q7 += e7 * e7;
+  }
+  double r0 = ((p0 + p4) + (p1 + p5)) + ((p2 + p6) + (p3 + p7));
+  double r1 = ((q0 + q4) + (q1 + q5)) + ((q2 + q6) + (q3 + q7));
+  for (; i < n; ++i) {
+    const double c = a0[i] - b[i];
+    const double e = a1[i] - b[i];
+    r0 += c * c;
+    r1 += e * e;
+  }
+  out0 = r0;
+  out1 = r1;
+}
+
+}  // namespace
+
+double dist_sq_fast(const double* a, const double* b, size_t n) {
+  switch (fast_backend_kind()) {
+    case FastBackend::kAvx2:
+      return detail::avx2_dist_sq(a, b, n);
+    case FastBackend::kAvx2Fma:
+      return detail::fma_dist_sq(a, b, n);
+    default:
+      return u8_dist_sq(a, b, n);
+  }
+}
+
+double dot_fast(const double* a, const double* b, size_t n) {
+  switch (fast_backend_kind()) {
+    case FastBackend::kAvx2:
+      return detail::avx2_dot(a, b, n);
+    case FastBackend::kAvx2Fma:
+      return detail::fma_dot(a, b, n);
+    default:
+      return u8_dot(a, b, n);
+  }
+}
+
+double norm_sq_fast(const double* a, size_t n) {
+  switch (fast_backend_kind()) {
+    case FastBackend::kAvx2:
+      return detail::avx2_norm_sq(a, n);
+    case FastBackend::kAvx2Fma:
+      return detail::fma_norm_sq(a, n);
+    default:
+      return u8_norm_sq(a, n);
+  }
+}
+
+void axpy_fast(double* a, double s, const double* b, size_t n) {
+  // Elementwise kernels never fuse: kAvx2Fma routes to the plain AVX2
+  // body so axpy/scale stay bit-identical to the scalar loops under
+  // every backend (kernels.hpp, widened-contract note).
+  switch (fast_backend_kind()) {
+    case FastBackend::kAvx2:
+    case FastBackend::kAvx2Fma:
+      return detail::avx2_axpy(a, s, b, n);
+    default:
+      return u8_axpy(a, s, b, n);
+  }
+}
+
+void scale_fast(double* a, double s, size_t n) {
+  switch (fast_backend_kind()) {
+    case FastBackend::kAvx2:
+    case FastBackend::kAvx2Fma:
+      return detail::avx2_scale(a, s, n);
+    default:
+      return u8_scale(a, s, n);
+  }
+}
+
+void dist_sq2_fast(const double* a0, const double* a1, const double* b, size_t n,
+                   double& out0, double& out1) {
+  switch (fast_backend_kind()) {
+    case FastBackend::kAvx2:
+      return detail::avx2_dist_sq2(a0, a1, b, n, out0, out1);
+    case FastBackend::kAvx2Fma:
+      return detail::fma_dist_sq2(a0, a1, b, n, out0, out1);
+    default:
+      return u8_dist_sq2(a0, a1, b, n, out0, out1);
+  }
+}
+
+void dist_sq2_scalar(const double* a0, const double* a1, const double* b, size_t n,
+                     double& out0, double& out1) {
+  // Two independent single-accumulator forward loops, interleaved so the
+  // compiler can share the b loads; per output this is the exact
+  // instruction-order-independent sum vec::dist_sq's scalar path
+  // produces (one accumulator, ascending index).
+  double r0 = 0.0;
+  double r1 = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double c = a0[i] - b[i];
+    const double e = a1[i] - b[i];
+    r0 += c * c;
+    r1 += e * e;
+  }
+  out0 = r0;
+  out1 = r1;
+}
 
 }  // namespace dpbyz::kernels

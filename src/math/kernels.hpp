@@ -12,40 +12,75 @@
 // This layer provides the opt-in fast path:
 //
 //   * `*_fast` kernels break each reduction into kLanes = 8 independent
-//     accumulators (AVX2 build: two 4-lane vector registers; portable
-//     build: eight unrolled scalars) plus a scalar tail, then combine the
-//     partials pairwise.  The elementwise kernels (axpy, scale) are
-//     restructured the same way but perform the exact same per-element
-//     arithmetic, so they remain bit-identical to the scalar loops.
+//     accumulators plus a scalar tail, then combine the partials
+//     pairwise.  The elementwise kernels (axpy, scale) are restructured
+//     the same way but perform the exact same per-element arithmetic, so
+//     they remain bit-identical to the scalar loops.
 //   * a process-global MathMode flag selects which implementation the
 //     vec:: entry points (and pairwise_dist_sq) dispatch to.  The mode
 //     defaults to kScalar, so nothing changes unless a caller opts in —
 //     ExperimentConfig::fast_math is the user-facing knob (the trainer
 //     installs a MathModeScope for the duration of the run).
 //
+// Dispatch model (runtime ISA selection): one binary carries THREE
+// backends behind MathMode::kFast —
+//
+//   kUnrolled8  portable eight-accumulator scalar loops (always present);
+//   kAvx2       AVX2 vector loops, same lane split and combine order, no
+//               FMA — bit-identical to kUnrolled8 on every input;
+//   kAvx2Fma    AVX2 loops whose reductions fuse each multiply-add —
+//               a distinct accuracy contract (below), never substituted
+//               silently.
+//
+// At startup the backend is chosen by cpuid: kAvx2 when the host supports
+// it, kUnrolled8 otherwise.  kAvx2Fma is deliberately NOT auto-selected
+// even on FMA hosts: auto-upgrading would break the "AVX2 and unrolled8
+// agree bit-for-bit" property that makes fast-mode results stable across
+// the build matrix — callers that accept the widened FMA bound opt in via
+// set_fast_backend(FastBackend::kAvx2Fma) (the bench's fused leg does).
+// The CMake option -DDPBYZ_FAST_MATH=ON remains as a force-override that
+// pins the startup choice to kAvx2 regardless of probing order, so CI
+// legs are deterministic by construction; it no longer changes codegen of
+// this TU (the ISA-specific bodies live in kernels_avx2.cpp behind
+// per-function target attributes and are only reachable after cpuid
+// approves them).
+//
 // Accuracy contract (the "ULP bound" the fast golden tests enforce):
-// every per-element product/difference is computed exactly as in the
-// scalar loop — only the *summation order* changes.  For a reduction over
-// d terms the classical reassociation bound gives
+// for kUnrolled8/kAvx2, every per-element product/difference is computed
+// exactly as in the scalar loop — only the *summation order* changes.
+// For a reduction over d terms the classical reassociation bound gives
 //
 //     |fast - scalar| <= 2 * d * eps * sum_i |term_i|,   eps = 2^-53,
 //
 // where term_i is (a_i - b_i)² / a_i² / a_i*b_i respectively.  For the
 // nonnegative-term reductions (dist_sq, norm_sq) sum|term| equals the
 // result itself, so the bound is a plain relative error of 2*d*eps.
-// tests/test_math_kernels.cpp checks this bound on random, adversarial
+//
+// Widened FMA contract: kAvx2Fma additionally fuses each multiply-add
+// into one rounding (fl(x*y + acc) instead of fl(fl(x*y) + acc)).  The
+// fused product is MORE accurate per step, but it breaks term-for-term
+// equality with the scalar loop, so the comparison bound gains one
+// rounding per term on top of the reassociation bound:
+//
+//     |fma - scalar| <= 3 * d * eps * sum_i |term_i|,
+//
+// i.e. relative 3*d*eps for dist_sq/norm_sq.  Only the reductions
+// (dist_sq, dist_sq2, dot, norm_sq) have FMA variants; axpy/scale keep
+// the non-fused AVX2 bodies under kAvx2Fma because their bit-identity to
+// the scalar loops is load-bearing (momentum/clipping trajectories).
+// tests/test_math_kernels.cpp checks both bounds on random, adversarial
 // (cancellation-heavy) and denormal-heavy inputs.
 //
-// Determinism contract: for a fixed binary and a fixed input, the fast
-// kernels are pure functions — the lane split depends only on d, never on
-// data, timing or thread count.  pairwise_dist_sq computes each pair on
-// exactly one thread, so fast-mode results are bit-identical across every
-// `threads` width and across reruns (enforced by the bench --check gate).
-// The AVX2 and portable backends use the same lane assignment and the
-// same pairwise combine order, so in practice they agree bit-for-bit too;
-// the *documented* contract is nevertheless "deterministic per (binary,
-// config)" — only the default scalar mode promises bit-identity to the
-// seed across builds, which is why it stays the default.
+// Determinism contract: for a fixed (binary, backend) and a fixed input,
+// the fast kernels are pure functions — the lane split depends only on d,
+// never on data, timing or thread count.  pairwise_dist_sq computes each
+// pair on exactly one thread, so fast-mode results are bit-identical
+// across every `threads` width and across reruns (enforced by the bench
+// --check gate).  kUnrolled8 and kAvx2 agree bit-for-bit, so the
+// *default* startup selection yields one fast-mode answer across the
+// whole build matrix; only an explicit kAvx2Fma opt-in changes doubles.
+// The default scalar MathMode still promises bit-identity to the seed and
+// stays the default.
 //
 // Thread model: the mode is one process-global atomic *count* of live
 // fast scopes (relaxed loads on the hot path) — the fast path is active
@@ -63,6 +98,8 @@
 // scalar run): the scalar run would observe the fast kernels while the
 // other run lives.  Nothing in the repo does this — concurrent runs
 // share one config — and the config knob documents the restriction.
+// set_fast_backend follows the same discipline: call it at startup or
+// between runs, not while kernels may be executing on other threads.
 #pragma once
 
 #include <cstddef>
@@ -72,7 +109,7 @@ namespace dpbyz::kernels {
 /// Which implementation the vec:: reductions dispatch to.
 enum class MathMode {
   kScalar,  ///< seed-bit-identical single-accumulator loops (default)
-  kFast,    ///< multi-accumulator / AVX2 kernels (ULP-bounded, see above)
+  kFast,    ///< multi-accumulator kernels (ULP-bounded, see above)
 };
 
 /// Current process-global mode: kFast while any MathModeScope(kFast) is
@@ -82,10 +119,32 @@ MathMode mode();
 /// True iff the fast path is currently selected.
 bool fast_enabled();
 
-/// Compile-time backend behind MathMode::kFast: "avx2" when the kernels
-/// TU was built with AVX2 enabled (the DPBYZ_FAST_MATH=ON build),
-/// "unrolled8" otherwise.  Informational (bench/JSON provenance).
+/// The implementation behind MathMode::kFast (see the dispatch model).
+enum class FastBackend {
+  kUnrolled8,  ///< portable 8-accumulator scalar loops
+  kAvx2,       ///< AVX2, no FMA — bit-identical to kUnrolled8
+  kAvx2Fma,    ///< AVX2 + FMA reductions — widened 3*d*eps contract
+};
+
+/// Currently selected fast backend.  Resolved on first use: kAvx2 when
+/// cpuid reports AVX2 support (or unconditionally requested by the
+/// DPBYZ_FAST_MATH=ON force-override), kUnrolled8 otherwise; kAvx2Fma
+/// only ever via set_fast_backend.
+FastBackend fast_backend_kind();
+
+/// Name of the current fast backend: "unrolled8" / "avx2" / "avx2-fma".
+/// Informational (bench/JSON provenance).
 const char* fast_backend();
+
+/// True iff this host can execute backend `b` (cpuid probe; kUnrolled8 is
+/// always supported).
+bool backend_supported(FastBackend b);
+
+/// Select the fast backend explicitly (tests, the bench's FMA leg).
+/// Throws std::invalid_argument when the host lacks the required ISA.
+/// Not thread-safe against concurrently executing kernels — call between
+/// runs, like MathModeScope setup.
+void set_fast_backend(FastBackend b);
 
 /// RAII fast-mode participation: a kFast scope holds the process in fast
 /// mode for its lifetime (counted, so overlapping scopes compose — see
@@ -105,7 +164,8 @@ class MathModeScope {
 
 // ---- raw fast kernels ------------------------------------------------------
 // Always available regardless of the current mode (the bench times them
-// side by side with the scalar loops).  Null-safe for n == 0.
+// side by side with the scalar loops).  Null-safe for n == 0.  Each call
+// routes to the selected backend (fast_backend_kind()).
 
 /// sum_i (a_i - b_i)^2 with 8 partial accumulators.
 double dist_sq_fast(const double* a, const double* b, size_t n);
@@ -116,10 +176,26 @@ double dot_fast(const double* a, const double* b, size_t n);
 /// sum_i a_i^2 with 8 partial accumulators.
 double norm_sq_fast(const double* a, size_t n);
 
-/// a_i += s * b_i.  Elementwise: bit-identical to the scalar loop.
+/// a_i += s * b_i.  Elementwise: bit-identical to the scalar loop (under
+/// every backend, including kAvx2Fma — see the widened-contract note).
 void axpy_fast(double* a, double s, const double* b, size_t n);
 
 /// a_i *= s.  Elementwise: bit-identical to the scalar loop.
 void scale_fast(double* a, double s, size_t n);
+
+/// Dual-destination dist_sq: out0 = ||a0 - b||², out1 = ||a1 - b||² in
+/// one pass over the streamed source row b, halving its memory traffic
+/// (the pairwise kernel's blocked inner loop).  Per output, arithmetic
+/// and lane/combine order match dist_sq_fast exactly, so each result is
+/// bit-identical to the single-row kernel on the same backend.
+void dist_sq2_fast(const double* a0, const double* a1, const double* b, size_t n,
+                   double& out0, double& out1);
+
+/// Dual-destination scalar dist_sq: per output, a single-accumulator
+/// forward loop bit-identical to vec::dist_sq's scalar path.  Lives here
+/// (not vector_ops) so pairwise_dist_sq's scalar branch can block its
+/// inner loop without touching the golden scalar semantics.
+void dist_sq2_scalar(const double* a0, const double* a1, const double* b, size_t n,
+                     double& out0, double& out1);
 
 }  // namespace dpbyz::kernels

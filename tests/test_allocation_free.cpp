@@ -52,7 +52,8 @@ namespace {
 /// rounds have populated every arena, workspace, and worker buffer.
 template <typename Mechanism>
 size_t steady_state_allocs(const std::string& gar_name, const Mechanism& mechanism,
-                           size_t warmup = 3, size_t steps = 2) {
+                           size_t warmup = 3, size_t steps = 2,
+                           PruneMode prune = PruneMode::kOff) {
   BlobsConfig bc;
   bc.num_samples = 200;
   bc.num_features = 6;
@@ -68,7 +69,7 @@ size_t steady_state_allocs(const std::string& gar_name, const Mechanism& mechani
     workers.emplace_back(model, data, batch_size, 1e-2, mechanism,
                          root.derive("worker-" + std::to_string(i)));
 
-  ParameterServer server(make_aggregator(gar_name, n, 2),
+  ParameterServer server(make_aggregator(gar_name, n, 2, prune),
                          SgdOptimizer(model.dim(), constant_lr(0.5), 0.99),
                          model.initial_parameters());
   GradientBatch submissions(n, model.dim());
@@ -102,6 +103,26 @@ TEST(AllocationFree, SteadyStateStepWithLaplaceDpAndMedian) {
 TEST(AllocationFree, SteadyStateStepWithoutDpAndAverage) {
   const NoNoise mech;
   EXPECT_EQ(steady_state_allocs("average", mech), 0u);
+}
+
+TEST(AllocationFree, SteadyStatePruneExactIsAllocationFree) {
+  // The pruned selection path (oracle prepare + bound sweeps + lazy exact
+  // cache) must reach the same zero-alloc steady state: all oracle
+  // buffers are grow-only and sized by prepare() on first use.
+  const NoNoise mech;
+  EXPECT_EQ(steady_state_allocs("krum", mech, 3, 2, PruneMode::kExact), 0u);
+  EXPECT_EQ(steady_state_allocs("multi-krum", mech, 3, 2, PruneMode::kExact), 0u);
+  EXPECT_EQ(steady_state_allocs("mda", mech, 3, 2, PruneMode::kExact), 0u);
+  EXPECT_EQ(steady_state_allocs("mda_greedy", mech, 3, 2, PruneMode::kExact), 0u);
+  EXPECT_EQ(steady_state_allocs("bulyan", mech, 3, 2, PruneMode::kExact), 0u);
+}
+
+TEST(AllocationFree, SteadyStatePruneApproxIsAllocationFree) {
+  // The sketch path (sign table, projections, approx matrix fill) is
+  // likewise grow-only after the first round.
+  const NoNoise mech;
+  EXPECT_EQ(steady_state_allocs("krum", mech, 3, 2, PruneMode::kApprox), 0u);
+  EXPECT_EQ(steady_state_allocs("mda", mech, 3, 2, PruneMode::kApprox), 0u);
 }
 
 TEST(AllocationFree, WorkerMomentumPathIsAllocationFreeToo) {

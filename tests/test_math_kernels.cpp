@@ -20,6 +20,8 @@
 
 #include <cmath>
 #include <limits>
+#include <stdexcept>
+#include <string>
 
 #include "aggregation/aggregator.hpp"
 #include "core/trainer.hpp"
@@ -227,6 +229,181 @@ TEST(MathKernelsThreaded, PairwiseFastModeBitIdenticalAcrossThreadWidths) {
   std::vector<double> rerun(n * n);
   pairwise_dist_sq(batch, rerun, 1);
   EXPECT_EQ(rerun, serial);
+}
+
+// ---- runtime ISA dispatch ---------------------------------------------------
+
+/// RAII backend override that restores the previous selection, so these
+/// tests cannot leak a backend into later suites.
+class BackendScope {
+ public:
+  explicit BackendScope(kernels::FastBackend b) : prev_(kernels::fast_backend_kind()) {
+    kernels::set_fast_backend(b);
+  }
+  ~BackendScope() { kernels::set_fast_backend(prev_); }
+  BackendScope(const BackendScope&) = delete;
+  BackendScope& operator=(const BackendScope&) = delete;
+
+ private:
+  kernels::FastBackend prev_;
+};
+
+TEST(MathKernels, RuntimeBackendIsResolvedAndNamed) {
+  // One binary, backend picked by cpuid at startup: the resolved kind is
+  // one the host supports, never the opt-in-only FMA backend, and the
+  // provenance string matches the kind.
+  const kernels::FastBackend kind = kernels::fast_backend_kind();
+  EXPECT_TRUE(kernels::backend_supported(kind));
+  EXPECT_NE(kind, kernels::FastBackend::kAvx2Fma);
+  EXPECT_TRUE(kernels::backend_supported(kernels::FastBackend::kUnrolled8));
+  const std::string name = kernels::fast_backend();
+  if (kind == kernels::FastBackend::kUnrolled8) {
+    EXPECT_EQ(name, "unrolled8");
+  } else if (kind == kernels::FastBackend::kAvx2) {
+    EXPECT_EQ(name, "avx2");
+  }
+}
+
+TEST(MathKernels, SetFastBackendSelectsOrThrows) {
+  const kernels::FastBackend prev = kernels::fast_backend_kind();
+  for (kernels::FastBackend b :
+       {kernels::FastBackend::kUnrolled8, kernels::FastBackend::kAvx2,
+        kernels::FastBackend::kAvx2Fma}) {
+    if (kernels::backend_supported(b)) {
+      kernels::set_fast_backend(b);
+      EXPECT_EQ(kernels::fast_backend_kind(), b);
+    } else {
+      EXPECT_THROW(kernels::set_fast_backend(b), std::invalid_argument);
+      EXPECT_NE(kernels::fast_backend_kind(), b);  // selection unchanged
+    }
+  }
+  kernels::set_fast_backend(prev);
+}
+
+TEST(MathKernels, Unrolled8AndAvx2AgreeBitForBit) {
+  if (!kernels::backend_supported(kernels::FastBackend::kAvx2))
+    GTEST_SKIP() << "host has no AVX2";
+  for (size_t d : {1u, 7u, 8u, 9u, 64u, 1000u, 4097u}) {
+    const Vector a = random_vector(d, 700 + d);
+    const Vector b = random_vector(d, 800 + d);
+    const auto [aa, ab] = adversarial_pair(d, 900 + d);
+    double u_dist, u_dot, u_norm, u_adv;
+    {
+      BackendScope scope(kernels::FastBackend::kUnrolled8);
+      u_dist = kernels::dist_sq_fast(a.data(), b.data(), d);
+      u_dot = kernels::dot_fast(a.data(), b.data(), d);
+      u_norm = kernels::norm_sq_fast(a.data(), d);
+      u_adv = kernels::dist_sq_fast(aa.data(), ab.data(), d);
+    }
+    BackendScope scope(kernels::FastBackend::kAvx2);
+    // Same lane split and combine order: bit-equal, not merely close —
+    // this is what makes the startup cpuid choice invisible in results.
+    EXPECT_EQ(kernels::dist_sq_fast(a.data(), b.data(), d), u_dist) << "d=" << d;
+    EXPECT_EQ(kernels::dot_fast(a.data(), b.data(), d), u_dot) << "d=" << d;
+    EXPECT_EQ(kernels::norm_sq_fast(a.data(), d), u_norm) << "d=" << d;
+    EXPECT_EQ(kernels::dist_sq_fast(aa.data(), ab.data(), d), u_adv) << "d=" << d;
+  }
+}
+
+// ---- dual-destination kernel ------------------------------------------------
+
+TEST(MathKernels, DualRowScalarKernelBitIdenticalToScalarDistSq) {
+  for (size_t d : {0u, 1u, 7u, 8u, 9u, 64u, 1000u, 1003u}) {
+    const Vector a0 = random_vector(d == 0 ? 1 : d, 1000 + d);
+    const Vector a1 = random_vector(d == 0 ? 1 : d, 1100 + d);
+    const Vector b = random_vector(d == 0 ? 1 : d, 1200 + d);
+    double out0 = -1.0, out1 = -1.0;
+    kernels::dist_sq2_scalar(a0.data(), a1.data(), b.data(), d, out0, out1);
+    // Default mode is scalar, so vec::dist_sq IS the golden scalar loop.
+    Vector a0d(a0.begin(), a0.begin() + d), a1d(a1.begin(), a1.begin() + d),
+        bd(b.begin(), b.begin() + d);
+    EXPECT_EQ(out0, vec::dist_sq(a0d, bd)) << "d=" << d;
+    EXPECT_EQ(out1, vec::dist_sq(a1d, bd)) << "d=" << d;
+  }
+}
+
+TEST(MathKernels, DualRowFastKernelBitIdenticalPerOutputOnEveryBackend) {
+  for (kernels::FastBackend backend :
+       {kernels::FastBackend::kUnrolled8, kernels::FastBackend::kAvx2,
+        kernels::FastBackend::kAvx2Fma}) {
+    if (!kernels::backend_supported(backend)) continue;
+    BackendScope scope(backend);
+    for (size_t d : {1u, 7u, 8u, 9u, 16u, 64u, 1000u, 1003u, 4097u}) {
+      const Vector a0 = random_vector(d, 1300 + d);
+      const Vector a1 = random_vector(d, 1400 + d);
+      const Vector b = random_vector(d, 1500 + d);
+      double out0 = -1.0, out1 = -1.0;
+      kernels::dist_sq2_fast(a0.data(), a1.data(), b.data(), d, out0, out1);
+      EXPECT_EQ(out0, kernels::dist_sq_fast(a0.data(), b.data(), d))
+          << kernels::fast_backend() << " d=" << d;
+      EXPECT_EQ(out1, kernels::dist_sq_fast(a1.data(), b.data(), d))
+          << kernels::fast_backend() << " d=" << d;
+      // Cancellation-heavy rows: the shared-b blocking must not change
+      // any per-output rounding even where terms nearly cancel.
+      const auto [aa, ab] = adversarial_pair(d, 1600 + d);
+      kernels::dist_sq2_fast(aa.data(), ab.data(), b.data(), d, out0, out1);
+      EXPECT_EQ(out0, kernels::dist_sq_fast(aa.data(), b.data(), d));
+      EXPECT_EQ(out1, kernels::dist_sq_fast(ab.data(), b.data(), d));
+    }
+  }
+}
+
+// ---- FMA variants (widened 3*d*eps contract, opt-in only) ------------------
+
+double fma_bound(size_t d, double term_mag_sum) {
+  return 3.0 * static_cast<double>(d) * kMachineEps * term_mag_sum;
+}
+
+TEST(MathKernels, FmaReductionsWithinWidenedBound) {
+  if (!kernels::backend_supported(kernels::FastBackend::kAvx2Fma))
+    GTEST_SKIP() << "host has no FMA";
+  BackendScope scope(kernels::FastBackend::kAvx2Fma);
+  for (size_t d : {8u, 9u, 64u, 1000u, 4097u}) {
+    const Vector a = random_vector(d, 1700 + d);
+    const Vector b = random_vector(d, 1800 + d);
+    const double dist_scalar = vec::dist_sq(a, b);
+    const double dot_scalar = vec::dot(a, b);
+    const double norm_scalar = vec::norm_sq(a);
+    double abs_dot_terms = 0.0;
+    for (size_t i = 0; i < d; ++i) abs_dot_terms += std::abs(a[i] * b[i]);
+    EXPECT_LE(std::abs(kernels::dist_sq_fast(a.data(), b.data(), d) - dist_scalar),
+              fma_bound(d, dist_scalar));
+    EXPECT_LE(std::abs(kernels::norm_sq_fast(a.data(), d) - norm_scalar),
+              fma_bound(d, norm_scalar));
+    EXPECT_LE(std::abs(kernels::dot_fast(a.data(), b.data(), d) - dot_scalar),
+              fma_bound(d, abs_dot_terms));
+    // Adversarial cancellation under the widened bound.
+    const auto [aa, ab] = adversarial_pair(d, 1900 + d);
+    const double adv_scalar = vec::dist_sq(aa, ab);
+    EXPECT_LE(std::abs(kernels::dist_sq_fast(aa.data(), ab.data(), d) - adv_scalar),
+              fma_bound(d, adv_scalar));
+    // Deterministic: the fused kernels are still pure functions.
+    const double first = kernels::dist_sq_fast(a.data(), b.data(), d);
+    for (int r = 0; r < 5; ++r)
+      ASSERT_EQ(kernels::dist_sq_fast(a.data(), b.data(), d), first);
+  }
+}
+
+TEST(MathKernels, ElementwiseKernelsStayUnfusedUnderFmaBackend) {
+  if (!kernels::backend_supported(kernels::FastBackend::kAvx2Fma))
+    GTEST_SKIP() << "host has no FMA";
+  BackendScope scope(kernels::FastBackend::kAvx2Fma);
+  // axpy/scale keep the non-fused bodies under kAvx2Fma: bit-identity to
+  // the scalar loops is load-bearing (momentum/clipping trajectories).
+  for (size_t d : {8u, 1000u, 1003u}) {
+    const Vector base = random_vector(d, 2000 + d);
+    const Vector other = random_vector(d, 2100 + d);
+    Vector scalar_axpy = base;
+    vec::axpy_inplace(scalar_axpy, 1.5, other);
+    Vector fast_axpy = base;
+    kernels::axpy_fast(fast_axpy.data(), 1.5, other.data(), d);
+    EXPECT_EQ(scalar_axpy, fast_axpy);
+    Vector scalar_scale = base;
+    vec::scale_inplace(scalar_scale, -0.37);
+    Vector fast_scale = base;
+    kernels::scale_fast(fast_scale.data(), -0.37, d);
+    EXPECT_EQ(scalar_scale, fast_scale);
+  }
 }
 
 // ---- fast-mode GAR goldens (ULP-bounded) -----------------------------------
