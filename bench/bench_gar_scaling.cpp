@@ -26,16 +26,21 @@
 //     dispatch the pool replaced (re-implemented locally for comparison),
 //   * whether a threaded trainer run is bit-identical to the serial run.
 //
-// A fourth sweep measures the round engine (core/pipeline.hpp) at
-// n = 50, d = 1e4: per-step wall-clock of the depth-0 (synchronous) and
-// depth-1 (double-buffered, bounded-staleness-1) trainers, the depth-0
-// fill / aggregate / apply phase split (RunResult::phase), steady-state
-// allocations per step at both depths, bit-identity of the engine's
-// depth-0 fill order against the synchronous loop, and depth-1
-// determinism across thread widths.  The headline column is
-// depth1_step / (fill + aggregate): < 1 means the overlap beats the
-// serial sum — only physically possible with >= 2 cores, so the JSON
-// records the host's core count next to the ratio.
+// A fourth sweep measures the round engine's slot ring
+// (core/pipeline.hpp) at n = 50, d = 1e4, one row per depth k in
+// {0, 1, 2, 4}: per-step wall-clock, the fill-wait / fill-busy /
+// aggregate / apply phase split (RunResult::phase — wait is blocked
+// time only, busy − wait is the overlap the ring bought), steady-state
+// allocations per step, bit-identity of the depth-0 engine's fill order
+// against the synchronous loop, and per-depth determinism across reruns
+// and thread widths.  The headline column is step / (fill_busy +
+// aggregate): < 1 means the overlap beats the serial sum — only
+// physically possible with >= 2 cores, so the JSON records the host's
+// core count next to the ratio.  A companion convergence-vs-staleness
+// study records what the overlap costs: per GAR (average / krum / mda /
+// median) x depth on the phishing-like task under the "little" attack
+// (final accuracy/loss, min loss, steps-to-min), plus the Theorem-1
+// strongly-convex quadratic's exact excess loss per depth.
 //
 // A fifth sweep measures the opt-in fast-math kernels (math/kernels.hpp)
 // per GAR at n = 50, d = 1e4 and at the large-d point d = 1e5 (skipped
@@ -65,7 +70,7 @@
 // working directory.  Flags: --fast (skip d = 1e5), --budget-ms M
 // (per-measurement time budget, default 300), --check (exit nonzero on
 // any correctness/allocation regression: non-identical outputs, nonzero
-// steady-state allocs, engine depth-0 drift, depth-1 nondeterminism,
+// steady-state allocs, engine depth-0 drift, depth-k nondeterminism,
 // fast-mode nondeterminism or an out-of-bound fast-mode deviation,
 // prune=exact drift from off, a pruned-mode steady-state allocation, or
 // a collapsed lowdim krum pruned-pair fraction —
@@ -89,6 +94,7 @@
 #include "aggregation/pruned_oracle.hpp"
 #include "aggregation/reference_gars.hpp"
 #include "aggregation/sharded.hpp"
+#include "core/experiment.hpp"
 #include "core/server.hpp"
 #include "core/trainer.hpp"
 #include "core/worker.hpp"
@@ -334,12 +340,25 @@ struct PruneRow {
 
 struct DepthRow {
   std::string gar;
+  size_t depth;  // ring depth k (staleness bound)
   size_t n, d, f, cores;
-  double fill_s, agg_s, apply_s;        // depth-0 per-step phase split
-  double depth0_step_s, depth1_step_s;  // measured wall-clock per step
-  double depth0_allocs, depth1_allocs;  // steady-state allocs per step
-  bool engine_depth0_identical;  // engine fill order == synchronous loop
-  bool depth1_deterministic;     // depth-1: threads 1 == threads 2, run == rerun
+  double step_s;                                    // wall-clock per step
+  double fill_wait_s, fill_busy_s, agg_s, apply_s;  // per-step phase split
+  double allocs;                                    // steady-state, per step
+  bool engine_identical;  // depth 0 only: iid p=1 == full fill order (else true)
+  bool deterministic;     // rerun + other thread width bit-equal
+};
+
+struct StalenessRow {
+  std::string gar;
+  size_t depth;
+  double final_accuracy, final_loss, min_loss;
+  size_t steps_to_min;
+};
+
+struct QuadStalenessRow {
+  size_t depth;
+  double excess_loss;  // Theorem-1 task: Q(w_{T+1}) - Q*, mean over seeds
 };
 
 /// The per-call std::thread dispatch the persistent pool replaced — kept
@@ -822,10 +841,16 @@ int main(int argc, char** argv) {
     }
   }
 
-  // ---- pipeline-depth sweep: the round engine's overlap -------------------
+  // ---- pipeline-depth sweep: the ring engine's overlap --------------------
   // n = 50, d = 1e4, MDA at f = 2: a task where the fill (n worker
   // pipelines at b × d work each) and the O(n²d) aggregation are the
-  // same order of magnitude — the shape the double buffer exists for.
+  // same order of magnitude — the shape the ring exists for.  One row
+  // per depth k in {0, 1, 2, 4}: per-step wall-clock, the phase split
+  // (fill wait vs fill busy vs aggregate vs apply — wait < busy is the
+  // overlap win), steady-state allocations, and determinism across a
+  // rerun and the other thread width.  The depth-0 row additionally
+  // carries the engine-identity gate (iid participation at p = 1 must
+  // be bit-equal to the default full-participation run).
   std::vector<DepthRow> depth_rows;
   {
     const size_t n = 50, d = 10000, f = 2;
@@ -852,8 +877,9 @@ int main(int argc, char** argv) {
     };
     // Steady-state allocations per step, isolated as the alloc-count
     // difference between a (steps) and a (steps + 20) run: construction,
-    // reserves, the single final eval and the GAR-cache warmup all
-    // happen once in each run and cancel in the difference.
+    // reserves (k + 1 ring arenas included), the single final eval and
+    // the GAR-cache warmup all happen once in each run and cancel in the
+    // difference.
     auto allocs_per_step = [&](dpbyz::ExperimentConfig c) {
       auto counted = [&](size_t s) {
         c.steps = s;
@@ -869,69 +895,140 @@ int main(int argc, char** argv) {
       return static_cast<double>(longer - base) / 20.0;
     };
 
-    dpbyz::ExperimentConfig depth0 = cfg;  // the synchronous loop
-    dpbyz::ExperimentConfig depth1 = cfg;
-    depth1.pipeline_depth = 1;
-    depth1.threads = cores > 1 ? 2 : 1;
-
-    const auto d0_start = Clock::now();
-    const auto d0_run = run_cfg(depth0);
-    const double depth0_step_s = seconds_since(d0_start) / static_cast<double>(steps);
-    const auto d1_start = Clock::now();
-    const auto d1_run = run_cfg(depth1);
-    const double depth1_step_s = seconds_since(d1_start) / static_cast<double>(steps);
-
-    const double fill_s = d0_run.phase.fill / static_cast<double>(steps);
-    const double agg_s = d0_run.phase.aggregate / static_cast<double>(steps);
-    const double apply_s = d0_run.phase.apply / static_cast<double>(steps);
-
-    // Engine schedule-neutrality check: iid participation at p = 1
-    // never drops anyone, so its depth-0 trajectory must be bit-equal
-    // to the default full-participation run (the depth-0 seed semantics
-    // themselves are pinned by the golden trajectories in
-    // tests/test_pipeline.cpp).
-    dpbyz::ExperimentConfig engine0 = cfg;
-    engine0.participation = "iid";
-    engine0.participation_prob = 1.0;
-    const auto engine0_run = run_cfg(engine0);
-    const bool engine_identical =
-        engine0_run.final_parameters == d0_run.final_parameters &&
-        engine0_run.train_loss == d0_run.train_loss;
-
-    // Depth-1 determinism: rerun, and rerun at the other thread width.
-    dpbyz::ExperimentConfig depth1_alt = depth1;
-    depth1_alt.threads = depth1.threads == 1 ? 2 : 1;
-    const auto d1_rerun = run_cfg(depth1);
-    const auto d1_alt = run_cfg(depth1_alt);
-    const bool depth1_deterministic =
-        d1_rerun.final_parameters == d1_run.final_parameters &&
-        d1_alt.final_parameters == d1_run.final_parameters &&
-        d1_alt.train_loss == d1_run.train_loss;
-
-    const double d0_allocs = allocs_per_step(depth0);
-    const double d1_allocs = allocs_per_step(depth1);
-
-    depth_rows.push_back({"mda", n, d, f, cores, fill_s, agg_s, apply_s,
-                          depth0_step_s, depth1_step_s, d0_allocs, d1_allocs,
-                          engine_identical, depth1_deterministic});
-    std::printf("\n%-8s %4s %7s %4s %5s | %9s %9s %9s | %9s %9s %8s | %6s %6s | %8s %8s\n",
-                "gar", "n", "d", "f", "cores", "fill(ms)", "agg(ms)", "apply(ms)",
-                "d0 (ms)", "d1 (ms)", "d1/sum", "a/st d0", "a/st d1", "eng id",
-                "d1 det");
+    std::printf("\n%-8s %5s %5s | %9s %9s %9s %9s | %9s %8s | %6s | %6s %6s\n",
+                "gar", "depth", "cores", "wait(ms)", "busy(ms)", "agg(ms)",
+                "apply(ms)", "step(ms)", "st/sum", "a/st", "eng id", "det");
     std::printf(
         "--------------------------------------------------------------------------"
-        "-----------------------------------------\n");
-    std::printf("%-8s %4zu %7zu %4zu %5zu | %9.3f %9.3f %9.3f | %9.3f %9.3f %7.2fx "
-                "| %6.1f %6.1f | %8s %8s\n",
-                "mda", n, d, f, cores, fill_s * 1e3, agg_s * 1e3, apply_s * 1e3,
-                depth0_step_s * 1e3, depth1_step_s * 1e3,
-                depth1_step_s / (fill_s + agg_s), d0_allocs, d1_allocs,
-                engine_identical ? "yes" : "NO", depth1_deterministic ? "yes" : "NO");
+        "-------------------------------\n");
+    for (const size_t depth : {size_t{0}, size_t{1}, size_t{2}, size_t{4}}) {
+      dpbyz::ExperimentConfig c = cfg;
+      c.pipeline_depth = depth;
+      c.threads = depth > 0 && cores > 1 ? 2 : 1;
+
+      const auto start = Clock::now();
+      const auto run = run_cfg(c);
+      const double step_s = seconds_since(start) / static_cast<double>(steps);
+      const double wait_s = run.phase.fill / static_cast<double>(steps);
+      const double busy_s = run.phase.fill_busy / static_cast<double>(steps);
+      const double agg_s = run.phase.aggregate / static_cast<double>(steps);
+      const double apply_s = run.phase.apply / static_cast<double>(steps);
+
+      // Determinism at this depth: rerun, and rerun at the other thread
+      // width — both must be bit-equal (the ring is timing-independent).
+      dpbyz::ExperimentConfig alt = c;
+      alt.threads = c.threads == 1 ? 2 : 1;
+      const auto rerun = run_cfg(c);
+      const auto alt_run = run_cfg(alt);
+      const bool deterministic =
+          rerun.final_parameters == run.final_parameters &&
+          rerun.train_loss == run.train_loss &&
+          alt_run.final_parameters == run.final_parameters &&
+          alt_run.train_loss == run.train_loss;
+
+      // Engine schedule-neutrality check (depth 0 only): iid
+      // participation at p = 1 never drops anyone, so its trajectory
+      // must be bit-equal to the default full-participation run (the
+      // depth-0 seed semantics themselves are pinned by the golden
+      // trajectories in tests/test_pipeline.cpp; the depth-k goldens
+      // live in tests/test_pipeline_ring.cpp).
+      bool engine_identical = true;
+      if (depth == 0) {
+        dpbyz::ExperimentConfig engine0 = c;
+        engine0.participation = "iid";
+        engine0.participation_prob = 1.0;
+        const auto engine0_run = run_cfg(engine0);
+        engine_identical =
+            engine0_run.final_parameters == run.final_parameters &&
+            engine0_run.train_loss == run.train_loss;
+      }
+
+      const double allocs = allocs_per_step(c);
+      depth_rows.push_back({"mda", depth, n, d, f, cores, step_s, wait_s, busy_s,
+                            agg_s, apply_s, allocs, engine_identical,
+                            deterministic});
+      std::printf("%-8s %5zu %5zu | %9.3f %9.3f %9.3f %9.3f | %9.3f %7.2fx | "
+                  "%6.1f | %6s %6s\n",
+                  "mda", depth, cores, wait_s * 1e3, busy_s * 1e3, agg_s * 1e3,
+                  apply_s * 1e3, step_s * 1e3, step_s / (busy_s + agg_s), allocs,
+                  depth == 0 ? (engine_identical ? "yes" : "NO") : "-",
+                  deterministic ? "yes" : "NO");
+      std::fflush(stdout);
+    }
     if (cores == 1)
       std::printf("(single-CPU host: the fill thread and the aggregating thread "
-                  "time-slice one core, so d1/sum cannot drop below 1 here — the "
+                  "time-slice one core, so st/sum cannot drop below 1 here — the "
                   "overlap win needs >= 2 cores.)\n");
-    std::fflush(stdout);
+  }
+
+  // ---- convergence vs staleness: what the overlap costs -------------------
+  // The ring buys wall-clock by training on gradients up to k versions
+  // stale; this sweep records what that does to convergence, per GAR, on
+  // the paper's phishing-like task (n = 11, f = 2, "little" attack).
+  // Committed to the JSON so docs/ARCHITECTURE.md's caveat table points
+  // at measured numbers rather than folklore.  A quadratic companion
+  // runs the Theorem-1 strongly-convex task (exact excess loss) over the
+  // same depths — the cleanest single number for the staleness penalty.
+  std::vector<StalenessRow> staleness_rows;
+  std::vector<QuadStalenessRow> quad_staleness_rows;
+  {
+    const dpbyz::PhishingExperiment phishing(42);
+    dpbyz::ExperimentConfig cfg;
+    cfg.num_workers = 11;
+    cfg.num_byzantine = 2;
+    cfg.steps = fast ? 100 : 300;
+    cfg.eval_every = cfg.steps;
+    cfg.batch_size = 50;
+    cfg.attack_enabled = true;
+    cfg.attack = "little";
+
+    std::printf("\n%-8s %5s | %9s %10s %10s %12s\n", "gar", "depth", "final acc",
+                "final loss", "min loss", "steps-to-min");
+    std::printf("---------------------------------------------------------------\n");
+    for (const char* gar : {"average", "krum", "mda", "median"}) {
+      for (const size_t depth : {size_t{0}, size_t{1}, size_t{2}, size_t{4}}) {
+        dpbyz::ExperimentConfig c = cfg;
+        c.gar = gar;
+        c.pipeline_depth = depth;
+        const auto run = phishing.run(c);
+        staleness_rows.push_back({gar, depth, run.final_accuracy,
+                                  run.final_train_loss, run.min_train_loss,
+                                  run.steps_to_min_loss});
+        std::printf("%-8s %5zu | %9.4f %10.5f %10.5f %12zu\n", gar, depth,
+                    run.final_accuracy, run.final_train_loss, run.min_train_loss,
+                    run.steps_to_min_loss);
+        std::fflush(stdout);
+      }
+    }
+
+    // Theorem-1 tie-in: gamma_t = 1/(lambda t) on the strongly-convex
+    // Gaussian-mean task; excess loss of the final iterate, mean over 3
+    // seeds, per depth.  Theorem 1's O(1/T) rate is proved for the
+    // synchronous loop; the committed curve shows how gently (or not)
+    // bounded staleness degrades it.
+    const dpbyz::QuadraticExperiment quad(32, 1.0, 42, 20000);
+    dpbyz::ExperimentConfig qc;
+    qc.num_workers = 4;
+    qc.num_byzantine = 0;
+    qc.gar = "average";
+    qc.batch_size = 10;
+    qc.steps = fast ? 150 : 400;
+    qc.eval_every = qc.steps;
+    qc.momentum = 0.0;
+    qc.lr_schedule = "theorem1";
+    qc.learning_rate = 1.0;
+    qc.clip_norm = 3.0;
+    qc.clip_enabled = false;
+    std::printf("\n%-28s %5s | %12s\n", "theorem-1 quadratic (d=32)", "depth",
+                "excess loss");
+    for (const size_t depth : {size_t{0}, size_t{1}, size_t{2}, size_t{4}}) {
+      dpbyz::ExperimentConfig c = qc;
+      c.pipeline_depth = depth;
+      const double excess = quad.mean_excess_loss(c, 3);
+      quad_staleness_rows.push_back({depth, excess});
+      std::printf("%-28s %5zu | %12.6f\n", "", depth, excess);
+      std::fflush(stdout);
+    }
   }
 
   FILE* out = std::fopen("BENCH_gar_scaling.json", "w");
@@ -1021,24 +1118,43 @@ int main(int argc, char** argv) {
   for (size_t i = 0; i < depth_rows.size(); ++i) {
     const DepthRow& r = depth_rows[i];
     std::fprintf(out,
-                 "    {\"gar\": \"%s\", \"n\": %zu, \"d\": %zu, \"f\": %zu, "
-                 "\"cores\": %zu, \"fill_ms\": %.6f, \"aggregate_ms\": %.6f, "
-                 "\"apply_ms\": %.6f, \"depth0_step_ms\": %.6f, "
-                 "\"depth1_step_ms\": %.6f, \"depth1_vs_fill_plus_agg\": %.3f, "
-                 "\"allocs_per_step_depth0\": %.1f, \"allocs_per_step_depth1\": %.1f, "
-                 "\"engine_depth0_bit_identical\": %s, \"depth1_deterministic\": %s}%s\n",
-                 r.gar.c_str(), r.n, r.d, r.f, r.cores, r.fill_s * 1e3, r.agg_s * 1e3,
-                 r.apply_s * 1e3, r.depth0_step_s * 1e3, r.depth1_step_s * 1e3,
-                 r.depth1_step_s / (r.fill_s + r.agg_s), r.depth0_allocs,
-                 r.depth1_allocs, r.engine_depth0_identical ? "true" : "false",
-                 r.depth1_deterministic ? "true" : "false",
+                 "    {\"gar\": \"%s\", \"depth\": %zu, \"n\": %zu, \"d\": %zu, "
+                 "\"f\": %zu, \"cores\": %zu, \"step_ms\": %.6f, "
+                 "\"fill_wait_ms\": %.6f, \"fill_busy_ms\": %.6f, "
+                 "\"aggregate_ms\": %.6f, \"apply_ms\": %.6f, "
+                 "\"step_vs_busy_plus_agg\": %.3f, \"allocs_per_step\": %.1f, "
+                 "\"engine_bit_identical\": %s, \"deterministic\": %s}%s\n",
+                 r.gar.c_str(), r.depth, r.n, r.d, r.f, r.cores, r.step_s * 1e3,
+                 r.fill_wait_s * 1e3, r.fill_busy_s * 1e3, r.agg_s * 1e3,
+                 r.apply_s * 1e3, r.step_s / (r.fill_busy_s + r.agg_s), r.allocs,
+                 r.depth == 0 ? (r.engine_identical ? "true" : "false") : "null",
+                 r.deterministic ? "true" : "false",
                  i + 1 < depth_rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"staleness_convergence\": [\n");
+  for (size_t i = 0; i < staleness_rows.size(); ++i) {
+    const StalenessRow& r = staleness_rows[i];
+    std::fprintf(out,
+                 "    {\"gar\": \"%s\", \"depth\": %zu, "
+                 "\"final_accuracy\": %.6f, \"final_loss\": %.8f, "
+                 "\"min_loss\": %.8f, \"steps_to_min\": %zu}%s\n",
+                 r.gar.c_str(), r.depth, r.final_accuracy, r.final_loss,
+                 r.min_loss, r.steps_to_min,
+                 i + 1 < staleness_rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"staleness_quadratic_excess\": [\n");
+  for (size_t i = 0; i < quad_staleness_rows.size(); ++i) {
+    const QuadStalenessRow& r = quad_staleness_rows[i];
+    std::fprintf(out, "    {\"depth\": %zu, \"excess_loss\": %.8f}%s\n", r.depth,
+                 r.excess_loss,
+                 i + 1 < quad_staleness_rows.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
   std::printf("\nwrote BENCH_gar_scaling.json (%zu configurations)\n",
               rows.size() + shard_rows.size() + prune_rows.size() +
-                  pipeline_rows.size() + depth_rows.size());
+                  pipeline_rows.size() + depth_rows.size() +
+                  staleness_rows.size() + quad_staleness_rows.size());
 
   // ---- --check: fail the process (and the CI smoke step) on regressions ---
   if (check) {
@@ -1108,15 +1224,21 @@ int main(int argc, char** argv) {
         fail("threaded trainer " + r.gar + " n=" + std::to_string(r.n) +
              " diverged from serial");
     }
+    // Ring gates, one set per swept depth: the depth-0 engine must match
+    // the synchronous loop bit-for-bit, every depth must replay
+    // bit-identically across reruns and thread widths, and the steady
+    // state must stay allocation-free (the k + 1 arenas are all
+    // preallocated up front).
     for (const DepthRow& r : depth_rows) {
-      if (!r.engine_depth0_identical)
+      if (r.depth == 0 && !r.engine_identical)
         fail("round engine depth-0 fill order diverged from the synchronous loop");
-      if (!r.depth1_deterministic)
-        fail("depth-1 trainer is not deterministic across reruns/thread widths");
-      if (r.depth0_allocs != 0.0 || r.depth1_allocs != 0.0)
-        fail("round engine steady state allocates (depth0 " +
-             std::to_string(r.depth0_allocs) + ", depth1 " +
-             std::to_string(r.depth1_allocs) + " per step)");
+      if (!r.deterministic)
+        fail("depth-" + std::to_string(r.depth) +
+             " trainer is not deterministic across reruns/thread widths");
+      if (r.allocs != 0.0)
+        fail("round engine depth-" + std::to_string(r.depth) +
+             " steady state allocates (" + std::to_string(r.allocs) +
+             " per step)");
     }
     if (violations > 0) {
       std::fprintf(stderr, "--check: %zu violation(s)\n", violations);

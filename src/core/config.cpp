@@ -41,7 +41,27 @@ void ExperimentConfig::validate() const {
           "config: prune must be off|exact|approx");
   require(shards >= 1, "config: shards must be at least 1");
   require(shards <= num_workers, "config: cannot have more shards than workers");
-  require(pipeline_depth <= 1, "config: pipeline_depth must be 0 or 1");
+  require(pipeline_depth <= kMaxPipelineDepth,
+          "config: pipeline_depth must be in [0, " +
+              std::to_string(kMaxPipelineDepth) + "]");
+  require(straggler_policy == "off" || straggler_policy == "adaptive",
+          "config: straggler_policy must be off|adaptive");
+  if (straggler_policy == "adaptive") {
+    require(straggler_ema_alpha > 0 && straggler_ema_alpha <= 1,
+            "config: straggler_ema_alpha must be in (0,1]");
+    require(straggler_timeout_factor >= 1.0,
+            "config: straggler_timeout_factor must be >= 1");
+  }
+  if (!straggler_replay.empty()) {
+    require(straggler_policy == "adaptive",
+            "config: straggler_replay requires straggler_policy == 'adaptive'");
+    for (const StragglerDecision& d : straggler_replay) {
+      require(d.round >= 1 && d.round <= steps,
+              "config: straggler_replay round out of [1, steps]");
+      require(d.worker < num_workers,
+              "config: straggler_replay worker index out of range");
+    }
+  }
   require(participation == "full" || participation == "iid" ||
               participation == "stragglers",
           "config: participation must be full|iid|stragglers");
@@ -66,7 +86,9 @@ std::string ExperimentConfig::label() const {
   std::string out = gar;
   if (shards > 1) out += "+S" + std::to_string(shards);
   if (threads != 1) out += "+T" + std::to_string(threads);
-  if (pipeline_depth > 0) out += "+D" + std::to_string(pipeline_depth);
+  if (pipeline_depth > 0) out += "+p" + std::to_string(pipeline_depth);
+  if (straggler_policy == "adaptive")
+    out += straggler_replay.empty() ? "+strag" : "+strag(replay)";
   if (fast_math) out += "+fast";
   if (prune != "off") out += "+prune(" + prune + ")";
   if (participation != "full") out += "+" + participation;

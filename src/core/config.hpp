@@ -10,8 +10,26 @@
 #include <cmath>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace dpbyz {
+
+/// Maximum round-engine ring depth (ExperimentConfig::pipeline_depth).
+/// The engine keeps depth + 1 arenas of n x d doubles alive, so the cap
+/// is a memory guard, not an algorithmic limit.
+inline constexpr size_t kMaxPipelineDepth = 8;
+
+/// One adaptive-straggler skip: honest worker `worker` was excluded from
+/// (1-based) round `round` by the straggler controller.  A run's applied
+/// decisions are recorded in RunResult::straggler_trace; feeding that
+/// trace back through ExperimentConfig::straggler_replay reproduces the
+/// run bit-for-bit (the controller applies the trace instead of the
+/// clock).
+struct StragglerDecision {
+  uint32_t round = 0;   ///< 1-based round the skip applied to
+  uint32_t worker = 0;  ///< honest-worker index skipped
+  friend bool operator==(const StragglerDecision&, const StragglerDecision&) = default;
+};
 
 struct ExperimentConfig {
   // --- topology -----------------------------------------------------------
@@ -68,18 +86,50 @@ struct ExperimentConfig {
   /// knob only changes wall-clock, which is why it is safe to flip on
   /// existing experiments.
   size_t threads = 1;
-  /// Round-engine depth (see docs/ARCHITECTURE.md, "Round pipeline").
+  /// Round-engine ring depth k (see docs/ARCHITECTURE.md, "Round
+  /// pipeline").  The engine owns a ring of k + 1 {arena, θ-snapshot}
+  /// slots and keeps up to k fills in flight ahead of the round being
+  /// aggregated — bounded-staleness-k SGD: round t's gradients are
+  /// computed at θ_{max(0, t-1-k)}.
   ///   0 — the paper's synchronous loop: every round blocks on all
   ///       submissions before the GAR runs.  Bit-identical to the
   ///       pre-pipeline trainer (golden-tested).
-  ///   1 — bounded-staleness-1 SGD: while the server aggregates round t,
-  ///       the fill of round t+1 (honest pipelines + attack forgery)
-  ///       already runs against the stale parameters θ_{t-1} on a
-  ///       dedicated fill thread.  The trajectory differs from depth 0
-  ///       (gradients are one version stale from round 2 on) but is
-  ///       fully deterministic given (seed, depth) and bit-identical
-  ///       across `threads` settings.
+  ///   1 — the classic double buffer: while the server aggregates round
+  ///       t, the fill of round t+1 (honest pipelines + attack forgery)
+  ///       already runs against the stale parameters θ_{t-1} on the
+  ///       dedicated fill thread.
+  ///   k — k rounds of fill run ahead; an aggregation stall of up to k
+  ///       rounds never blocks the fill agent.  Every depth's trajectory
+  ///       is fully deterministic given (config, seed) and bit-identical
+  ///       across `threads` settings (rounds fill in order on one agent;
+  ///       only wall-clock changes with k).  Range: [0, kMaxPipelineDepth].
   size_t pipeline_depth = 0;
+  /// Adaptive straggler control for the round engine (see
+  /// docs/ARCHITECTURE.md, "Round pipeline"):
+  ///   "off"      — the schedule alone decides liveness (default; every
+  ///                determinism guarantee above holds unconditionally).
+  ///   "adaptive" — the fill agent measures each live worker's fill
+  ///                latency, tracks a per-worker EMA, and a worker whose
+  ///                latency exceeds straggler_timeout_factor x its EMA
+  ///                is skipped for the next round (one round — it is
+  ///                retried immediately after, so the EMA can recover).
+  ///                Decisions are wall-clock-driven, hence NOT
+  ///                deterministic across runs; every applied skip is
+  ///                recorded in RunResult::straggler_trace, and feeding
+  ///                that trace back via `straggler_replay` replays the
+  ///                run bit-identically.
+  std::string straggler_policy = "off";
+  double straggler_ema_alpha = 0.3;      ///< EMA step for measured fill latency
+  double straggler_timeout_factor = 4.0; ///< skip when latency > factor x EMA
+  /// Observations of a worker before timeouts may fire (EMA warm-up).
+  size_t straggler_warmup_rounds = 5;
+  /// Non-empty = replay mode (requires straggler_policy == "adaptive"):
+  /// the controller applies exactly these recorded decisions instead of
+  /// consulting the clock, making the run a pure function of
+  /// (config, seed, trace).  Entries must name live workers of the
+  /// rounds they skip — i.e. come from a RunResult of the same
+  /// (config, seed) — or the run throws.
+  std::vector<StragglerDecision> straggler_replay;
   /// Opt-in fast math kernels for the hot reductions (pairwise dist_sq,
   /// Krum/MDA/Bulyan scoring, CGE norms, Weiszfeld, clipping, momentum
   /// axpy — see docs/ARCHITECTURE.md, "Math kernels").

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "core/config.hpp"
 #include "math/vector_ops.hpp"
 
 namespace dpbyz {
@@ -20,16 +21,21 @@ struct EvalRecord {
   double accuracy;  ///< cross-accuracy over the full test set
 };
 
-/// Wall-clock totals of the three per-step phases, accumulated over a
-/// run (seconds).  Under the round engine (pipeline_depth = 1) `fill`
-/// counts only the time the main thread spent *blocked* on the fill
-/// thread — the non-overlapped remainder — so the overlap win of the
-/// double-buffered pipeline is directly observable per run:
-/// fill + aggregate + apply approaches max(fill, aggregate) + apply as
-/// the overlap improves.  Timing never feeds back into the trajectory;
-/// two runs differing only in recorded phase times are bit-identical.
+/// Wall-clock totals of the per-step phases, accumulated over a run
+/// (seconds).  Under the round engine (pipeline_depth = k >= 1) `fill`
+/// counts only the time the main thread spent *blocked* waiting for a
+/// round's fill — the non-overlapped remainder of that round's own fill,
+/// never the fills that completed behind earlier rounds — so
+/// fill + aggregate + apply <= the run's wall-clock at every depth, and
+/// the overlap win of the ring is directly observable per run:
+/// the sum approaches max(fill_busy, aggregate) + apply as the overlap
+/// improves.  `fill_busy` is the fill agent's actual producing time
+/// (blocked or overlapped alike); fill_busy − fill is the overlap the
+/// ring bought.  Timing never feeds back into the trajectory; two runs
+/// differing only in recorded phase times are bit-identical.
 struct PhaseSeconds {
-  double fill = 0.0;       ///< worker pipelines + forgery (or fill wait)
+  double fill = 0.0;       ///< caller-visible fill wait (blocked time only)
+  double fill_busy = 0.0;  ///< fill agent's producing time, incl. overlapped
   double aggregate = 0.0;  ///< GAR over the round batch
   double apply = 0.0;      ///< optimizer update on the aggregate
 };
@@ -55,6 +61,14 @@ struct RunResult {
   /// First 1-based step at which train_loss came within 5% of its run
   /// minimum; 0 when the run never stabilized.
   size_t steps_to_min_loss = 0;
+  /// Straggler skips the adaptive controller applied, in (round, worker)
+  /// order; empty unless straggler_policy == "adaptive".  Feeding this
+  /// back as ExperimentConfig::straggler_replay reproduces the run
+  /// bit-identically (see core/straggler.hpp).
+  std::vector<StragglerDecision> straggler_trace;
+  /// Final per-honest-worker fill-latency EMA, seconds (empty unless the
+  /// controller was active).
+  std::vector<double> straggler_ema;
 };
 
 /// Mean/stddev of a metric across runs, aligned per step index.

@@ -78,26 +78,27 @@ RoundPipeline::RoundPipeline(const ExperimentConfig& config,
       // pool's one-job-at-a-time submit lock is held until the *outer*
       // job drains, and the outer job is waiting on this run — a cycle.
       // The depth-0 path is safe as-is (ThreadPool::run detects the
-      // serial context on the calling thread itself); only the depth-1
+      // serial context on the calling thread itself); only the depth-k
       // fill thread needs the width pinned here, where the nesting is
       // still visible.
       fill_threads_(ThreadPool::in_serial_context() ? 1 : config.threads),
       attack_rng_(std::move(attack_rng)),
       dropout_rng_(std::move(dropout_rng)),
-      schedule_(std::move(schedule)) {
+      schedule_(std::move(schedule)),
+      straggler_(config, honest.size()) {
   require(schedule_.honest_count() == honest_.size(),
           "RoundPipeline: schedule sized for a different worker count");
   const size_t n = honest_.size() + byzantine_rows_;
   if (full_rows_gar != nullptr) gar_by_rows_.emplace(n, full_rows_gar);
-  ready_.batch.reshape(n, dim_);
-  ready_.params.reserve(dim_);
-  if (config_.pipeline_depth > 0) {
-    filling_.batch.reshape(n, dim_);
-    filling_.params.reserve(dim_);
+  slots_.resize(config_.pipeline_depth + 1);  // one slot at depth 0
+  for (Slot& slot : slots_) {
+    slot.batch.reshape(n, dim_);
+    slot.params.reserve(dim_);
   }
   if (observe_clean_) clean_.reshape(honest_.size(), dim_);
   live_.reserve(honest_.size());
   live_idx_.reserve(honest_.size());
+  latency_.reserve(honest_.size());
   if (config_.pipeline_depth > 0)
     fill_thread_ = std::thread([this] { fill_thread_loop(); });
 }
@@ -114,7 +115,9 @@ RoundPipeline::~RoundPipeline() {
 }
 
 void RoundPipeline::fill_into(Slot& slot, size_t t, const Vector& p) {
-  const size_t live_count = schedule_.live_round(t, live_);
+  Stopwatch busy_watch;
+  size_t live_count = schedule_.live_round(t, live_);
+  live_count = straggler_.apply(t, live_, live_count);
   live_idx_.clear();
   for (size_t i = 0; i < honest_.size(); ++i)
     if (live_[i]) live_idx_.push_back(i);
@@ -125,9 +128,17 @@ void RoundPipeline::fill_into(Slot& slot, size_t t, const Vector& p) {
   // Rows are disjoint and every worker owns private RNG streams and
   // buffers, so the threaded dispatch is bit-identical to the serial
   // loop (the loss reduction below runs in index order either way).
+  const bool measure = straggler_.active() && !straggler_.replaying();
+  if (measure) latency_.assign(live_count, 0.0);
   auto submit = [&](size_t k) {
     HonestWorker& worker = honest_[live_idx_[k]];
-    worker.submit_into(p, slot.batch.row(k));
+    if (measure) {
+      Stopwatch lap;
+      worker.submit_into(p, slot.batch.row(k));
+      latency_[k] = lap.seconds();
+    } else {
+      worker.submit_into(p, slot.batch.row(k));
+    }
     if (observe_clean_) clean_.set_row(k, worker.last_clean_gradient());
   };
   if (fill_threads_ != 1 && live_count > 1) {
@@ -139,11 +150,13 @@ void RoundPipeline::fill_into(Slot& slot, size_t t, const Vector& p) {
   for (size_t k = 0; k < live_count; ++k)
     loss_sum += honest_[live_idx_[k]].last_batch_loss();
 
-  // Byzantine forgery against this round's (stale, under depth 1)
+  // Byzantine forgery against this round's (stale, under depth k)
   // observation batch; the f colluding copies sit right behind the live
-  // honest prefix.
+  // honest prefix.  Round t's gradients were produced at
+  // θ_{max(0, t-1-k)} and aggregate into θ_{t-1}, so the version lag the
+  // adversary observes is min(t-1, k).
   if (attack_ != nullptr && byzantine_rows_ > 0) {
-    const size_t staleness = config_.pipeline_depth > 0 && t > 1 ? 1 : 0;
+    const size_t staleness = std::min(t - 1, config_.pipeline_depth);
     const AttackContext ctx{observe_clean_ ? clean_ : slot.batch, live_count,
                             byzantine_rows_, t, staleness};
     attack_->forge_into(ctx, attack_rng_, slot.batch.row(live_count));
@@ -160,81 +173,108 @@ void RoundPipeline::fill_into(Slot& slot, size_t t, const Vector& p) {
         vec::fill(slot.batch.row(k), 0.0);
   }
 
+  // Feed the straggler controller after the round's work is done:
+  // observations in ascending worker index, then the round close that
+  // schedules any round-(t+1) skips.
+  if (measure) {
+    for (size_t k = 0; k < live_count; ++k)
+      straggler_.observe(t, live_idx_[k], latency_[k]);
+  }
+  straggler_.finish_round(t);
+
   slot.rows = live_count + byzantine_rows_;
   slot.live_honest = live_count;
   slot.loss_sum = loss_sum;
+  slot.fill_busy_seconds = busy_watch.seconds();
 }
 
-void RoundPipeline::dispatch_fill(size_t t) {
+void RoundPipeline::dispatch_through(size_t t) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    has_request_ = true;
-    request_round_ = t;
-    fill_done_.store(false, std::memory_order_relaxed);
+    dispatched_ = t;
   }
   request_cv_.notify_one();
 }
 
-void RoundPipeline::wait_fill_done() {
+void RoundPipeline::wait_filled(size_t t) {
   // Fill completion lands at step cadence; spin briefly before paying
   // the condvar sleep (zero budget on single-CPU hosts — see parallel).
   for (int s = 0;
-       s < parallel::spin_budget() && !fill_done_.load(std::memory_order_acquire); ++s)
+       s < parallel::spin_budget() && filled_.load(std::memory_order_acquire) < t;
+       ++s)
     parallel::cpu_relax();
   std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [&] { return fill_done_.load(std::memory_order_relaxed); });
+  done_cv_.wait(lock, [&] { return filled_.load(std::memory_order_relaxed) >= t; });
   if (fill_error_) std::rethrow_exception(fill_error_);
 }
 
 void RoundPipeline::fill_thread_loop() {
   std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
-    request_cv_.wait(lock, [&] { return stop_ || has_request_; });
+    request_cv_.wait(lock, [&] {
+      return stop_ || dispatched_ > filled_.load(std::memory_order_relaxed);
+    });
     if (stop_) return;
-    has_request_ = false;
-    const size_t t = request_round_;
+    // Rounds are filled strictly in order: the next one is always
+    // filled_ + 1, and its slot's params snapshot was written before the
+    // dispatch that published it (mutex-ordered).
+    const size_t t = filled_.load(std::memory_order_relaxed) + 1;
     lock.unlock();
     try {
-      fill_into(filling_, t, filling_.params);
+      Slot& slot = slot_for(t);
+      fill_into(slot, t, slot.params);
     } catch (...) {
+      // Park the error, release every current and future waiter (their
+      // rounds will never fill), and exit; wait_filled rethrows.
+      lock.lock();
       fill_error_ = std::current_exception();
+      filled_.store(dispatched_, std::memory_order_release);
+      done_cv_.notify_all();
+      return;
     }
     lock.lock();
-    fill_done_.store(true, std::memory_order_release);
+    filled_.store(t, std::memory_order_release);
     done_cv_.notify_one();
   }
 }
 
 const RoundPipeline::Round& RoundPipeline::acquire(size_t t, const Vector& w) {
   Stopwatch wait_watch;
+  Slot* slot;
   if (config_.pipeline_depth == 0) {
     // Synchronous: the server's vector is stable for the whole fill, so
     // it is read in place — no snapshot copy on the paper-default path.
-    fill_into(ready_, t, w);
+    slot = &slots_[0];
+    fill_into(*slot, t, w);
+    round_.fill_wait_seconds = wait_watch.seconds();
   } else {
-    if (t == 1) {  // prologue round: nothing to overlap yet
-      filling_.params.assign(w.begin(), w.end());
-      dispatch_fill(1);
+    const size_t k = config_.pipeline_depth;
+    if (t == 1) {
+      // Prologue: nothing newer than θ_0 exists yet, so the first
+      // min(k, total) rounds all fill against it, back to back.
+      const size_t pre = std::min(k, total_rounds());
+      for (size_t r = 1; r <= pre; ++r)
+        slot_for(r).params.assign(w.begin(), w.end());
+      dispatch_through(pre);
     }
-    wait_fill_done();
-    // O(1) double-buffer rotation: the filled arena becomes the round
-    // the caller aggregates, the previous round's arena becomes the
-    // next fill target.
-    ready_.batch.swap(filling_.batch);
-    ready_.params.swap(filling_.params);
-    std::swap(ready_.rows, filling_.rows);
-    std::swap(ready_.live_honest, filling_.live_honest);
-    std::swap(ready_.loss_sum, filling_.loss_sum);
-    if (t < total_rounds()) {
-      filling_.params.assign(w.begin(), w.end());
-      dispatch_fill(t + 1);
+    wait_filled(t);
+    round_.fill_wait_seconds = wait_watch.seconds();
+    slot = &slot_for(t);
+    if (t + k <= total_rounds()) {
+      // Round t+k fills into the slot round t-1 just vacated (indices
+      // t+k and t-1 coincide mod k+1), against the caller's current
+      // θ_{t-1} — snapshot it before publishing the dispatch.
+      Slot& next = slot_for(t + k);
+      next.params.assign(w.begin(), w.end());
+      dispatch_through(t + k);
     }
   }
-  round_.fill_wait_seconds = wait_watch.seconds();
-  round_.batch_view = ready_.batch.view(0, ready_.rows);
-  round_.rows = ready_.rows;
-  round_.live_honest = ready_.live_honest;
-  round_.loss_sum = ready_.loss_sum;
+  round_.batch_view = slot->batch.view(0, slot->rows);
+  round_.rows = slot->rows;
+  round_.live_honest = slot->live_honest;
+  round_.loss_sum = slot->loss_sum;
+  round_.staleness = std::min(t - 1, config_.pipeline_depth);
+  round_.fill_busy_seconds = slot->fill_busy_seconds;
   return round_;
 }
 

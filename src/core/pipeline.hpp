@@ -1,18 +1,21 @@
-// pipeline.hpp — the double-buffered async round engine.
+// pipeline.hpp — the k-slot asynchronous round engine.
 //
 // The paper's loop is round-synchronous: step t blocks on all n workers
 // submitting before the GAR runs.  This subsystem is the layer between
 // the trainer and the server that removes that barrier without giving up
 // determinism:
 //
-//   * Double buffering.  The engine owns TWO GradientBatch arenas, each
-//     paired with a snapshot of the parameters its fill ran against.
-//     While the server aggregates round t out of one buffer, a dedicated
-//     fill thread produces round t+1 into the other — honest worker
-//     pipelines (dispatched on ThreadPool::shared() when
-//     ExperimentConfig::threads != 1) plus the attack's forgery, both
-//     against the stale snapshot θ_{t-1}.  That is bounded-staleness-1
-//     SGD: θ_{t+1} = θ_t − γ·F(gradients at θ_{t-1}).
+//   * Ring buffering.  The engine owns a ring of pipeline_depth + 1
+//     slots, each a {GradientBatch arena, θ-snapshot} pair; round t
+//     lives in slot t mod (depth + 1).  While the server aggregates
+//     round t out of its slot, a dedicated fill thread produces rounds
+//     t+1 .. t+depth into the others — honest worker pipelines
+//     (dispatched on ThreadPool::shared() when ExperimentConfig::threads
+//     != 1) plus the attack's forgery, each against the stale snapshot
+//     its round was dispatched with.  That is bounded-staleness-k SGD:
+//     round t's gradients are computed at θ_{max(0, t-1-k)}, so an
+//     aggregation stall of up to k rounds never idles the fill agent.
+//     Depth 1 degenerates to the classic double buffer.
 //
 //   * Determinism.  Rounds are filled strictly in order by a single fill
 //     agent, every RNG stream (worker sampling/noise, attack, dropout,
@@ -20,11 +23,11 @@
 //     disjoint arena rows, and the loss reduction runs in worker-index
 //     order — so the trajectory depends on (config, seed, depth) only,
 //     never on timing or on `threads` (bit-equality across thread widths
-//     is pinned by tests/test_pipeline.cpp under TSAN).
+//     is pinned per depth by tests/test_pipeline_ring.cpp under TSAN).
 //
 //   * Per-round participation.  A ParticipationSchedule decides which
 //     honest workers deliver each round; live submissions are compacted
-//     into the buffer's leading rows (stable: worker-index order —
+//     into the slot's leading rows (stable: worker-index order —
 //     workers write their row directly at its compacted position, so the
 //     compaction copies nothing), Byzantine forgeries follow, and the
 //     round aggregates a GradientBatch::view of that live prefix.  The
@@ -32,17 +35,26 @@
 //     by constructing the rule at (n', f) the first time each n' occurs
 //     (cached; std::invalid_argument propagates for inadmissible rounds).
 //
-// Depth semantics (ExperimentConfig::pipeline_depth):
+//   * Adaptive straggler control (opt-in, core/straggler.hpp).  The fill
+//     agent measures each live worker's fill latency; a per-worker EMA
+//     drives a timeout that skips chronically late fills for one round.
+//     Decisions are recorded in a trace (RunResult::straggler_trace) and
+//     replaying the trace (ExperimentConfig::straggler_replay) makes the
+//     run a pure function of (config, seed, trace) again.
+//
+// Depth semantics (ExperimentConfig::pipeline_depth = k):
 //   depth 0 — fill and aggregate run back to back on the caller's
 //             thread, in exactly the order of the synchronous trainer
 //             loop; with full participation the trajectory is
 //             bit-identical to it (golden-tested).
-//   depth 1 — the overlapped mode described above.  Round 1 is
-//             necessarily staleness-0 (there is nothing to overlap).
+//   depth k — up to k fills run ahead on the fill thread.  Rounds
+//             1 .. k+1 fill at θ_0 (the prologue: nothing newer exists
+//             when they are dispatched), round t > k+1 at θ_{t-1-k}.
+//             k = 1 reproduces the PR-4 double buffer bit-for-bit.
 //
-// Steady-state allocation budget: zero.  The two arenas, the snapshots,
+// Steady-state allocation budget: zero.  The k+1 arenas, the snapshots,
 // the clean-observation arena and the per-n' GAR cache all warm up once;
-// the handshake passes raw pointers under a mutex.
+// the handshake is two counters under a mutex.
 #pragma once
 
 #include <atomic>
@@ -56,6 +68,7 @@
 #include "attacks/attack.hpp"
 #include "core/config.hpp"
 #include "core/server.hpp"
+#include "core/straggler.hpp"
 #include "core/worker.hpp"
 #include "math/gradient_batch.hpp"
 #include "math/rng.hpp"
@@ -108,10 +121,20 @@ class RoundPipeline {
     size_t rows = 0;         ///< n' — rows to aggregate
     size_t live_honest = 0;  ///< honest rows delivered this round
     double loss_sum = 0.0;   ///< Σ live workers' batch losses (index order)
+    /// Parameter-version staleness of this round's gradients:
+    /// min(t - 1, pipeline_depth).
+    size_t staleness = 0;
     /// Seconds the caller was blocked waiting for this round's fill —
-    /// the whole fill at depth 0, only the non-overlapped remainder at
-    /// depth 1 (the Metrics "fill" phase).
+    /// the whole fill at depth 0, only the non-overlapped remainder of
+    /// *this round's own* fill at depth >= 1 (every earlier round's fill
+    /// finished before the previous acquire returned).  Feeds the
+    /// Metrics "fill" phase; summing it with aggregate/apply stays <=
+    /// the run's wall-clock at every depth.
     double fill_wait_seconds = 0.0;
+    /// Seconds the fill agent actually spent producing this round
+    /// (blocked or overlapped alike) — the Metrics "fill_busy" phase.
+    /// fill_busy − fill is the overlap the ring bought this round.
+    double fill_busy_seconds = 0.0;
   };
 
   /// Keeps references; caller owns lifetimes (workers/attack must
@@ -140,11 +163,12 @@ class RoundPipeline {
   /// order).  `w` is the server's current parameters θ_{t-1}.
   ///
   /// Depth 0: fills round t at `w` synchronously and returns it.
-  /// Depth 1: blocks until the pre-dispatched fill of round t (stale
-  /// params) completes, snapshots `w` and hands the *other* buffer to
-  /// the fill thread for round t+1 (unless t == total_rounds), then
-  /// returns round t — the caller aggregates it while the fill thread
-  /// works.  The returned Round stays valid until the next acquire().
+  /// Depth k: blocks until the pre-dispatched fill of round t (stale
+  /// params) completes, snapshots `w` into the ring slot round t+k will
+  /// use and hands that round to the fill thread (unless t + k >
+  /// total_rounds), then returns round t — the caller aggregates it
+  /// while the fill thread works ahead.  The returned Round stays valid
+  /// until the next acquire().
   const Round& acquire(size_t t, const Vector& w);
 
   /// The per-(n', f) aggregation rule for a round of `rows` rows:
@@ -156,40 +180,50 @@ class RoundPipeline {
   const Aggregator& aggregator_for(size_t rows);
 
   /// Total rounds this run will consume (== config.steps); acquire(t)
-  /// with t == total_rounds() skips dispatching a successor fill.
+  /// skips dispatching the successor fill when t + depth() exceeds it.
   size_t total_rounds() const { return config_.steps; }
 
   size_t depth() const { return config_.pipeline_depth; }
 
+  /// The straggler controller (inert unless config.straggler_policy ==
+  /// "adaptive").  Read its trace()/ema() only after the last round has
+  /// been acquired — the fill agent owns it while rounds are in flight.
+  const StragglerController& straggler() const { return straggler_; }
+
  private:
-  /// One buffer of the double buffer: an n×d arena plus the parameter
-  /// snapshot its fill ran against and the fill's per-round results.
+  /// One ring slot: an n×d arena plus the parameter snapshot its fill
+  /// ran against and the fill's per-round results.
   struct Slot {
     GradientBatch batch;  ///< rows [0, rows) are the round
     Vector params;        ///< θ snapshot the fill ran against
     size_t rows = 0;
     size_t live_honest = 0;
     double loss_sum = 0.0;
+    double fill_busy_seconds = 0.0;  ///< written by the fill agent
   };
 
-  /// Fill `slot` for round t at parameters `p`: draw the live set, run
-  /// the live honest pipelines (serial, or on ThreadPool::shared() at
-  /// config.threads width), forge the Byzantine rows against the stale
-  /// observation, apply §2.1 dropout zeroing.  `p` is the slot's params
-  /// snapshot on the depth-1 fill thread; the synchronous depth-0 path
-  /// passes the server's live vector directly (it is stable for the
-  /// whole fill there, so no snapshot copy is paid).
+  /// Fill `slot` for round t at parameters `p`: draw the live set (and
+  /// apply any straggler skips), run the live honest pipelines (serial,
+  /// or on ThreadPool::shared() at config.threads width), forge the
+  /// Byzantine rows against the stale observation, apply §2.1 dropout
+  /// zeroing, then feed measured latencies to the straggler controller.
+  /// `p` is the slot's params snapshot on the depth-k fill thread; the
+  /// synchronous depth-0 path passes the server's live vector directly
+  /// (it is stable for the whole fill there, so no snapshot copy is
+  /// paid).
   void fill_into(Slot& slot, size_t t, const Vector& p);
 
   void fill_thread_loop();
 
-  /// Hand round t to the fill thread, targeting `filling_` (whose
-  /// params snapshot the caller has already written).
-  void dispatch_fill(size_t t);
+  Slot& slot_for(size_t t) { return slots_[t % slots_.size()]; }
 
-  /// Block (spin, then condvar) until the in-flight fill completes;
+  /// Publish rounds up to `t` as dispatched (their slots' params
+  /// snapshots are already written) and wake the fill thread.
+  void dispatch_through(size_t t);
+
+  /// Block (spin, then condvar) until the fill of round t completes;
   /// rethrows any exception the fill raised.
-  void wait_fill_done();
+  void wait_filled(size_t t);
 
   ExperimentConfig config_;
   std::vector<HonestWorker>& honest_;
@@ -201,16 +235,16 @@ class RoundPipeline {
   Rng attack_rng_;
   Rng dropout_rng_;
   ParticipationSchedule schedule_;
+  StragglerController straggler_;
 
-  /// The double buffer.  `ready_` holds the round the caller is
-  /// aggregating; `filling_` is the fill thread's target.  acquire()
-  /// rotates them with GradientBatch::swap — O(1), no row copied.
-  /// Depth 0 uses only `ready_` (fill and aggregate never coexist).
-  Slot ready_;
-  Slot filling_;
+  /// The ring: depth + 1 slots (one at depth 0), round t in slot
+  /// t mod (depth + 1).  The slot round t+depth fills is the one round
+  /// t−1 just vacated, so no arena is ever copied or swapped.
+  std::vector<Slot> slots_;
   GradientBatch clean_;           ///< adversary's clean-observation arena
   std::vector<uint8_t> live_;     ///< schedule mask scratch
   std::vector<size_t> live_idx_;  ///< live worker indices, ascending
+  std::vector<double> latency_;   ///< per-live-rank fill seconds (adaptive only)
   Round round_;                   ///< what acquire() returns
   /// Per-n' rule lookup; entries point either at the caller-provided
   /// full-rows instance or at rules this pipeline constructed (owned
@@ -218,19 +252,21 @@ class RoundPipeline {
   std::map<size_t, const Aggregator*> gar_by_rows_;
   std::vector<std::unique_ptr<Aggregator>> owned_gars_;
 
-  // Depth-1 handshake.  Mutex-ordered: the fill thread only touches
-  // `filling_` between claiming a request and publishing fill_done_, the
-  // caller only between wait_fill_done() and the next dispatch_fill().
-  // fill_done_ is atomic so the waiter can spin on it before paying the
-  // condition-variable sleep (parallel::spin_budget).
+  // Depth-k handshake.  Two monotone round counters replace the PR-4
+  // single-fill flag: `dispatched_` is the highest round whose fill has
+  // been requested (its slot's params snapshot already written),
+  // `filled_` the highest round whose fill completed.  The fill thread
+  // processes rounds (filled_, dispatched_] strictly in order; the
+  // caller waits for filled_ >= t.  filled_ is atomic so the waiter can
+  // spin on it before paying the condition-variable sleep
+  // (parallel::spin_budget); both counters are published under mutex_.
   std::thread fill_thread_;
   std::mutex mutex_;
   std::condition_variable request_cv_;
   std::condition_variable done_cv_;
-  bool has_request_ = false;
   bool stop_ = false;
-  size_t request_round_ = 0;
-  std::atomic<bool> fill_done_{false};
+  size_t dispatched_ = 0;
+  std::atomic<size_t> filled_{0};
   std::exception_ptr fill_error_;
 };
 

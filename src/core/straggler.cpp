@@ -1,0 +1,104 @@
+#include "core/straggler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "utils/errors.hpp"
+
+namespace dpbyz {
+
+StragglerController::StragglerController(const ExperimentConfig& config,
+                                         size_t honest_count)
+    : alpha_(config.straggler_ema_alpha),
+      timeout_factor_(config.straggler_timeout_factor),
+      warmup_rounds_(config.straggler_warmup_rounds) {
+  if (config.straggler_policy != "adaptive") return;
+  mode_ = config.straggler_replay.empty() ? Mode::kAdaptive : Mode::kReplay;
+  ema_.assign(honest_count, 0.0);
+  observed_.assign(honest_count, 0);
+  round_obs_.reserve(honest_count);
+  skip_next_.reserve(honest_count);
+  trace_.reserve(std::max<size_t>(64, config.straggler_replay.size()));
+  if (mode_ == Mode::kReplay) {
+    replay_ = config.straggler_replay;
+    std::sort(replay_.begin(), replay_.end(),
+              [](const StragglerDecision& a, const StragglerDecision& b) {
+                return a.round != b.round ? a.round < b.round : a.worker < b.worker;
+              });
+    for (const StragglerDecision& d : replay_)
+      require(d.worker < honest_count,
+              "StragglerController: replay trace names worker " +
+                  std::to_string(d.worker) + " outside the honest set");
+  }
+}
+
+size_t StragglerController::apply(size_t t, std::vector<uint8_t>& live,
+                                  size_t live_count) {
+  if (mode_ == Mode::kOff) return live_count;
+
+  if (mode_ == Mode::kReplay) {
+    // Rounds are queried strictly in order, so a single cursor walks the
+    // sorted trace exactly once per run.
+    while (replay_pos_ < replay_.size() && replay_[replay_pos_].round == t) {
+      const StragglerDecision d = replay_[replay_pos_++];
+      if (!live[d.worker] || live_count <= 1)
+        throw std::invalid_argument(
+            "StragglerController: replay trace skips worker " +
+            std::to_string(d.worker) + " in round " + std::to_string(t) +
+            ", which the schedule did not deliver (or would empty the round) — "
+            "the trace was recorded under a different (config, seed)");
+      live[d.worker] = 0;
+      --live_count;
+      trace_.push_back(d);
+    }
+    return live_count;
+  }
+
+  // Adaptive: apply the skips finish_round(t - 1) scheduled for t.
+  if (skip_round_ != t || skip_next_.empty()) return live_count;
+  // The floor mirrors the schedule's: never empty the live set.  When
+  // every scheduled worker timed out, the lowest-index candidate stays.
+  size_t applicable = 0;
+  for (uint32_t w : skip_next_) applicable += live[w] ? 1 : 0;
+  bool spare_first = applicable >= live_count;
+  for (uint32_t w : skip_next_) {
+    if (!live[w]) continue;
+    if (spare_first) {
+      spare_first = false;  // lowest-index applicable candidate survives
+      continue;
+    }
+    live[w] = 0;
+    --live_count;
+    trace_.push_back({static_cast<uint32_t>(t), w});
+  }
+  return live_count;
+}
+
+void StragglerController::observe(size_t /*t*/, size_t worker, double seconds) {
+  if (mode_ != Mode::kAdaptive) return;
+  round_obs_.emplace_back(static_cast<uint32_t>(worker), seconds);
+}
+
+void StragglerController::finish_round(size_t t) {
+  if (mode_ != Mode::kAdaptive) return;
+  skip_next_.clear();
+  skip_round_ = t + 1;
+  for (const auto& [worker, seconds] : round_obs_) {
+    // Decide against the pre-update EMA: the spike that trips the
+    // timeout must not first inflate the baseline it is compared to.
+    if (observed_[worker] >= warmup_rounds_ &&
+        seconds > timeout_factor_ * ema_[worker])
+      skip_next_.push_back(worker);
+    // The EMA still absorbs the slow observation — a persistent
+    // slowdown raises the baseline until the worker stops timing out
+    // (adaptive), while a one-off spike washes out in a few rounds.
+    ema_[worker] = observed_[worker] == 0
+                       ? seconds
+                       : (1.0 - alpha_) * ema_[worker] + alpha_ * seconds;
+    ++observed_[worker];
+  }
+  round_obs_.clear();
+}
+
+}  // namespace dpbyz

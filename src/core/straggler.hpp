@@ -1,0 +1,107 @@
+// straggler.hpp — adaptive straggler control for the round engine.
+//
+// A ParticipationSchedule decides who *should* deliver each round; the
+// StragglerController decides who is *too late to wait for*.  The fill
+// agent (core/pipeline.hpp) measures each live worker's fill latency,
+// feeds it here, and the controller keeps a per-worker exponential
+// moving average.  A worker whose measured latency blows past
+// `straggler_timeout_factor` x its own EMA is skipped for exactly the
+// next round — the engine stops waiting on it once, the worker is
+// retried immediately after, and the EMA (which absorbed the slow
+// observation) decides whether it keeps timing out.  That is the
+// bounded-asynchrony stance of the self-stabilizing-channel literature:
+// progress must not depend on timely delivery from every participant,
+// but nobody is evicted forever on one bad round.
+//
+// Determinism contract.  Timeout decisions are wall-clock-driven, so an
+// adaptive run is NOT a pure function of (config, seed).  What makes it
+// reproducible anyway: every applied skip is appended to a decision
+// trace (round, worker), the trace is returned in
+// RunResult::straggler_trace, and a run configured with that trace in
+// ExperimentConfig::straggler_replay applies the recorded decisions
+// instead of consulting the clock — bit-identical replay, pinned by
+// tests/test_straggler.cpp.  With the default policy "off" the
+// controller is inert and every engine determinism guarantee holds
+// unconditionally.
+//
+// Threading.  All methods are called by the single fill agent (the
+// caller thread at depth 0, the fill thread at depth >= 1), strictly in
+// round order; the controller itself is single-threaded state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+
+namespace dpbyz {
+
+class StragglerController {
+ public:
+  /// Inert controller (policy "off"): active() == false, every other
+  /// method is a cheap no-op.
+  StragglerController() = default;
+
+  /// `honest_count` is the number of honest workers decisions range
+  /// over.  Reads the straggler_* fields of `config`; a non-empty
+  /// config.straggler_replay puts the controller in replay mode.
+  StragglerController(const ExperimentConfig& config, size_t honest_count);
+
+  bool active() const { return mode_ != Mode::kOff; }
+  /// True when decisions come from a recorded trace, not the clock —
+  /// the engine then skips latency measurement entirely.
+  bool replaying() const { return mode_ == Mode::kReplay; }
+
+  /// Mask out of `live` (the schedule's draw for round t, live_count
+  /// ones) every worker this controller decided to skip in round t, and
+  /// return the new live count.  Applied skips are appended to trace().
+  /// Never empties the live set: if every scheduled worker is marked,
+  /// the lowest-index one stays in (same floor as the schedule).  In
+  /// replay mode, applies the recorded round-t decisions instead and
+  /// throws std::invalid_argument if a recorded skip names a worker the
+  /// schedule did not deliver — the trace belongs to a different
+  /// (config, seed).
+  size_t apply(size_t t, std::vector<uint8_t>& live, size_t live_count);
+
+  /// Record worker `worker`'s measured fill latency for round t.
+  /// Called once per live worker, in ascending worker index.  No-op in
+  /// replay mode.
+  void observe(size_t t, size_t worker, double seconds);
+
+  /// Close round t: update every observed worker's EMA and schedule the
+  /// round-(t+1) skips (workers whose round-t latency exceeded
+  /// timeout_factor x their pre-update EMA, once warmed up).  No-op in
+  /// replay mode.
+  void finish_round(size_t t);
+
+  /// Applied decisions so far, in (round, worker) order.  Replay mode
+  /// re-records what it applies, so a replayed run's trace equals its
+  /// input — traces are idempotent under replay.
+  const std::vector<StragglerDecision>& trace() const { return trace_; }
+
+  /// Per-honest-worker latency EMA in seconds (zeros until observed;
+  /// empty when inactive).  Snapshot into RunResult::straggler_ema.
+  const std::vector<double>& ema() const { return ema_; }
+
+ private:
+  enum class Mode { kOff, kAdaptive, kReplay };
+
+  Mode mode_ = Mode::kOff;
+  double alpha_ = 0.3;
+  double timeout_factor_ = 4.0;
+  size_t warmup_rounds_ = 5;
+
+  std::vector<double> ema_;          ///< per honest worker, seconds
+  std::vector<uint32_t> observed_;   ///< per-worker observation count
+  /// This round's observations, ascending worker index (fill agent
+  /// observes in index order).
+  std::vector<std::pair<uint32_t, double>> round_obs_;
+  std::vector<uint32_t> skip_next_;  ///< workers to skip in skip_round_
+  size_t skip_round_ = 0;
+
+  std::vector<StragglerDecision> trace_;
+  std::vector<StragglerDecision> replay_;  ///< sorted by (round, worker)
+  size_t replay_pos_ = 0;
+};
+
+}  // namespace dpbyz

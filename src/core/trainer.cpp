@@ -108,14 +108,14 @@ RunResult Trainer::run() {
   const bool observe_clean =
       config_.attack_enabled && config_.attack_observes == "clean";
   // Every mode runs through the round engine (core/pipeline.hpp): it
-  // owns the double-buffered arenas and every fill-side RNG stream from
-  // here on.  At the defaults (depth 0, full participation) its fill
-  // executes the seed loop's exact stage order — submit in worker-index
-  // order, forge, §2.1 dropout zeroing — on this thread, so the
-  // trajectory stays bit-identical to the synchronous trainer (pinned
-  // by the PR-3 golden trajectories in tests/test_pipeline.cpp).  The
-  // server's own (n, f) rule seeds the engine's per-n' cache, so full
-  // rounds aggregate through the same instance either way.
+  // owns the k+1-slot ring of arenas and every fill-side RNG stream
+  // from here on.  At the defaults (depth 0, full participation) its
+  // fill executes the seed loop's exact stage order — submit in
+  // worker-index order, forge, §2.1 dropout zeroing — on this thread,
+  // so the trajectory stays bit-identical to the synchronous trainer
+  // (pinned by the PR-3 golden trajectories in tests/test_pipeline.cpp).
+  // The server's own (n, f) rule seeds the engine's per-n' cache, so
+  // full rounds aggregate through the same instance either way.
   ParticipationSchedule participation(config_, honest.size(),
                                       root.derive("participation"));
   RoundPipeline pipeline(config_, honest, attack_.get(), f, observe_clean,
@@ -127,10 +127,11 @@ RunResult Trainer::run() {
                                 static_cast<double>(round.live_honest));
     result.round_rows.push_back(round.rows);
     result.phase.fill += round.fill_wait_seconds;
+    result.phase.fill_busy += round.fill_busy_seconds;
 
     // Aggregate the live prefix with the (n', f)-admissible rule —
-    // while, at depth 1, the fill thread already produces round t+1
-    // against the stale parameters.
+    // while, at depth k >= 1, the fill thread already produces rounds
+    // t+1 .. t+k against their stale parameter snapshots.
     const Aggregator& round_gar = pipeline.aggregator_for(round.rows);
     Stopwatch agg_watch;
     server.aggregate_with(round_gar, round.batch_view);
@@ -144,6 +145,13 @@ RunResult Trainer::run() {
       const double acc = model_.accuracy(server.parameters(), test_);
       result.eval.push_back({t, acc});
     }
+  }
+
+  // The last acquire has happened, so the fill agent is quiescent and
+  // the straggler controller's state is safe to snapshot.
+  if (pipeline.straggler().active()) {
+    result.straggler_trace = pipeline.straggler().trace();
+    result.straggler_ema = pipeline.straggler().ema();
   }
 
   result.final_parameters = server.parameters();

@@ -355,7 +355,25 @@ TEST(RoundPipelineMetrics, PhaseTimesAndRoundRowsAreRecorded) {
 
 TEST(RoundPipelineConfig, ValidationAndLabel) {
   ExperimentConfig c;
-  c.pipeline_depth = 2;
+  c.pipeline_depth = kMaxPipelineDepth + 1;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = ExperimentConfig{};
+  c.pipeline_depth = kMaxPipelineDepth;
+  EXPECT_NO_THROW(c.validate());
+  c = ExperimentConfig{};
+  c.straggler_policy = "sometimes";
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = ExperimentConfig{};
+  c.straggler_policy = "adaptive";
+  c.straggler_ema_alpha = 0.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = ExperimentConfig{};
+  c.straggler_replay = {{1, 0}};  // replay requires the adaptive policy
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c.straggler_policy = "adaptive";
+  EXPECT_NO_THROW(c.validate());
+  EXPECT_NE(c.label().find("+strag(replay)"), std::string::npos);
+  c.straggler_replay = {{0, 0}};  // round out of [1, steps]
   EXPECT_THROW(c.validate(), std::invalid_argument);
   c = ExperimentConfig{};
   c.participation = "sometimes";
@@ -378,7 +396,7 @@ TEST(RoundPipelineConfig, ValidationAndLabel) {
   c.participation = "iid";
   EXPECT_NO_THROW(c.validate());
   const std::string label = c.label();
-  EXPECT_NE(label.find("+D1"), std::string::npos);
+  EXPECT_NE(label.find("+p1"), std::string::npos);
   EXPECT_NE(label.find("+iid"), std::string::npos);
 }
 

@@ -1,0 +1,334 @@
+// Tests for adaptive straggler control (core/straggler.hpp): EMA /
+// warmup / timeout unit math, the never-empty-round floor, trace
+// recording and replay (including rejection of traces recorded under a
+// different config/seed), a randomized 250-round property sweep over
+// ParticipationSchedule x StragglerController with seeds logged on
+// failure, and end-to-end replay determinism through the Trainer.
+//
+// Every Straggler* test runs under the TSAN CI job alongside the
+// RoundPipeline* filter (.github/workflows/ci.yml): the e2e tests drive
+// the controller from the depth-k fill thread.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/experiment.hpp"
+#include "core/pipeline.hpp"
+#include "core/straggler.hpp"
+#include "core/trainer.hpp"
+
+namespace dpbyz {
+namespace {
+
+struct SmallTask {
+  Dataset train;
+  Dataset test;
+  LinearModel model;
+  SmallTask() : model(6, LinearLoss::kMseOnSigmoid) {
+    BlobsConfig c;
+    c.num_samples = 400;
+    c.num_features = 6;
+    c.separation = 4.0;
+    const Dataset full = make_blobs(c, 8);
+    Rng split_rng(123);
+    auto [tr, te] = full.split(300, split_rng);
+    train = std::move(tr);
+    test = std::move(te);
+  }
+};
+
+ExperimentConfig fast_config() {
+  ExperimentConfig c;
+  c.steps = 40;
+  c.eval_every = 10;
+  c.batch_size = 10;
+  return c;
+}
+
+ExperimentConfig adaptive_config(double alpha, double factor, size_t warmup) {
+  ExperimentConfig c;
+  c.straggler_policy = "adaptive";
+  c.straggler_ema_alpha = alpha;
+  c.straggler_timeout_factor = factor;
+  c.straggler_warmup_rounds = warmup;
+  return c;
+}
+
+// ---- controller unit math -------------------------------------------------
+
+TEST(Straggler, InertByDefault) {
+  StragglerController off;
+  EXPECT_FALSE(off.active());
+  std::vector<uint8_t> live{1, 1, 1};
+  EXPECT_EQ(off.apply(1, live, 3), 3u);
+  EXPECT_EQ(live, (std::vector<uint8_t>{1, 1, 1}));
+  off.observe(1, 0, 1.0);
+  off.finish_round(1);
+  EXPECT_TRUE(off.trace().empty());
+  EXPECT_TRUE(off.ema().empty());
+
+  ExperimentConfig c;  // policy defaults to "off"
+  StragglerController from_config(c, 3);
+  EXPECT_FALSE(from_config.active());
+}
+
+TEST(Straggler, EmaWarmupAndOneRoundSkip) {
+  // alpha 0.5, timeout 2x, warmup 2 observations: two steady rounds
+  // build the baseline, a 3x spike in round 3 trips the timeout, the
+  // worker sits out exactly round 4 and is back in round 5.  The spike
+  // is judged against the pre-update EMA (1.0, not the absorbed 2.0).
+  StragglerController ctl(adaptive_config(0.5, 2.0, 2), 2);
+  ASSERT_TRUE(ctl.active());
+  std::vector<uint8_t> live;
+
+  auto round = [&](size_t t, double w0_latency) {
+    live.assign(2, 1);
+    const size_t n = ctl.apply(t, live, 2);
+    ctl.observe(t, 0, w0_latency);
+    ctl.finish_round(t);
+    return n;
+  };
+
+  EXPECT_EQ(round(1, 1.0), 2u);  // warming up: observed 0 < 2
+  EXPECT_EQ(ctl.ema()[0], 1.0);  // first observation seeds the EMA
+  EXPECT_EQ(round(2, 1.0), 2u);  // warming up: observed 1 < 2
+  EXPECT_EQ(ctl.ema()[0], 1.0);
+  EXPECT_EQ(round(3, 3.0), 2u);  // 3.0 > 2 x 1.0: skip scheduled for 4
+  EXPECT_EQ(ctl.ema()[0], 2.0);  // ... but the EMA still absorbed it
+  EXPECT_EQ(ctl.ema()[1], 0.0);  // worker 1 never observed
+
+  live.assign(2, 1);
+  EXPECT_EQ(ctl.apply(4, live, 2), 1u);
+  EXPECT_EQ(live, (std::vector<uint8_t>{0, 1}));  // worker 0 sits out
+  ASSERT_EQ(ctl.trace().size(), 1u);
+  EXPECT_EQ(ctl.trace()[0], (StragglerDecision{4, 0}));
+  ctl.observe(4, 1, 1.0);
+  ctl.finish_round(4);
+
+  live.assign(2, 1);
+  EXPECT_EQ(ctl.apply(5, live, 2), 2u);  // retried immediately after
+  EXPECT_EQ(ctl.trace().size(), 1u);
+}
+
+TEST(Straggler, FloorKeepsLowestIndexWhenAllTimeOut) {
+  // warmup 0 + a zero pre-update EMA makes every first observation a
+  // "timeout": both workers are scheduled out of round 2, and the floor
+  // must keep the lowest-index one in.
+  StragglerController ctl(adaptive_config(1.0, 2.0, 0), 2);
+  std::vector<uint8_t> live{1, 1};
+  ctl.apply(1, live, 2);
+  ctl.observe(1, 0, 1.0);
+  ctl.observe(1, 1, 1.0);
+  ctl.finish_round(1);
+
+  live.assign(2, 1);
+  EXPECT_EQ(ctl.apply(2, live, 2), 1u);
+  EXPECT_EQ(live, (std::vector<uint8_t>{1, 0}));
+  ASSERT_EQ(ctl.trace().size(), 1u);
+  EXPECT_EQ(ctl.trace()[0], (StragglerDecision{2, 1}));
+}
+
+TEST(Straggler, SkipOnlyAppliesToScheduledLiveWorkers) {
+  // A worker the schedule already excluded cannot be skipped twice: the
+  // decision silently expires (no trace entry) and the count is honest.
+  StragglerController ctl(adaptive_config(1.0, 2.0, 0), 3);
+  std::vector<uint8_t> live{1, 1, 1};
+  ctl.apply(1, live, 3);
+  ctl.observe(1, 2, 1.0);  // only worker 2 observed -> scheduled out of 2
+  ctl.finish_round(1);
+
+  live = {1, 1, 0};  // the schedule itself dropped worker 2 this round
+  EXPECT_EQ(ctl.apply(2, live, 2), 2u);
+  EXPECT_TRUE(ctl.trace().empty());
+}
+
+// ---- replay ---------------------------------------------------------------
+
+TEST(StragglerReplay, AppliesRecordedDecisionsAndReRecords) {
+  auto c = adaptive_config(0.3, 4.0, 5);
+  c.straggler_replay = {{3, 0}, {2, 1}};  // unsorted on purpose
+  StragglerController ctl(c, 3);
+  EXPECT_TRUE(ctl.replaying());
+
+  std::vector<uint8_t> live{1, 1, 1};
+  EXPECT_EQ(ctl.apply(1, live, 3), 3u);
+  live.assign(3, 1);
+  EXPECT_EQ(ctl.apply(2, live, 3), 2u);
+  EXPECT_EQ(live, (std::vector<uint8_t>{1, 0, 1}));
+  live.assign(3, 1);
+  EXPECT_EQ(ctl.apply(3, live, 3), 2u);
+  EXPECT_EQ(live, (std::vector<uint8_t>{0, 1, 1}));
+
+  // Replay re-records what it applies: traces are replay-idempotent.
+  const std::vector<StragglerDecision> want{{2, 1}, {3, 0}};
+  EXPECT_EQ(ctl.trace(), want);
+}
+
+TEST(StragglerReplay, ForeignTraceIsRejected) {
+  auto c = adaptive_config(0.3, 4.0, 5);
+  c.straggler_replay = {{1, 2}};
+  StragglerController ctl(c, 3);
+  std::vector<uint8_t> live{1, 1, 0};  // worker 2 not delivered
+  EXPECT_THROW(ctl.apply(1, live, 2), std::invalid_argument);
+
+  c.straggler_replay = {{1, 0}};
+  StragglerController empty_guard(c, 3);
+  live = {1, 0, 0};  // skipping worker 0 would empty the round
+  EXPECT_THROW(empty_guard.apply(1, live, 1), std::invalid_argument);
+}
+
+TEST(StragglerReplay, OutOfRangeWorkerRejectedAtConstruction) {
+  auto c = adaptive_config(0.3, 4.0, 5);
+  c.straggler_replay = {{1, 7}};
+  EXPECT_THROW(StragglerController(c, 3), std::invalid_argument);
+}
+
+// ---- property sweep: schedule x controller over 250 rounds ----------------
+
+TEST(StragglerProperty, RandomizedRoundsHoldFloorAndReplayBitIdentical) {
+  // For several seeds: drive an iid participation schedule through an
+  // adaptive controller fed synthetic latencies (steady per-worker base,
+  // seeded 8% chance of a 10x spike) for 250 rounds.  Invariants per
+  // round: at least one live worker, mask consistent with the returned
+  // count.  Then replay the recorded trace against a fresh schedule with
+  // the same seed and demand the exact live masks back.
+  constexpr size_t kHonest = 8;
+  constexpr size_t kRounds = 250;
+  for (uint64_t seed : {11u, 22u, 33u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    ExperimentConfig c = adaptive_config(0.3, 3.0, 3);
+    c.steps = kRounds;
+    c.participation = "iid";
+    c.participation_prob = 0.7;
+
+    std::vector<std::vector<uint8_t>> masks;
+    std::vector<StragglerDecision> trace;
+    {
+      ParticipationSchedule sched(c, kHonest, Rng(seed));
+      StragglerController ctl(c, kHonest);
+      Rng spike_rng(seed + 1000);
+      std::vector<uint8_t> live;
+      for (size_t t = 1; t <= kRounds; ++t) {
+        size_t n = sched.live_round(t, live);
+        n = ctl.apply(t, live, n);
+        ASSERT_GE(n, 1u) << "round " << t;
+        size_t ones = 0;
+        for (uint8_t v : live) ones += v;
+        ASSERT_EQ(ones, n) << "round " << t;
+        masks.push_back(live);
+        for (size_t w = 0; w < kHonest; ++w) {
+          if (!live[w]) continue;
+          const double base = 0.01 * static_cast<double>(w + 1);
+          ctl.observe(t, w, spike_rng.bernoulli(0.08) ? base * 10.0 : base);
+        }
+        ctl.finish_round(t);
+      }
+      trace = ctl.trace();
+      ASSERT_FALSE(trace.empty());  // the spikes must actually bite
+    }
+
+    // Replay: same schedule seed, decisions from the trace, no clock.
+    ExperimentConfig rc = c;
+    rc.straggler_replay = trace;
+    ParticipationSchedule sched(rc, kHonest, Rng(seed));
+    StragglerController ctl(rc, kHonest);
+    std::vector<uint8_t> live;
+    for (size_t t = 1; t <= kRounds; ++t) {
+      size_t n = sched.live_round(t, live);
+      n = ctl.apply(t, live, n);
+      ASSERT_EQ(live, masks[t - 1]) << "round " << t;
+      (void)n;
+    }
+    EXPECT_EQ(ctl.trace(), trace);
+  }
+}
+
+// ---- end-to-end through the trainer ---------------------------------------
+
+TEST(StragglerE2E, ReplayTraceShrinksRoundsAndIsBitDeterministic) {
+  // A synthetic trace exercises the full path — config validation,
+  // fill-thread application at depth 2, per-n' GAR revalidation, trace
+  // snapshot into RunResult — without depending on real wall-clock
+  // spikes.  n = 11, f = 2 (honest 9): round 2 drops worker 0, round 5
+  // drops workers 1 and 2.
+  SmallTask task;
+  auto c = fast_config().with_attack("little");
+  c.num_workers = 11;
+  c.num_byzantine = 2;
+  c.pipeline_depth = 2;
+  c.straggler_policy = "adaptive";
+  c.straggler_replay = {{2, 0}, {5, 1}, {5, 2}};
+
+  const RunResult a = Trainer(c, task.model, task.train, task.test).run();
+  for (size_t t = 0; t < a.round_rows.size(); ++t) {
+    const size_t want = t + 1 == 2 ? 10u : t + 1 == 5 ? 9u : 11u;
+    EXPECT_EQ(a.round_rows[t], want) << "round " << t + 1;
+  }
+  EXPECT_EQ(a.straggler_trace, c.straggler_replay);
+  EXPECT_EQ(a.straggler_ema.size(), 9u);  // replay never observes: zeros
+
+  const RunResult b = Trainer(c, task.model, task.train, task.test).run();
+  EXPECT_EQ(a.final_parameters, b.final_parameters);
+  EXPECT_EQ(a.train_loss, b.train_loss);
+
+  // The skips are real: the trajectory differs from the no-skip run.
+  auto off = c;
+  off.straggler_policy = "off";
+  off.straggler_replay.clear();
+  const RunResult no_skip = Trainer(off, task.model, task.train, task.test).run();
+  EXPECT_NE(a.final_parameters, no_skip.final_parameters);
+}
+
+TEST(StragglerE2E, AdaptiveRunReplaysToIdenticalTrajectory) {
+  // Adaptive decisions are clock-driven, but the trajectory is a pure
+  // function of (config, seed, trace): replaying whatever trace the
+  // adaptive run recorded — usually empty on this uniform task — must
+  // reproduce it bit for bit.
+  SmallTask task;
+  auto c = fast_config().with_dp(0.5);
+  c.gar = "average";  // admissible at any n': a real OS-jitter skip can't throw
+  c.num_workers = 8;
+  c.num_byzantine = 0;
+  c.pipeline_depth = 1;
+  c.straggler_policy = "adaptive";
+  const RunResult adaptive = Trainer(c, task.model, task.train, task.test).run();
+  EXPECT_EQ(adaptive.straggler_ema.size(), c.num_workers);
+  for (double e : adaptive.straggler_ema) EXPECT_GE(e, 0.0);
+
+  auto rc = c;
+  if (adaptive.straggler_trace.empty()) {
+    // No decisions to replay — an adaptive run that never skipped is a
+    // pure function of (config, seed), i.e. exactly the "off" run.
+    rc.straggler_policy = "off";
+  } else {
+    rc.straggler_replay = adaptive.straggler_trace;
+  }
+  const RunResult replay = Trainer(rc, task.model, task.train, task.test).run();
+  EXPECT_EQ(replay.final_parameters, adaptive.final_parameters);
+  EXPECT_EQ(replay.train_loss, adaptive.train_loss);
+  EXPECT_EQ(replay.round_rows, adaptive.round_rows);
+  EXPECT_EQ(replay.straggler_trace, adaptive.straggler_trace);
+}
+
+TEST(StragglerE2E, ReplayBelowGarAdmissibilityThrows) {
+  // krum at n = 11, f = 2 needs n' >= 2f + 3 = 7; a replayed round-1
+  // quintuple skip leaves n' = 4 + 2 = 6 and must throw with the round
+  // budget in the message — the per-n' revalidation covers straggler
+  // skips exactly like participation dropouts.
+  SmallTask task;
+  auto c = fast_config().with_attack("little");
+  c.num_workers = 11;
+  c.num_byzantine = 2;
+  c.gar = "krum";
+  c.straggler_policy = "adaptive";
+  c.straggler_replay = {{1, 0}, {1, 1}, {1, 2}, {1, 3}, {1, 4}};
+  try {
+    Trainer(c, task.model, task.train, task.test).run();
+    FAIL() << "inadmissible straggler round did not throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("n' = 6"), std::string::npos) << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace dpbyz
