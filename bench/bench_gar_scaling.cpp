@@ -66,15 +66,28 @@
 // isotropic control row whose near-zero fraction and sub-1 speedup are
 // the documented graceful-degradation case, not a regression.
 //
+// A seventh sweep measures the hierarchical aggregation tree and the
+// framed wire format (aggregation/hierarchical.hpp, src/net/): flat vs
+// sharded S = 4 vs tree (L = 2, B = 8) per GAR at n in {50, 200, 1000}
+// (inadmissible cells — 64 leaves exceed n = 50, krum on 3-row leaves —
+// and the intractable flat-MDA cells are recorded with their reasons,
+// not hidden), the L = 1-vs-sharded bit-identity gates with and without
+// the ideal framed link, and per wire mode the encode/decode throughput,
+// bytes per row/round, codec allocation count, and the checksum gates.
+//
 // Results go to stdout as a table and to BENCH_gar_scaling.json in the
-// working directory.  Flags: --fast (skip d = 1e5), --budget-ms M
-// (per-measurement time budget, default 300), --check (exit nonzero on
-// any correctness/allocation regression: non-identical outputs, nonzero
-// steady-state allocs, engine depth-0 drift, depth-k nondeterminism,
-// fast-mode nondeterminism or an out-of-bound fast-mode deviation,
-// prune=exact drift from off, a pruned-mode steady-state allocation, or
-// a collapsed lowdim krum pruned-pair fraction —
-// the CI smoke step runs this so perf-path regressions fail PRs).
+// working directory.  Flags: --fast (skip d = 1e5 and the n = 1000
+// tree cells), --budget-ms M (per-measurement time budget, default
+// 300), --check (exit nonzero on any correctness/allocation regression:
+// non-identical outputs, nonzero steady-state allocs, engine depth-0
+// drift, depth-k nondeterminism, fast-mode nondeterminism or an
+// out-of-bound fast-mode deviation, prune=exact drift from off, a
+// pruned-mode steady-state allocation, a collapsed lowdim krum
+// pruned-pair fraction, an L = 1 tree diverging from the sharded rule
+// (in memory or framed), a wire codec that allocates, fails the raw64
+// byte-exact round trip, passes a corrupted frame, or breaks the int8
+// error contract — the CI smoke step runs this so perf-path regressions
+// fail PRs).
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -90,10 +103,13 @@
 #include <thread>
 
 #include "aggregation/aggregator.hpp"
+#include "aggregation/hierarchical.hpp"
 #include "aggregation/mda.hpp"
 #include "aggregation/pruned_oracle.hpp"
 #include "aggregation/reference_gars.hpp"
 #include "aggregation/sharded.hpp"
+#include "net/frame.hpp"
+#include "net/transport.hpp"
 #include "core/experiment.hpp"
 #include "core/server.hpp"
 #include "core/trainer.hpp"
@@ -359,6 +375,37 @@ struct StalenessRow {
 struct QuadStalenessRow {
   size_t depth;
   double excess_loss;  // Theorem-1 task: Q(w_{T+1}) - Q*, mean over seeds
+};
+
+struct TreeRow {
+  std::string gar, topology;  // "flat" | "sharded(S=4)" | "tree(L=2,B=8)"
+  size_t n, d, f;
+  double ms = 0.0;
+  size_t allocs = 0;
+  std::string note;  // nonempty = cell skipped (infeasible / intractable)
+};
+
+/// Correctness gates of the hierarchical/wire refactor, asserted under
+/// --check per inner GAR: the L = 1 tree must be bit-identical to the
+/// sharded aggregator at the same (n, f, S = B) — in memory AND over the
+/// ideal framed link — and the framed steady state must be allocation-free.
+struct TreeGateRow {
+  std::string gar;
+  size_t n, f, branch;
+  bool l1_identical;         // in-memory tree == sharded, bit-for-bit
+  bool l1_framed_identical;  // ideal raw64 edges == sharded, bit-for-bit
+  size_t framed_allocs;      // steady-state allocs of one framed aggregate
+};
+
+struct WireRow {
+  std::string mode;  // raw64 | int8 | topk
+  size_t d, bytes_per_row, frames_per_row;
+  double encode_ms, decode_ms;      // one full row, median
+  size_t codec_allocs;              // encode+decode cycle after warmup
+  bool round_trip_exact;            // decoded row == source (raw64 only)
+  bool corrupt_rejected;            // one flipped byte fails the checksum
+  double max_abs_err;               // decoded vs source (int8/topk)
+  uint64_t tree_bytes_per_round;    // framed L=1 B=4 n=48 tree, one round
 };
 
 /// The per-call std::thread dispatch the persistent pool replaced — kept
@@ -1031,6 +1078,226 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ---- tree sweep: flat vs sharded vs the hierarchical tree ---------------
+  // d = 1e3 so the n = 1000 flat O(n²d) point stays rerunnable.  f = 2
+  // for the robust rules (the largest f whose S = 4 merge budget is
+  // admissible: f = 4 would need a median over 4 shard aggregates
+  // tolerating 2), f = 0 for average.  Cells whose derived per-level
+  // budget is inadmissible — (L=2, B=8) needs 64 non-empty leaves, and
+  // 3-row leaves cannot host krum at f_child = 1 — are recorded with
+  // the constructor's own message, not silently dropped; same for the
+  // flat-MDA cells whose subset search is intractable at large n (the
+  // regime the prune sweep documents — sharding/trees keep the MDA
+  // leaves small, which is exactly the point of the comparison).
+  std::vector<TreeRow> tree_rows;
+  std::vector<TreeGateRow> tree_gate_rows;
+  {
+    const size_t d = 1000;
+    std::vector<size_t> tree_ns{50, 200, 1000};
+    if (fast) tree_ns.pop_back();
+
+    auto measure = [&](dpbyz::Aggregator& agg, const GradientBatch& batch,
+                       double& ms, size_t& allocs) {
+      dpbyz::AggregatorWorkspace ws;
+      agg.aggregate(batch, ws);  // warm every retained buffer
+      g_alloc_count.store(0);
+      g_count_allocs.store(true);
+      agg.aggregate(batch, ws);
+      g_count_allocs.store(false);
+      allocs = g_alloc_count.load();
+      ms = time_call([&] { agg.aggregate(batch, ws); }, budget_s) * 1e3;
+    };
+    auto emit = [&](TreeRow r) {
+      if (r.note.empty()) {
+        std::printf("%-8s %-14s %5zu %6zu %3zu | %12.3f | %7zu\n", r.gar.c_str(),
+                    r.topology.c_str(), r.n, r.d, r.f, r.ms, r.allocs);
+      } else {
+        std::printf("%-8s %-14s %5zu %6zu %3zu | skipped (%s)\n", r.gar.c_str(),
+                    r.topology.c_str(), r.n, r.d, r.f, r.note.c_str());
+      }
+      std::fflush(stdout);
+      tree_rows.push_back(std::move(r));
+    };
+
+    std::printf("\n%-8s %-14s %5s %6s %3s | %12s | %7s\n", "gar", "topology", "n",
+                "d", "f", "step (ms)", "allocs");
+    std::printf(
+        "----------------------------------------------------------------\n");
+    for (const std::string gar : {"krum", "mda", "average"}) {
+      for (const size_t n : tree_ns) {
+        const size_t f = gar == "average" ? 0 : 2;
+        const auto gradients = make_gradients(n, d, 42);
+        const GradientBatch batch = GradientBatch::from_vectors(gradients);
+
+        TreeRow flat_row{gar, "flat", n, d, f, 0.0, 0, ""};
+        if (gar == "mda" && n > 50) {
+          // Constructible (C(n, 2) subsets is under the cap) but the
+          // branch-and-bound wall-clock is the prune sweep's documented
+          // blow-up regime; a tracked bench stays rerunnable.
+          flat_row.note = "flat MDA subset search intractable at this n";
+        } else {
+          const auto flat = dpbyz::make_aggregator(gar, n, f);
+          measure(*flat, batch, flat_row.ms, flat_row.allocs);
+        }
+        emit(std::move(flat_row));
+
+        TreeRow shard_row{gar, "sharded(S=4)", n, d, f, 0.0, 0, ""};
+        std::optional<dpbyz::ShardedAggregator> sharded;
+        try {
+          sharded.emplace(gar, "median", n, f, 4);
+          measure(*sharded, batch, shard_row.ms, shard_row.allocs);
+        } catch (const std::invalid_argument& e) {
+          shard_row.note = e.what();
+        }
+        emit(std::move(shard_row));
+
+        TreeRow tree_row{gar, "tree(L=2,B=8)", n, d, f, 0.0, 0, ""};
+        std::optional<dpbyz::HierarchicalAggregator> tree;
+        try {
+          tree.emplace(gar, "median", n, f, 2, 8);
+          measure(*tree, batch, tree_row.ms, tree_row.allocs);
+        } catch (const std::invalid_argument& e) {
+          tree_row.note = e.what();
+        }
+        emit(std::move(tree_row));
+      }
+    }
+
+    // Refactor gates: L = 1 tree vs sharded at (n = 48, B = S = 4), in
+    // memory and over the ideal framed raw64 link.
+    {
+      const size_t gn = 48, gd = 4096;
+      const auto gradients = make_gradients(gn, gd, 42);
+      const GradientBatch batch = GradientBatch::from_vectors(gradients);
+      const dpbyz::net::LinkConfig ideal;  // raw64, no faults
+      std::printf("\n%-8s | %9s %12s %12s\n", "gar", "L1 ident", "framed ident",
+                  "framed allocs");
+      std::printf("--------------------------------------------------\n");
+      for (const std::string gar : {"krum", "mda", "average"}) {
+        const size_t f = gar == "average" ? 0 : 2;
+        const dpbyz::ShardedAggregator sharded(gar, "median", gn, f, 4);
+        const dpbyz::HierarchicalAggregator tree(gar, "median", gn, f, 1, 4);
+        const dpbyz::HierarchicalAggregator framed(
+            gar, "median", gn, f, 1, 4, 1, dpbyz::PruneMode::kOff, &ideal);
+        dpbyz::AggregatorWorkspace ws_s, ws_t, ws_f;
+        const auto sv = sharded.aggregate(batch, ws_s);
+        const Vector want(sv.begin(), sv.end());
+        const auto tv = tree.aggregate(batch, ws_t);
+        const bool l1_identical = Vector(tv.begin(), tv.end()) == want;
+        framed.aggregate(batch, ws_f);  // warm the wire buffers
+        g_alloc_count.store(0);
+        g_count_allocs.store(true);
+        const auto fv = framed.aggregate(batch, ws_f);
+        g_count_allocs.store(false);
+        const size_t framed_allocs = g_alloc_count.load();
+        const bool framed_identical = Vector(fv.begin(), fv.end()) == want;
+        tree_gate_rows.push_back(
+            {gar, gn, f, 4, l1_identical, framed_identical, framed_allocs});
+        std::printf("%-8s | %9s %12s %12zu\n", gar.c_str(),
+                    l1_identical ? "yes" : "NO", framed_identical ? "yes" : "NO",
+                    framed_allocs);
+        std::fflush(stdout);
+      }
+    }
+  }
+
+  // ---- wire sweep: encode/decode throughput and bytes per round -----------
+  // One d = 1e4 row per mode: median encode and decode+apply wall-clock,
+  // the steady-state allocation count of a full codec cycle (must be 0),
+  // the checksum gates (raw64 round trip byte-exact; one flipped byte
+  // always rejected), the decode error of the lossy modes, and — from
+  // the framed n = 48 L = 1 tree above — the actual bytes one
+  // aggregation round puts on the wire per mode (4 edges × d = 4096).
+  std::vector<WireRow> wire_rows;
+  {
+    const size_t wd = 10000;
+    Rng rng(42);
+    const Vector row = rng.normal_vector(wd, 1.0);
+    const auto wire_gradients = make_gradients(48, 4096, 42);
+    const GradientBatch wire_batch = GradientBatch::from_vectors(wire_gradients);
+
+    std::printf("\n%-6s %6s | %10s %6s | %10s %10s | %6s | %5s %7s | %9s | %11s\n",
+                "mode", "d", "bytes/row", "frames", "enc (ms)", "dec (ms)",
+                "allocs", "exact", "corrupt", "max err", "bytes/round");
+    std::printf(
+        "--------------------------------------------------------------------------"
+        "--------------------------\n");
+    for (const dpbyz::net::WireMode mode :
+         {dpbyz::net::WireMode::kRaw64, dpbyz::net::WireMode::kInt8,
+          dpbyz::net::WireMode::kTopK}) {
+      dpbyz::net::FrameEncoder enc(mode, 1024);
+      dpbyz::net::FrameBuffer frames;
+      Vector decoded(wd, 0.0);
+      auto decode_all = [&] {
+        for (size_t i = 0; i < frames.count(); ++i) {
+          dpbyz::net::FrameView chunk;
+          if (dpbyz::net::decode_frame(frames.frame(i), chunk) !=
+                  dpbyz::net::DecodeStatus::kOk ||
+              !dpbyz::net::apply_chunk(chunk, decoded))
+            std::abort();  // a healthy frame must always decode
+        }
+      };
+
+      // Warm, then prove the encode+decode cycle is allocation-free.
+      frames.clear();
+      enc.encode_row(row, frames);
+      decode_all();
+      g_alloc_count.store(0);
+      g_count_allocs.store(true);
+      frames.clear();
+      enc.encode_row(row, frames);
+      decode_all();
+      g_count_allocs.store(false);
+      const size_t codec_allocs = g_alloc_count.load();
+
+      const double encode_ms = time_call(
+                                   [&] {
+                                     frames.clear();
+                                     enc.encode_row(row, frames);
+                                   },
+                                   budget_s) *
+                               1e3;
+      const double decode_ms = time_call(decode_all, budget_s) * 1e3;
+
+      std::fill(decoded.begin(), decoded.end(), 0.0);
+      decode_all();
+      const bool round_trip_exact = decoded == row;
+      double max_abs_err = 0.0;
+      for (size_t i = 0; i < wd; ++i)
+        max_abs_err = std::max(max_abs_err, std::abs(decoded[i] - row[i]));
+
+      // One flipped byte anywhere must fail the CRC.
+      const std::span<const uint8_t> good = frames.frame(0);
+      std::vector<uint8_t> bad(good.begin(), good.end());
+      bad[bad.size() / 2] ^= 0x40;
+      dpbyz::net::FrameView chunk;
+      const bool corrupt_rejected =
+          dpbyz::net::decode_frame(bad, chunk) != dpbyz::net::DecodeStatus::kOk;
+
+      // Bytes one framed tree round actually sends under this mode.
+      dpbyz::net::LinkConfig link;
+      link.wire = mode;
+      const dpbyz::HierarchicalAggregator framed(
+          "median", "median", 48, 2, 1, 4, 1, dpbyz::PruneMode::kOff, &link);
+      dpbyz::AggregatorWorkspace ws;
+      framed.aggregate(wire_batch, ws);
+      const uint64_t bytes_per_round = framed.channel_stats().bytes_sent;
+
+      wire_rows.push_back({dpbyz::net::wire_mode_name(mode), wd,
+                           enc.bytes_per_row(wd), enc.chunks(wd), encode_ms,
+                           decode_ms, codec_allocs, round_trip_exact,
+                           corrupt_rejected, max_abs_err, bytes_per_round});
+      std::printf("%-6s %6zu | %10zu %6zu | %10.4f %10.4f | %6zu | %5s %7s | "
+                  "%9.2e | %11llu\n",
+                  dpbyz::net::wire_mode_name(mode).c_str(), wd,
+                  enc.bytes_per_row(wd), enc.chunks(wd), encode_ms, decode_ms,
+                  codec_allocs, round_trip_exact ? "yes" : "no",
+                  corrupt_rejected ? "yes" : "NO", max_abs_err,
+                  static_cast<unsigned long long>(bytes_per_round));
+      std::fflush(stdout);
+    }
+  }
+
   FILE* out = std::fopen("BENCH_gar_scaling.json", "w");
   if (!out) {
     std::fprintf(stderr, "cannot open BENCH_gar_scaling.json for writing\n");
@@ -1149,12 +1416,61 @@ int main(int argc, char** argv) {
                  r.excess_loss,
                  i + 1 < quad_staleness_rows.size() ? "," : "");
   }
+  std::fprintf(out, "  ],\n  \"tree_sweep\": [\n");
+  for (size_t i = 0; i < tree_rows.size(); ++i) {
+    const TreeRow& r = tree_rows[i];
+    if (r.note.empty()) {
+      std::fprintf(out,
+                   "    {\"gar\": \"%s\", \"topology\": \"%s\", \"n\": %zu, "
+                   "\"d\": %zu, \"f\": %zu, \"step_ms\": %.6f, "
+                   "\"allocs_after_warmup\": %zu, \"skipped\": null}%s\n",
+                   r.gar.c_str(), r.topology.c_str(), r.n, r.d, r.f, r.ms,
+                   r.allocs, i + 1 < tree_rows.size() ? "," : "");
+    } else {
+      std::fprintf(out,
+                   "    {\"gar\": \"%s\", \"topology\": \"%s\", \"n\": %zu, "
+                   "\"d\": %zu, \"f\": %zu, \"step_ms\": null, "
+                   "\"allocs_after_warmup\": null, \"skipped\": \"%s\"}%s\n",
+                   r.gar.c_str(), r.topology.c_str(), r.n, r.d, r.f,
+                   r.note.c_str(), i + 1 < tree_rows.size() ? "," : "");
+    }
+  }
+  std::fprintf(out, "  ],\n  \"tree_gates\": [\n");
+  for (size_t i = 0; i < tree_gate_rows.size(); ++i) {
+    const TreeGateRow& r = tree_gate_rows[i];
+    std::fprintf(out,
+                 "    {\"gar\": \"%s\", \"n\": %zu, \"f\": %zu, \"branch\": %zu, "
+                 "\"l1_bit_identical_to_sharded\": %s, "
+                 "\"l1_framed_bit_identical\": %s, "
+                 "\"framed_allocs_after_warmup\": %zu}%s\n",
+                 r.gar.c_str(), r.n, r.f, r.branch,
+                 r.l1_identical ? "true" : "false",
+                 r.l1_framed_identical ? "true" : "false", r.framed_allocs,
+                 i + 1 < tree_gate_rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"wire_sweep\": [\n");
+  for (size_t i = 0; i < wire_rows.size(); ++i) {
+    const WireRow& r = wire_rows[i];
+    std::fprintf(out,
+                 "    {\"mode\": \"%s\", \"d\": %zu, \"bytes_per_row\": %zu, "
+                 "\"frames_per_row\": %zu, \"encode_ms\": %.6f, "
+                 "\"decode_ms\": %.6f, \"codec_allocs_after_warmup\": %zu, "
+                 "\"round_trip_exact\": %s, \"corrupt_rejected\": %s, "
+                 "\"max_abs_err\": %.3e, \"tree_bytes_per_round\": %llu}%s\n",
+                 r.mode.c_str(), r.d, r.bytes_per_row, r.frames_per_row,
+                 r.encode_ms, r.decode_ms, r.codec_allocs,
+                 r.round_trip_exact ? "true" : "false",
+                 r.corrupt_rejected ? "true" : "false", r.max_abs_err,
+                 static_cast<unsigned long long>(r.tree_bytes_per_round),
+                 i + 1 < wire_rows.size() ? "," : "");
+  }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
   std::printf("\nwrote BENCH_gar_scaling.json (%zu configurations)\n",
               rows.size() + shard_rows.size() + prune_rows.size() +
                   pipeline_rows.size() + depth_rows.size() +
-                  staleness_rows.size() + quad_staleness_rows.size());
+                  staleness_rows.size() + quad_staleness_rows.size() +
+                  tree_rows.size() + tree_gate_rows.size() + wire_rows.size());
 
   // ---- --check: fail the process (and the CI smoke step) on regressions ---
   if (check) {
@@ -1239,6 +1555,38 @@ int main(int argc, char** argv) {
         fail("round engine depth-" + std::to_string(r.depth) +
              " steady state allocates (" + std::to_string(r.allocs) +
              " per step)");
+    }
+    // Hierarchical/wire gates: every measured topology cell must be
+    // allocation-free at steady state; the L = 1 tree must match the
+    // sharded aggregator bit-for-bit with and without the framed link;
+    // the codec must round-trip raw64 byte-exactly, reject corruption,
+    // stay allocation-free, and keep int8 inside its documented bound.
+    for (const TreeRow& r : tree_rows) {
+      if (r.note.empty() && r.allocs != 0)
+        fail(r.topology + " " + r.gar + " n=" + std::to_string(r.n) + ": " +
+             std::to_string(r.allocs) + " allocs after warmup");
+    }
+    for (const TreeGateRow& r : tree_gate_rows) {
+      if (!r.l1_identical)
+        fail("tree L=1 " + r.gar + " diverged from sharded S=" +
+             std::to_string(r.branch));
+      if (!r.l1_framed_identical)
+        fail("framed (ideal raw64) tree L=1 " + r.gar +
+             " diverged from sharded S=" + std::to_string(r.branch));
+      if (r.framed_allocs != 0)
+        fail("framed tree " + r.gar + ": " + std::to_string(r.framed_allocs) +
+             " allocs after warmup");
+    }
+    for (const WireRow& r : wire_rows) {
+      if (r.mode == "raw64" && !r.round_trip_exact)
+        fail("raw64 wire round trip is not byte-exact");
+      if (!r.corrupt_rejected)
+        fail(r.mode + " wire: a corrupted frame passed the checksum");
+      if (r.codec_allocs != 0)
+        fail(r.mode + " wire codec: " + std::to_string(r.codec_allocs) +
+             " allocs after warmup");
+      if (r.mode == "int8" && r.max_abs_err > 1.0 / 254.0 * 6.0)
+        fail("int8 wire decode error exceeds the ||row||_inf/254 contract");
     }
     if (violations > 0) {
       std::fprintf(stderr, "--check: %zu violation(s)\n", violations);

@@ -1,0 +1,58 @@
+// budget.hpp — the shared worst-case f-budget of one fan-in stage.
+//
+// Both multi-level aggregators (the two-level ShardedAggregator and the
+// recursive HierarchicalAggregator) split n rows across `fanout` children
+// and robust-merge the child aggregates.  The budget each stage must be
+// provisioned for is the PR-2 bound (derivation in docs/ARCHITECTURE.md,
+// "Sharded aggregation"):
+//
+//   * each child is provisioned for child_f = ceil(f / fanout) Byzantine
+//     rows — the evenly-spread worst case;
+//   * overwhelming one child costs the adversary child_f + 1 of its f
+//     rows, so at most merge_f = floor(f / (child_f + 1)) children can
+//     exceed their budget — the merge rule runs at (fanout, merge_f).
+//
+// The tree applies the same bound per level by recursion: a node at
+// (n, f) hands each child (n_child, child_f) and merges at
+// (fanout, merge_f); the child re-derives its own stage budget from
+// (n_child, child_f).  Keeping the arithmetic here — one constexpr
+// function both classes call — is what guarantees the L = 1 tree and the
+// sharded path agree bit-for-bit on every derived budget.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace dpbyz {
+
+/// Derived Byzantine budgets of one fan-in stage.
+struct StageBudget {
+  size_t child_f = 0;  ///< per-child provision, ceil(f / fanout)
+  size_t merge_f = 0;  ///< children an adversary can overwhelm, floor(f / (child_f + 1))
+};
+
+/// The PR-2 bound for one stage.  f = 0 yields {0, 0} (nothing to place);
+/// fanout = 0 is tolerated with {0, f} so the caller's own
+/// "fanout >= 1" require can fire with its message instead of a division
+/// fault — member initializers run before constructor bodies.
+constexpr StageBudget derive_stage_budget(size_t f, size_t fanout) {
+  const size_t child_f = (fanout > 0 && f > 0) ? (f + fanout - 1) / fanout : 0;
+  return {child_f, f / (child_f + 1)};
+}
+
+/// Runs `make_stage` (a factory returning a stage aggregator) and, when
+/// the stage rejects its derived (count, f) pair, rethrows with `context`
+/// prefixed — so an inadmissible level deep in a tree names its own
+/// budget and how it was derived, not just the leaf rule's constraint.
+template <typename Fn>
+auto with_budget_context(const std::string& context, Fn&& make_stage) {
+  try {
+    return make_stage();
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(context + ": " + e.what());
+  }
+}
+
+}  // namespace dpbyz

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "aggregation/budget.hpp"
 #include "utils/errors.hpp"
 #include "utils/parallel.hpp"
 
@@ -13,20 +14,31 @@ ShardedAggregator::ShardedAggregator(const std::string& inner, const std::string
     : Aggregator(n, f),
       shard_count_(shards),
       threads_(threads),
-      shard_f_((shards > 0 && f > 0) ? (f + shards - 1) / shards : 0),
-      merge_f_(corruptible_shards(f, shard_f_)) {
+      shard_f_(derive_stage_budget(f, shards).child_f),
+      merge_f_(derive_stage_budget(f, shards).merge_f) {
   require(shards >= 1, "ShardedAggregator: need at least one shard");
   require(shards <= n, "ShardedAggregator: more shards than rows");
   inners_.reserve(shard_count_);
   for (size_t s = 0; s < shard_count_; ++s) {
     const auto [lo, hi] = shard_range(s);
     // The inner GAR's own constructor enforces admissibility at
-    // (shard size, shard_f) — e.g. Krum's n_s >= 2 f_shard + 3.
-    inners_.push_back(make_aggregator(inner, hi - lo, shard_f_, prune));
+    // (shard size, shard_f) — e.g. Krum's n_s >= 2 f_shard + 3; the
+    // context names the shard's derived budget, not just the top level's.
+    inners_.push_back(with_budget_context(
+        "ShardedAggregator: inner stage '" + inner + "' at shard " +
+            std::to_string(s) + " (rows " + std::to_string(hi - lo) + ", f_shard " +
+            std::to_string(shard_f_) + "; derived from (n=" + std::to_string(n) +
+            ", f=" + std::to_string(f) + ", S=" + std::to_string(shards) + "))",
+        [&] { return make_aggregator(inner, hi - lo, shard_f_, prune); }));
   }
   // Likewise the merge stage at (S, f_merge); median is admissible for
   // any S >= 2 f_merge + 1, which is the usual binding constraint.
-  merge_ = make_aggregator(merge, shard_count_, merge_f_, prune);
+  merge_ = with_budget_context(
+      "ShardedAggregator: merge stage '" + merge + "' (S=" + std::to_string(shards) +
+          ", f_merge " + std::to_string(merge_f_) + "; derived from (n=" +
+          std::to_string(n) + ", f=" + std::to_string(f) + "), f_shard " +
+          std::to_string(shard_f_) + ")",
+      [&] { return make_aggregator(merge, shard_count_, merge_f_, prune); });
   // An "average" merge over uneven shards weights by shard size (the
   // unweighted mean of shard means over-weights the small shards); see
   // aggregate_into.  Equal shard sizes (S | n, including S = 1) make the
@@ -52,7 +64,9 @@ std::pair<size_t, size_t> ShardedAggregator::shard_range(size_t s) const {
 size_t ShardedAggregator::corruptible_shards(size_t f, size_t shard_f) {
   // A shard stays within budget while it holds <= shard_f Byzantine rows;
   // overwhelming one therefore costs the adversary shard_f + 1 of its f
-  // rows, and it can afford that floor(f / (shard_f + 1)) times.
+  // rows, and it can afford that floor(f / (shard_f + 1)) times.  (This
+  // is the merge_f of aggregation/budget.hpp's shared stage bound, which
+  // the constructor derives through derive_stage_budget.)
   return f / (shard_f + 1);
 }
 

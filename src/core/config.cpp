@@ -41,6 +41,27 @@ void ExperimentConfig::validate() const {
           "config: prune must be off|exact|approx");
   require(shards >= 1, "config: shards must be at least 1");
   require(shards <= num_workers, "config: cannot have more shards than workers");
+  if (tree_levels > 0) {
+    require(tree_branch >= 1, "config: tree_branch must be >= 1 when tree_levels > 0");
+    require(shards == 1, "config: tree_levels and shards > 1 are mutually exclusive");
+  } else {
+    require(tree_branch == 0, "config: tree_branch requires tree_levels > 0");
+  }
+  require(wire == "off" || wire == "raw64" || wire == "int8" || wire == "topk",
+          "config: wire must be off|raw64|int8|topk");
+  if (wire != "off") {
+    require(tree_levels >= 1, "config: wire requires tree_levels >= 1");
+    require(wire_chunk >= 1, "config: wire_chunk must be >= 1");
+  }
+  require(channel == "off" || channel == "lossy",
+          "config: channel must be off|lossy");
+  if (channel == "lossy") {
+    require(wire != "off", "config: channel == 'lossy' requires a wire format");
+    auto probability = [](double p) { return p >= 0.0 && p <= 1.0; };
+    require(probability(channel_drop) && probability(channel_duplicate) &&
+                probability(channel_corrupt) && probability(channel_reorder),
+            "config: channel fault probabilities must be in [0, 1]");
+  }
   require(pipeline_depth <= kMaxPipelineDepth,
           "config: pipeline_depth must be in [0, " +
               std::to_string(kMaxPipelineDepth) + "]");
@@ -85,6 +106,11 @@ void ExperimentConfig::validate() const {
 std::string ExperimentConfig::label() const {
   std::string out = gar;
   if (shards > 1) out += "+S" + std::to_string(shards);
+  if (tree_levels > 0)
+    out += "+tree(L" + std::to_string(tree_levels) + ",B" +
+           std::to_string(tree_branch) + ")";
+  if (wire != "off") out += "+wire(" + wire + ")";
+  if (channel != "off") out += "+chan";
   if (threads != 1) out += "+T" + std::to_string(threads);
   if (pipeline_depth > 0) out += "+p" + std::to_string(pipeline_depth);
   if (straggler_policy == "adaptive")

@@ -200,8 +200,55 @@ struct ExperimentConfig {
   /// Second-stage GAR applied across the S shard aggregates when
   /// shards > 1.  "median" is admissible whenever S >= 2 f_merge + 1 and
   /// is the recommended default; "mda" is the stronger choice when its
-  /// (S, f_merge) constraints hold.
+  /// (S, f_merge) constraints hold.  The hierarchical tree (tree_levels
+  /// >= 1) reuses this knob as its per-node merge rule.
   std::string shard_merge_gar = "median";
+  /// Hierarchical aggregation tree depth L (see docs/ARCHITECTURE.md,
+  /// "Hierarchical aggregation & wire format").  0 = off (the flat or
+  /// two-level sharded path, untouched).  L >= 1 builds an L-level
+  /// HierarchicalAggregator: each node splits its rows into
+  /// `tree_branch` contiguous views, aggregates each with `gar` at the
+  /// leaves, and merges per node with `shard_merge_gar` at the recursed
+  /// worst-case budget (child_f = ceil(f/B), merge_f =
+  /// floor(f/(child_f+1)) per level).  L = 1 is bit-identical to
+  /// shards = tree_branch.  Mutually exclusive with shards > 1.
+  /// tree_branch^tree_levels must not exceed the round's row count or
+  /// aggregator construction throws.
+  size_t tree_levels = 0;
+  /// Branching factor B per tree node; required >= 1 when tree_levels
+  /// >= 1 (and must be 0 when the tree is off).
+  size_t tree_branch = 0;
+  /// Wire encoding of the tree's child→parent edges (requires
+  /// tree_levels >= 1):
+  ///   "off"   — in-memory copies (default; bit-identical to no wire)
+  ///   "raw64" — framed + checksummed, byte-exact round trip
+  ///   "int8"  — per-row symmetric int8 quantization (error ≤ ||row||∞/254
+  ///             per coordinate — see the robustness contract in
+  ///             docs/ARCHITECTURE.md)
+  ///   "topk"  — only the wire_topk largest-|x| coordinates travel
+  std::string wire = "off";
+  /// Coordinates kept per row under wire == "topk"; 0 = dim/10 (min 1).
+  size_t wire_topk = 0;
+  /// Coordinates (raw64/int8) or entries (topk) per frame — the chunking
+  /// granularity drop/reorder faults act on.
+  size_t wire_chunk = 1024;
+  /// Edge transport faults (requires wire != "off"):
+  ///   "off"   — ideal delivery, frames arrive intact and in order
+  ///   "lossy" — the seeded SimulatedChannel drops / duplicates /
+  ///             corrupts / reorders frames per the probabilities below.
+  ///             Missing chunks are retransmitted up to
+  ///             channel_retransmit rounds; an unreassemblable child
+  ///             aggregate is zero-substituted against the level's
+  ///             merge_f budget (exceeding it throws).  The run stays a
+  ///             pure function of (config, seed, channel_seed) and its
+  ///             channel counters land in RunResult::channel.
+  std::string channel = "off";
+  double channel_drop = 0.0;       ///< per-frame drop probability, [0,1]
+  double channel_duplicate = 0.0;  ///< per-frame duplication probability, [0,1]
+  double channel_corrupt = 0.0;    ///< per-frame byte-flip probability, [0,1]
+  double channel_reorder = 0.0;    ///< per-frame delay/reorder probability, [0,1]
+  uint64_t channel_seed = 1;       ///< root of the per-edge fault streams
+  size_t channel_retransmit = 2;   ///< extra delivery rounds for missing chunks
   bool attack_enabled = false;
   std::string attack = "little";  ///< "little" | "empire" | auxiliary names
   /// Attack factor nu; NaN = the attack's paper default (1.5 / 1.1).

@@ -12,6 +12,7 @@
 
 #include "core/config.hpp"
 #include "math/vector_ops.hpp"
+#include "net/channel.hpp"
 
 namespace dpbyz {
 
@@ -69,6 +70,11 @@ struct RunResult {
   /// Final per-honest-worker fill-latency EMA, seconds (empty unless the
   /// controller was active).
   std::vector<double> straggler_ema;
+  /// Wire/channel counters summed over every tree edge of the run
+  /// (all-zero unless tree_levels >= 1 with wire != "off").  A seeded
+  /// lossy run reproduces these exactly along with its trajectory —
+  /// both are pure functions of (config, seed, channel_seed).
+  net::ChannelStats channel;
 };
 
 /// Mean/stddev of a metric across runs, aligned per step index.

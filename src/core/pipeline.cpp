@@ -4,7 +4,8 @@
 #include <string>
 #include <utility>
 
-#include "aggregation/sharded.hpp"
+#include "aggregation/hierarchical.hpp"
+#include "core/trainer.hpp"
 #include "utils/errors.hpp"
 #include "utils/parallel.hpp"
 #include "utils/stopwatch.hpp"
@@ -283,11 +284,7 @@ const Aggregator& RoundPipeline::aggregator_for(size_t rows) {
   if (it == gar_by_rows_.end()) {
     std::unique_ptr<Aggregator> gar;
     try {
-      gar = config_.shards > 1
-                ? std::make_unique<ShardedAggregator>(
-                      config_.gar, config_.shard_merge_gar, rows,
-                      config_.num_byzantine, config_.shards, config_.threads)
-                : make_aggregator(config_.gar, rows, config_.num_byzantine);
+      gar = make_round_aggregator(config_, rows);
     } catch (const std::invalid_argument& e) {
       throw std::invalid_argument(
           "RoundPipeline: round budget (n' = " + std::to_string(rows) +
@@ -298,6 +295,12 @@ const Aggregator& RoundPipeline::aggregator_for(size_t rows) {
     owned_gars_.push_back(std::move(gar));
   }
   return *it->second;
+}
+
+void RoundPipeline::add_channel_stats(net::ChannelStats& out) const {
+  for (const auto& gar : owned_gars_)
+    if (const auto* tree = dynamic_cast<const HierarchicalAggregator*>(gar.get()))
+      out.accumulate(tree->channel_stats());
 }
 
 }  // namespace dpbyz

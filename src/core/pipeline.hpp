@@ -72,6 +72,7 @@
 #include "core/worker.hpp"
 #include "math/gradient_batch.hpp"
 #include "math/rng.hpp"
+#include "net/channel.hpp"
 
 namespace dpbyz {
 
@@ -173,11 +174,17 @@ class RoundPipeline {
 
   /// The per-(n', f) aggregation rule for a round of `rows` rows:
   /// the first occurrence of each n' constructs the configured GAR
-  /// (sharded when config.shards > 1) at (n', f) — throwing
-  /// std::invalid_argument when that round budget is inadmissible —
-  /// and caches it.  With full participation every round reuses the
-  /// single (n, f) instance.
+  /// through make_round_aggregator (sharded when config.shards > 1, the
+  /// hierarchical tree when config.tree_levels >= 1) at (n', f) —
+  /// throwing std::invalid_argument when that round budget is
+  /// inadmissible — and caches it.  With full participation every round
+  /// reuses the single (n, f) instance.
   const Aggregator& aggregator_for(size_t rows);
+
+  /// Accumulates the channel counters of every tree rule this engine
+  /// constructed (no-op otherwise).  Call only after the final acquire —
+  /// the counters are written by the rounds that run the rules.
+  void add_channel_stats(net::ChannelStats& out) const;
 
   /// Total rounds this run will consume (== config.steps); acquire(t)
   /// skips dispatching the successor fill when t + depth() exceeds it.

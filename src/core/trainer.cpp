@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "aggregation/hierarchical.hpp"
 #include "aggregation/sharded.hpp"
 #include "core/pipeline.hpp"
 #include "data/partition.hpp"
@@ -25,6 +26,34 @@ std::unique_ptr<NoiseMechanism> make_mechanism(const ExperimentConfig& config, s
         config.epsilon, config.clip_norm, config.batch_size, dim));
   }
   throw std::invalid_argument("make_mechanism: unknown mechanism '" + config.mechanism + "'");
+}
+
+std::unique_ptr<Aggregator> make_round_aggregator(const ExperimentConfig& config,
+                                                  size_t rows) {
+  const PruneMode prune = parse_prune_mode(config.prune);
+  if (config.tree_levels > 0) {
+    net::LinkConfig link;
+    const bool framed = config.wire != "off";
+    if (framed) {
+      link.wire = net::parse_wire_mode(config.wire);
+      link.topk = config.wire_topk;
+      link.chunk_values = config.wire_chunk;
+      link.channel_seed = config.channel_seed;
+      link.retransmit_limit = config.channel_retransmit;
+      if (config.channel == "lossy")
+        link.channel = {config.channel_drop, config.channel_duplicate,
+                        config.channel_corrupt, config.channel_reorder};
+    }
+    return std::make_unique<HierarchicalAggregator>(
+        config.gar, config.shard_merge_gar, rows, config.num_byzantine,
+        config.tree_levels, config.tree_branch, config.threads, prune,
+        framed ? &link : nullptr);
+  }
+  if (config.shards > 1)
+    return std::make_unique<ShardedAggregator>(config.gar, config.shard_merge_gar,
+                                               rows, config.num_byzantine,
+                                               config.shards, config.threads, prune);
+  return make_aggregator(config.gar, rows, config.num_byzantine, prune);
 }
 
 Trainer::Trainer(const ExperimentConfig& config, const Model& model, const Dataset& train,
@@ -83,20 +112,14 @@ RunResult Trainer::run() {
   const LrSchedule schedule = config_.lr_schedule == "theorem1"
                                   ? theorem1_lr(1.0 / config_.learning_rate, 0.0)
                                   : constant_lr(config_.learning_rate);
-  // shards == 1 uses the flat GAR directly rather than a degenerate
-  // ShardedAggregator so the paper-default path is byte-for-byte the
-  // code the golden tests pin (the S = 1 sharded path is itself golden-
-  // tested bit-identical, but there is no reason to pay its indirection).
-  // config.threads drives the shard dispatch width too; nesting inside
+  // make_round_aggregator picks the topology: flat at the defaults (the
+  // paper path is byte-for-byte the code the golden tests pin — no
+  // degenerate wrapper indirection), two-level sharded, or the
+  // hierarchical tree with its wire/channel link.  config.threads drives
+  // the shard/child dispatch width too; nesting inside
   // run_seeds_parallel is safe because the process-wide ThreadPool runs
   // nested jobs serially on the worker they were issued from.
-  const PruneMode prune = parse_prune_mode(config_.prune);
-  std::unique_ptr<Aggregator> gar =
-      config_.shards > 1
-          ? std::make_unique<ShardedAggregator>(config_.gar, config_.shard_merge_gar, n,
-                                                config_.num_byzantine, config_.shards,
-                                                config_.threads, prune)
-          : make_aggregator(config_.gar, n, config_.num_byzantine, prune);
+  std::unique_ptr<Aggregator> gar = make_round_aggregator(config_, n);
   ParameterServer server(std::move(gar),
                          SgdOptimizer(model_.dim(), schedule, config_.momentum),
                          model_.initial_parameters());
@@ -152,6 +175,15 @@ RunResult Trainer::run() {
   if (pipeline.straggler().active()) {
     result.straggler_trace = pipeline.straggler().trace();
     result.straggler_ema = pipeline.straggler().ema();
+  }
+
+  // Channel accounting: the server's full-round tree plus every per-n'
+  // instance the engine constructed (their counters are only written by
+  // the rounds that ran them, all quiescent by now).
+  if (config_.tree_levels > 0) {
+    if (const auto* tree = dynamic_cast<const HierarchicalAggregator*>(&server.gar()))
+      result.channel.accumulate(tree->channel_stats());
+    pipeline.add_channel_stats(result.channel);
   }
 
   result.final_parameters = server.parameters();

@@ -1,0 +1,93 @@
+#include "net/channel.hpp"
+
+#include <algorithm>
+
+#include "utils/errors.hpp"
+
+namespace dpbyz::net {
+
+void ChannelStats::accumulate(const ChannelStats& o) {
+  frames_sent += o.frames_sent;
+  frames_delivered += o.frames_delivered;
+  frames_dropped += o.frames_dropped;
+  frames_duplicated += o.frames_duplicated;
+  frames_corrupted += o.frames_corrupted;
+  frames_reordered += o.frames_reordered;
+  retransmit_frames += o.retransmit_frames;
+  rows_substituted += o.rows_substituted;
+  bytes_sent += o.bytes_sent;
+  bytes_delivered += o.bytes_delivered;
+}
+
+SimulatedChannel::SimulatedChannel(const ChannelConfig& config, uint64_t seed)
+    : config_(config), rng_(seed) {
+  auto probability = [](double p) { return p >= 0.0 && p <= 1.0; };
+  require(probability(config.drop) && probability(config.duplicate) &&
+              probability(config.corrupt) && probability(config.reorder),
+          "SimulatedChannel: fault probabilities must be in [0, 1]");
+}
+
+void SimulatedChannel::transmit(const FrameBuffer& frames,
+                                std::span<const uint32_t> indices, FrameBuffer& out,
+                                ChannelStats& stats) {
+  // Pass 1 — draw every fault in send order.  The plan is built before
+  // any copy so the RNG consumption (hence the whole fault sequence) is
+  // independent of how the deliveries are later ordered.
+  plan_.clear();
+  uint64_t send_pos = 0;
+  for (uint32_t idx : indices) {
+    const std::span<const uint8_t> frame = frames.frame(idx);
+    ++stats.frames_sent;
+    stats.bytes_sent += frame.size();
+    if (config_.drop > 0 && rng_.bernoulli(config_.drop)) {
+      ++stats.frames_dropped;
+      ++send_pos;
+      continue;
+    }
+    const size_t copies =
+        (config_.duplicate > 0 && rng_.bernoulli(config_.duplicate)) ? 2 : 1;
+    if (copies == 2) ++stats.frames_duplicated;
+    for (size_t c = 0; c < copies; ++c) {
+      Delivery d{};
+      d.src = idx;
+      // A reordered copy is delayed past up to |indices| later sends;
+      // rank ties (none between distinct sends: rank << 1 | jittered bit
+      // keeps punctual copies ahead) break by send position via the
+      // stable_sort below being replaced with a composite key.
+      d.rank = send_pos;
+      if (config_.reorder > 0 && rng_.bernoulli(config_.reorder)) {
+        d.rank += 1 + rng_.uniform_index(indices.size() + 1);
+        ++stats.frames_reordered;
+      }
+      if (config_.corrupt > 0 && rng_.bernoulli(config_.corrupt)) {
+        d.corrupt = 1;
+        d.flip_pos = static_cast<uint32_t>(rng_.uniform_index(frame.size()));
+        d.flip_mask = static_cast<uint8_t>(1 + rng_.uniform_index(255));
+        ++stats.frames_corrupted;
+      }
+      plan_.push_back(d);
+    }
+    ++send_pos;
+  }
+
+  // Delivery order: jittered rank, ties in emission order (the composite
+  // key is unique, so plain sort — no allocating stable_sort — suffices).
+  for (size_t i = 0; i < plan_.size(); ++i)
+    plan_[i].rank = (plan_[i].rank << 20) | static_cast<uint64_t>(i);
+  std::sort(plan_.begin(), plan_.end(),
+            [](const Delivery& a, const Delivery& b) { return a.rank < b.rank; });
+
+  // Pass 2 — copy surviving frames into the delivery buffer in that
+  // order, applying in-flight corruption to the copy only (the sender's
+  // buffer must stay intact for retransmission).
+  for (const Delivery& d : plan_) {
+    const std::span<const uint8_t> frame = frames.frame(d.src);
+    std::vector<uint8_t>& delivered = out.append();
+    delivered.assign(frame.begin(), frame.end());
+    if (d.corrupt) delivered[d.flip_pos] ^= d.flip_mask;
+    ++stats.frames_delivered;
+    stats.bytes_delivered += delivered.size();
+  }
+}
+
+}  // namespace dpbyz::net

@@ -1,0 +1,435 @@
+// Tests for the recursive HierarchicalAggregator: L = 1 bit-identity
+// with ShardedAggregator (golden, incl. adversarial ties, threading and
+// the framed-but-ideal wire), recursive budget derivation, admissibility
+// failures naming the node path, resilience under concentrated Byzantine
+// rows, the config/trainer plumbing, and the lossy-channel properties —
+// bit-reproducible runs, stats in RunResult, and the substitution budget.
+#include "aggregation/hierarchical.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "aggregation/sharded.hpp"
+#include "core/experiment.hpp"
+#include "core/trainer.hpp"
+#include "math/gradient_batch.hpp"
+#include "math/rng.hpp"
+
+namespace dpbyz {
+namespace {
+
+/// Seeded cluster of rows around a shifted mean, the honest population.
+GradientBatch honest_batch(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  GradientBatch batch(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    const Vector v = rng.normal_vector(d, 1.0);
+    batch.set_row(i, v);
+    batch.row(i)[0] += 2.0;
+  }
+  return batch;
+}
+
+Vector aggregate_with(const Aggregator& agg, const GradientBatch& batch) {
+  AggregatorWorkspace ws;
+  const auto view = agg.aggregate(batch, ws);
+  return Vector(view.begin(), view.end());
+}
+
+// ---- L = 1 golden: one level IS the sharded aggregator ---------------------
+
+TEST(HierarchicalGolden, L1BitIdenticalToShardedForEveryRule) {
+  // n = 21 over B = 3 gives 7-row leaves at f_child = ceil(2/3) = 1 —
+  // admissible for every registered rule incl. bulyan (4f + 3 = 7).
+  const size_t n = 21, f = 2, d = 29;
+  const GradientBatch batch = honest_batch(n, d, 7);
+  for (const std::string& gar : aggregator_names()) {
+    const HierarchicalAggregator tree(gar, "median", n, f, /*levels=*/1, /*branch=*/3);
+    const ShardedAggregator sharded(gar, "median", n, f, /*shards=*/3);
+    EXPECT_EQ(aggregate_with(tree, batch), aggregate_with(sharded, batch))
+        << "L=1 tree " << gar << " diverged from the sharded path";
+  }
+}
+
+TEST(HierarchicalGolden, L1BitIdenticalOnAdversarialDuplicates) {
+  // Colluding adversary: f identical extreme rows, the tie-heavy shape
+  // that exposes any ordering difference between the two paths.
+  const size_t n = 21, f = 2, d = 13;
+  GradientBatch batch = honest_batch(n, d, 9);
+  for (size_t i = n - f; i < n; ++i) {
+    for (size_t c = 0; c < d; ++c) batch.row(i)[c] = 1e3;
+  }
+  for (const std::string& gar : aggregator_names()) {
+    const HierarchicalAggregator tree(gar, "median", n, f, 1, 3);
+    const ShardedAggregator sharded(gar, "median", n, f, 3);
+    EXPECT_EQ(aggregate_with(tree, batch), aggregate_with(sharded, batch)) << gar;
+  }
+}
+
+TEST(HierarchicalGolden, ThreadedDispatchMatchesSerialBitForBit) {
+  // n = 45 over L = 2, B = 3: 15-row children, 5-row krum leaves at
+  // f_child = 1 (exactly the 2f + 3 floor).
+  const size_t n = 45, f = 2, d = 64;
+  const GradientBatch batch = honest_batch(n, d, 31);
+  const HierarchicalAggregator serial("krum", "median", n, f, 2, 3, /*threads=*/1);
+  const HierarchicalAggregator threaded("krum", "median", n, f, 2, 3, /*threads=*/4);
+  // threads = 0 means hardware concurrency — the parallel path, not a
+  // silent fallback to serial.
+  const HierarchicalAggregator hw_threads("krum", "median", n, f, 2, 3, /*threads=*/0);
+  const Vector want = aggregate_with(serial, batch);
+  for (int rep = 0; rep < 3; ++rep) {
+    EXPECT_EQ(aggregate_with(threaded, batch), want);
+    EXPECT_EQ(aggregate_with(hw_threads, batch), want);
+  }
+}
+
+TEST(HierarchicalGolden, IdealFramedLinkStaysBitIdentical) {
+  // raw64 frames over a fault-free channel: every edge encodes, ships
+  // and reassembles byte-exactly, so the framed tree must equal the
+  // in-memory tree (and hence the sharded path) bit for bit.
+  const size_t n = 21, f = 2, d = 23;
+  const GradientBatch batch = honest_batch(n, d, 15);
+  const net::LinkConfig link;  // raw64, no faults
+  for (const std::string& gar : aggregator_names()) {
+    const HierarchicalAggregator framed(gar, "median", n, f, 1, 3, 1,
+                                        PruneMode::kOff, &link);
+    const HierarchicalAggregator plain(gar, "median", n, f, 1, 3);
+    EXPECT_TRUE(framed.framed());
+    EXPECT_FALSE(plain.framed());
+    EXPECT_EQ(aggregate_with(framed, batch), aggregate_with(plain, batch)) << gar;
+  }
+  // The ideal link still pushes real frames: stats count them.
+  const HierarchicalAggregator framed("median", "median", n, f, 1, 3, 1,
+                                      PruneMode::kOff, &link);
+  aggregate_with(framed, batch);
+  const net::ChannelStats stats = framed.channel_stats();
+  EXPECT_EQ(stats.frames_sent, 3u);  // one chunk per child edge at d = 23
+  EXPECT_EQ(stats.frames_delivered, 3u);
+  EXPECT_EQ(stats.frames_dropped, 0u);
+  EXPECT_EQ(stats.rows_substituted, 0u);
+}
+
+// ---- recursive budget derivation -------------------------------------------
+
+TEST(Hierarchical, BudgetRecursesTheStageBoundPerLevel) {
+  // n = 27, f = 3, L = 2, B = 3: the root provisions child_f =
+  // ceil(3/3) = 1 and merges at f_merge = floor(3/2) = 1; each child is
+  // a (9, 1) one-level tree with child_f = 1 and f_merge = floor(1/2) =
+  // 0 over its three 3-row median leaves.
+  const HierarchicalAggregator tree("median", "median", 27, 3, 2, 3);
+  EXPECT_EQ(tree.levels(), 2u);
+  EXPECT_EQ(tree.branch(), 3u);
+  EXPECT_EQ(tree.child_f(), 1u);
+  EXPECT_EQ(tree.merge_f(), 1u);
+  EXPECT_EQ(tree.merge_rule().n(), 3u);
+  EXPECT_EQ(tree.merge_rule().f(), 1u);
+  EXPECT_EQ(tree.name(), "tree(median/median,L=2,B=3)");
+
+  // Children partition the rows contiguously, sizes within one.
+  size_t expected_lo = 0;
+  for (size_t b = 0; b < tree.branch(); ++b) {
+    const auto [lo, hi] = tree.child_range(b);
+    EXPECT_EQ(lo, expected_lo);
+    EXPECT_EQ(hi - lo, 9u);
+    expected_lo = hi;
+  }
+  EXPECT_EQ(expected_lo, 27u);
+  EXPECT_THROW(tree.child_range(3), std::invalid_argument);
+
+  // Each child really is the recursive case with the derived budget.
+  const auto* sub = dynamic_cast<const HierarchicalAggregator*>(&tree.child(0));
+  ASSERT_NE(sub, nullptr);
+  EXPECT_EQ(sub->levels(), 1u);
+  EXPECT_EQ(sub->n(), 9u);
+  EXPECT_EQ(sub->f(), 1u);
+  EXPECT_EQ(sub->child_f(), 1u);
+  EXPECT_EQ(sub->merge_f(), 0u);
+  EXPECT_EQ(sub->child(0).n(), 3u);  // a flat median leaf
+  EXPECT_EQ(sub->child(0).f(), 1u);
+}
+
+TEST(Hierarchical, InadmissibleLevelNamesTheNodePathAndBudget)
+{
+  // n = 12, f = 2, L = 2, B = 2: the root's children are (6, 1) trees
+  // whose 3-row leaves cannot host krum at f_child = 1 (needs 2f + 3 =
+  // 5 rows).  The error must name the failing node's path and budget.
+  try {
+    const HierarchicalAggregator tree("krum", "median", 12, 2, 2, 2);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("node root.0"), std::string::npos) << what;
+    EXPECT_NE(what.find("f_child 1"), std::string::npos) << what;
+  }
+}
+
+TEST(Hierarchical, ConstructionSanityChecks) {
+  // Empty leaves: B^L = 16 > n = 10.
+  EXPECT_THROW(HierarchicalAggregator("median", "median", 10, 0, 2, 4),
+               std::invalid_argument);
+  // Degenerate parameters.
+  EXPECT_THROW(HierarchicalAggregator("median", "median", 10, 0, 0, 2),
+               std::invalid_argument);
+  EXPECT_THROW(HierarchicalAggregator("median", "median", 10, 0, 1, 0),
+               std::invalid_argument);
+  // Unknown rule names propagate from make_aggregator.
+  EXPECT_THROW(HierarchicalAggregator("nope", "median", 12, 1, 1, 3),
+               std::invalid_argument);
+  EXPECT_THROW(HierarchicalAggregator("median", "nope", 12, 1, 1, 3),
+               std::invalid_argument);
+  // A deep-but-admissible tree is fine: 2^3 = 8 leaves over 16 rows.
+  EXPECT_NO_THROW(HierarchicalAggregator("median", "median", 16, 0, 3, 2));
+}
+
+// ---- resilience and the weighted merge -------------------------------------
+
+TEST(HierarchicalResilience, UpperMergeAbsorbsAnOverwhelmedLeaf) {
+  // n = 27, f = 3, L = 2, B = 3 (budgets as above) with all three
+  // Byzantine rows packed into leaf root.0/0 — triple its f = 1 budget,
+  // so that leaf's aggregate is arbitrary.  Child root.0's median over
+  // its three leaf aggregates and the root's (3, 1) median both stay
+  // inside the honest envelope.
+  const size_t n = 27, d = 16, f = 3;
+  GradientBatch batch = honest_batch(n, d, 19);
+  for (size_t i = 0; i < f; ++i) {
+    for (size_t c = 0; c < d; ++c) batch.row(i)[c] = 1e6;
+  }
+  const HierarchicalAggregator tree("median", "median", n, f, 2, 3);
+  const Vector out = aggregate_with(tree, batch);
+  for (size_t c = 0; c < d; ++c) {
+    double lo = batch.row(f)[c], hi = batch.row(f)[c];
+    for (size_t i = f; i < n; ++i) {
+      lo = std::min(lo, batch.row(i)[c]);
+      hi = std::max(hi, batch.row(i)[c]);
+    }
+    ASSERT_GE(out[c], lo) << "coordinate " << c;
+    ASSERT_LE(out[c], hi) << "coordinate " << c;
+  }
+}
+
+TEST(HierarchicalWeightedMerge, UnevenSubtreesTrackTheFlatAverage) {
+  // n = 10 over L = 2, B = 3: root children of 3/3/4 rows, the last
+  // with uneven leaves of its own.  The subtree-size weighting composes
+  // through the levels into the flat mean over all n rows.
+  const size_t n = 10, d = 16;
+  const GradientBatch batch = honest_batch(n, d, 40);
+  const HierarchicalAggregator tree("average", "average", n, 0, 2, 3);
+  EXPECT_TRUE(tree.weighted_merge());
+  const Vector got = aggregate_with(tree, batch);
+  const auto flat = make_aggregator("average", n, 0);
+  const Vector want = aggregate_with(*flat, batch);
+  EXPECT_TRUE(vec::approx_equal(got, want, 1e-13))
+      << "subtree-weighted tree average diverged from the flat average";
+}
+
+TEST(HierarchicalWeightedMerge, EvenSplitsKeepThePlainMergePath) {
+  const HierarchicalAggregator even("average", "average", 12, 0, 1, 3);
+  EXPECT_FALSE(even.weighted_merge());
+  // Robust merges are never weighted, uneven subtrees or not.
+  const HierarchicalAggregator robust("median", "median", 13, 1, 1, 4);
+  EXPECT_FALSE(robust.weighted_merge());
+}
+
+// ---- config / trainer plumbing ---------------------------------------------
+
+TEST(HierarchicalConfig, ValidateAndLabelCoverTheTreeKnobs) {
+  ExperimentConfig c;
+  c.tree_levels = 2;
+  EXPECT_THROW(c.validate(), std::invalid_argument);  // branch required
+  c.tree_branch = 2;
+  EXPECT_NO_THROW(c.validate());
+  EXPECT_NE(c.label().find("+tree(L2,B2)"), std::string::npos);
+
+  c.shards = 3;  // mutually exclusive with the tree
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c.shards = 1;
+
+  c.wire = "nope";
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c.wire = "raw64";
+  EXPECT_NO_THROW(c.validate());
+  EXPECT_NE(c.label().find("+wire(raw64)"), std::string::npos);
+  c.wire_chunk = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c.wire_chunk = 1024;
+
+  c.channel = "lossy";
+  c.channel_drop = 0.1;
+  EXPECT_NO_THROW(c.validate());
+  EXPECT_NE(c.label().find("+chan"), std::string::npos);
+  c.channel_drop = 1.5;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c.channel_drop = 0.1;
+
+  // wire (and hence channel) require the tree.
+  c.tree_levels = 0;
+  c.tree_branch = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c.wire = "off";
+  c.channel = "off";
+  EXPECT_NO_THROW(c.validate());
+  EXPECT_EQ(c.label().find("+tree"), std::string::npos);
+
+  // tree_branch without tree_levels is rejected too.
+  c.tree_branch = 2;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(HierarchicalConfig, TrainerTreeL1MatchesShardedRunExactly) {
+  // The trainer-level restatement of the L = 1 golden: a tree with
+  // (L = 1, B = 3) must reproduce the shards = 3 run bit for bit — same
+  // topology, same budgets, all randomness seed-derived.
+  BlobsConfig bc;
+  bc.num_samples = 200;
+  bc.num_features = 6;
+  bc.separation = 4.0;
+  const Dataset data = make_blobs(bc, 8);
+  LinearModel model(6, LinearLoss::kMseOnSigmoid);
+
+  ExperimentConfig config;
+  config.num_workers = 12;
+  config.num_byzantine = 2;
+  config.gar = "median";
+  config.steps = 25;
+  config.eval_every = 25;
+  config.batch_size = 10;
+  config.attack_enabled = true;
+  config.attack = "little";
+
+  ExperimentConfig tree = config;
+  tree.tree_levels = 1;
+  tree.tree_branch = 3;
+  ExperimentConfig sharded = config;
+  sharded.shards = 3;
+
+  const RunResult tree_run = Trainer(tree, model, data, data).run();
+  const RunResult sharded_run = Trainer(sharded, model, data, data).run();
+  EXPECT_EQ(tree_run.final_parameters, sharded_run.final_parameters);
+  EXPECT_EQ(tree_run.train_loss, sharded_run.train_loss);
+  EXPECT_TRUE(std::isfinite(tree_run.final_train_loss));
+  // No wire configured: the channel counters stay all-zero.
+  EXPECT_TRUE(tree_run.channel == net::ChannelStats{});
+}
+
+// ---- lossy channel: reproducibility and the substitution budget ------------
+
+TEST(HierarchicalChannel, LossyRunIsBitReproducibleWithStatsInRunResult) {
+  BlobsConfig bc;
+  bc.num_samples = 200;
+  bc.num_features = 6;
+  bc.separation = 4.0;
+  const Dataset data = make_blobs(bc, 8);
+  LinearModel model(6, LinearLoss::kMseOnSigmoid);
+
+  ExperimentConfig config;
+  config.num_workers = 12;
+  config.num_byzantine = 2;
+  config.gar = "median";
+  config.steps = 25;
+  config.eval_every = 25;
+  config.batch_size = 10;
+  config.attack_enabled = true;
+  config.attack = "little";
+  config.tree_levels = 1;
+  config.tree_branch = 3;
+  config.wire = "raw64";
+  config.wire_chunk = 4;  // dim 7 → two chunks per edge
+  config.channel = "lossy";
+  config.channel_drop = 0.2;
+  config.channel_duplicate = 0.1;
+  config.channel_corrupt = 0.1;
+  config.channel_reorder = 0.3;
+  config.channel_retransmit = 8;  // ample for drop = 0.2 → no substitutions
+
+  const RunResult a = Trainer(config, model, data, data).run();
+  const RunResult b = Trainer(config, model, data, data).run();
+
+  // Bit-reproducible: trajectory AND the channel accounting.
+  EXPECT_EQ(a.final_parameters, b.final_parameters);
+  EXPECT_EQ(a.train_loss, b.train_loss);
+  EXPECT_TRUE(a.channel == b.channel);
+
+  // The faults really fired and were survived.
+  EXPECT_TRUE(std::isfinite(a.final_train_loss));
+  EXPECT_TRUE(vec::all_finite(a.final_parameters));
+  EXPECT_GT(a.channel.frames_sent, 0u);
+  EXPECT_GT(a.channel.frames_dropped, 0u);
+  EXPECT_GT(a.channel.frames_reordered, 0u);
+  EXPECT_GT(a.channel.retransmit_frames, 0u);
+  EXPECT_GT(a.channel.bytes_delivered, 0u);
+  EXPECT_EQ(a.channel.rows_substituted, 0u);
+
+  // A different channel seed redraws the faults (different counters) but
+  // — with every row still reassembled exactly under raw64 — leaves the
+  // learning trajectory untouched.
+  ExperimentConfig reseeded = config;
+  reseeded.channel_seed = 99;
+  const RunResult c = Trainer(reseeded, model, data, data).run();
+  EXPECT_EQ(c.final_parameters, a.final_parameters);
+  EXPECT_FALSE(c.channel == a.channel);
+}
+
+TEST(HierarchicalChannel, SubstitutionsWithinMergeBudgetDegradeElseThrow) {
+  // n = 25, B = 5, f = 4: child_f = 1, merge_f = floor(4/2) = 2.  A
+  // brutal channel (drop = 0.6, no retransmits, two chunks per row)
+  // loses whole child aggregates routinely; per seed the round either
+  // degrades gracefully (≤ 2 zero-substituted children) or must refuse
+  // with the merge-budget error.  The sweep must see both outcomes.
+  const size_t n = 25, d = 8, f = 4;
+  const GradientBatch batch = honest_batch(n, d, 55);
+  net::LinkConfig link;
+  link.chunk_values = 4;
+  link.channel = net::ChannelConfig{0.6, 0.0, 0.0, 0.0};
+  link.retransmit_limit = 0;
+
+  size_t degraded = 0, refused = 0;
+  for (uint64_t seed = 0; seed < 400; ++seed) {
+    link.channel_seed = seed;
+    const HierarchicalAggregator tree("median", "median", n, f, 1, 5, 1,
+                                      PruneMode::kOff, &link);
+    ASSERT_EQ(tree.merge_f(), 2u);
+    try {
+      const Vector out = aggregate_with(tree, batch);
+      ++degraded;
+      EXPECT_LE(tree.channel_stats().rows_substituted, 2u) << "seed " << seed;
+      EXPECT_TRUE(vec::all_finite(out));
+    } catch (const std::runtime_error& e) {
+      ++refused;
+      EXPECT_GT(tree.channel_stats().rows_substituted, 2u) << "seed " << seed;
+      EXPECT_NE(std::string(e.what()).find("merge budget"), std::string::npos);
+    }
+  }
+  EXPECT_GT(degraded, 0u);  // some rounds stay within the budget...
+  EXPECT_GT(refused, 0u);   // ...and the overloaded ones must refuse
+  EXPECT_EQ(degraded + refused, 400u);
+}
+
+TEST(HierarchicalChannel, Int8EdgesStayWithinTheQuantizationContract) {
+  // tree(average/average) with int8 edges: each child aggregate is
+  // quantized once per edge, so the merged output deviates from the
+  // in-memory tree by at most max_b ‖aggregate_b‖∞ / 254 per coordinate
+  // — the documented accuracy cost of the 8× wire compression.
+  const size_t n = 12, d = 32;
+  const GradientBatch batch = honest_batch(n, d, 60);
+  net::LinkConfig link;
+  link.wire = net::WireMode::kInt8;
+  const HierarchicalAggregator framed("average", "average", n, 0, 1, 3, 1,
+                                      PruneMode::kOff, &link);
+  const HierarchicalAggregator plain("average", "average", n, 0, 1, 3);
+  const Vector got = aggregate_with(framed, batch);
+  const Vector want = aggregate_with(plain, batch);
+  double max_child_inf = 0.0;
+  for (size_t b = 0; b < plain.branch(); ++b) {
+    const auto [lo, hi] = plain.child_range(b);
+    const Vector child = aggregate_with(plain.child(b), batch.view(lo, hi));
+    max_child_inf = std::max(max_child_inf, vec::norm_inf(child));
+  }
+  const double bound = max_child_inf / 254.0 + 1e-15;
+  for (size_t c = 0; c < d; ++c)
+    EXPECT_LE(std::abs(got[c] - want[c]), bound) << "coordinate " << c;
+}
+
+}  // namespace
+}  // namespace dpbyz
