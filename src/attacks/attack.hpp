@@ -72,8 +72,12 @@ class Attack {
 };
 
 /// Factory: name in {"little", "empire", "signflip", "random", "zero",
-/// "mimic"}.  `nu` is the attack factor (ignored by attacks without one;
-/// NaN selects each attack's paper default).
+/// "mimic"} plus the adaptive strategies of attacks/adaptive.hpp
+/// ("adaptive_alie", "adaptive_empire", "adaptive_mimic", "stale_boost",
+/// constructed with default AdaptiveSpec knobs here — the trainer uses
+/// the spec-aware overload declared there).  `nu` is the attack factor
+/// (ignored by attacks without one; NaN selects each attack's paper
+/// default).
 std::unique_ptr<Attack> make_attack(const std::string& name, double nu);
 
 /// Names accepted by make_attack.

@@ -100,6 +100,7 @@ void ExperimentConfig::validate() const {
     require(num_byzantine >= 1, "config: attack enabled but f = 0");
     require(attack_observes == "wire" || attack_observes == "clean",
             "config: attack_observes must be 'wire' or 'clean'");
+    require(adapt_probes >= 1, "config: adapt_probes must be at least 1");
   }
 }
 

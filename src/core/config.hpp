@@ -253,6 +253,19 @@ struct ExperimentConfig {
   std::string attack = "little";  ///< "little" | "empire" | auxiliary names
   /// Attack factor nu; NaN = the attack's paper default (1.5 / 1.1).
   double attack_nu = std::nan("");
+  /// Knobs of the adaptive adversaries (attack = "adaptive_alie" |
+  /// "adaptive_empire" | "adaptive_mimic" | "stale_boost"; ignored by the
+  /// fixed attacks — see attacks/adaptive.hpp).  `adapt_probes` is the
+  /// number of line-search iterations the per-round ε tuner (or the
+  /// mimicry boundary bisection) runs; each iteration costs one
+  /// aggregation of a shadow copy of the server's own GAR on the
+  /// adversary's observation batch.  `adapt_budget` caps the *total*
+  /// shadow-GAR evaluations over the whole run (0 = unlimited); once
+  /// exhausted the adversary freezes its last tuned parameter, so the
+  /// knob trades adversarial strength for attack-side compute, bit-
+  /// deterministically per (config, seed).
+  size_t adapt_probes = 8;
+  size_t adapt_budget = 0;
   /// What the colluding adversary observes when forging: "clean" = the
   /// pre-noise clipped gradients (the adversary estimates g_t and sigma_t
   /// from its own honest-equivalent computations, as in the original

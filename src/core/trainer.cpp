@@ -4,6 +4,7 @@
 
 #include "aggregation/hierarchical.hpp"
 #include "aggregation/sharded.hpp"
+#include "attacks/adaptive.hpp"
 #include "core/pipeline.hpp"
 #include "data/partition.hpp"
 #include "dp/gaussian_mechanism.hpp"
@@ -63,7 +64,12 @@ Trainer::Trainer(const ExperimentConfig& config, const Model& model, const Datas
   require(train_.size() > 0, "Trainer: empty training set");
   mechanism_ = make_mechanism(config_, model_.dim());
   if (config_.attack_enabled)
-    attack_ = make_attack(config_.attack, config_.attack_nu);
+    // The adaptive adversaries (attacks/adaptive.hpp) shadow the server's
+    // own rule, so the spec carries the defense description alongside the
+    // probe/budget knobs; the fixed attacks ignore it.
+    attack_ = make_attack(config_.attack, config_.attack_nu,
+                          AdaptiveSpec{config_.gar, config_.prune,
+                                       config_.adapt_probes, config_.adapt_budget});
 }
 
 RunResult Trainer::run() {
