@@ -75,6 +75,18 @@
 // the ideal framed link, and per wire mode the encode/decode throughput,
 // bytes per row/round, codec allocation count, and the checksum gates.
 //
+// An eighth sweep measures elastic membership epochs (core/membership.hpp)
+// on the churn-stress config (phishing task, median, "little", n = 11,
+// f = 3): rounds/s and allocs/step at churn off vs zero-probability
+// epochs vs moderate (join 0.6 / leave 0.1) vs high (0.9 / 0.3) churn —
+// the epoch rows amortize one boundary into the allocation window so
+// renegotiation cost is counted — plus the per-boundary renegotiation
+// overhead (zero-prob E = 5 vs off) and the per-checkpoint write cost.
+// Four contracts ride along: churn-off steady state stays
+// allocation-free, zero-probability epochs are trajectory-inert,
+// checkpoint writes never perturb a run, and a kill-at-half/restore run
+// is bit-identical to the uninterrupted one.
+//
 // Results go to stdout as a table and to BENCH_gar_scaling.json in the
 // working directory.  Flags: --fast (skip d = 1e5 and the n = 1000
 // tree cells), --budget-ms M (per-measurement time budget, default
@@ -85,9 +97,12 @@
 // pruned-mode steady-state allocation, a collapsed lowdim krum
 // pruned-pair fraction, an L = 1 tree diverging from the sharded rule
 // (in memory or framed), a wire codec that allocates, fails the raw64
-// byte-exact round trip, passes a corrupted frame, or breaks the int8
-// error contract — the CI smoke step runs this so perf-path regressions
-// fail PRs).
+// byte-exact round trip, passes a corrupted frame, breaks the int8
+// error contract, a churn-off trainer that allocates at steady state,
+// a zero-probability churn epoch that perturbs the trajectory, a
+// checkpoint write that perturbs a run, or a kill/restore cycle that
+// loses bit-identity — the CI smoke step runs this so perf-path
+// regressions fail PRs).
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -406,6 +421,23 @@ struct WireRow {
   bool corrupt_rejected;            // one flipped byte fails the checksum
   double max_abs_err;               // decoded vs source (int8/topk)
   uint64_t tree_bytes_per_round;    // framed L=1 B=4 n=48 tree, one round
+};
+
+/// One elastic-membership training run on the phishing task (median GAR,
+/// "little" attack, n = 11, f = 3 — the churn-stress tool's config).
+/// The allocs column amortizes one epoch boundary into its 20-step
+/// window for the epoch rows, so renegotiation cost is included rather
+/// than dodged; the churn-off row's steady state is gated at zero.
+struct ChurnRow {
+  std::string churn;  // "off" | "epoch:<E>x<join>x<leave>"
+  size_t epoch_rounds;
+  double join_prob, leave_prob;
+  size_t rounds;       // trained rounds
+  size_t events;       // applied churn-trace length
+  size_t final_rows;   // last round's aggregated row count (h_e + f_e)
+  double step_s;       // wall-clock per round, one full run
+  double allocs;       // per step; epoch rows amortize one boundary
+  bool off_identical;  // zero-prob epoch row: bitwise == churn-off run
 };
 
 /// The per-call std::thread dispatch the persistent pool replaced — kept
@@ -1298,6 +1330,192 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ---- churn sweep: elastic membership epochs ----------------------------
+  // What elasticity costs at training time, on the same phishing config
+  // the CI churn-stress leg replays: per-round wall-clock and allocs per
+  // step under increasing join/leave rates, the per-boundary
+  // renegotiation overhead (zero-probability epochs at E = 5 vs the
+  // churn-off loop — the boundary machinery with no roster change), and
+  // the checkpoint write cost (a checkpointing run vs the same run bare,
+  // per written checkpoint).  Four contracts become --check gates: the
+  // churn-off row's steady state stays allocation-free, the zero-prob
+  // epoch trajectory is bitwise equal to churn-off (the elasticity layer
+  // is inert when nothing churns), checkpoint writes do not perturb the
+  // trajectory, and a kill-at-half/restore run reproduces the
+  // uninterrupted trajectory bit-for-bit in-process (the CI leg proves
+  // the same across processes with cmp).
+  std::vector<ChurnRow> churn_rows;
+  double churn_reneg_ms = 0.0;       // per epoch boundary, zero-prob epochs
+  double churn_ckpt_write_ms = 0.0;  // per written checkpoint
+  bool churn_ckpt_write_inert = true;
+  bool churn_restore_identical = true;
+  {
+    const dpbyz::PhishingExperiment phishing(42);
+    dpbyz::ExperimentConfig cfg;
+    cfg.num_workers = 11;
+    cfg.num_byzantine = 3;
+    cfg.gar = "median";
+    cfg.batch_size = 50;
+    cfg.steps = fast ? 160 : 300;
+    cfg.eval_every = cfg.steps;
+    cfg.attack_enabled = true;
+    cfg.attack = "little";
+    cfg.churn_seed = 7;
+
+    auto run_timed = [&](const dpbyz::ExperimentConfig& c, double& total_s) {
+      const auto start = Clock::now();
+      auto run = phishing.run(c);
+      total_s = seconds_since(start);
+      return run;
+    };
+    auto same_trajectory = [](const dpbyz::RunResult& a,
+                              const dpbyz::RunResult& b) {
+      return a.final_parameters == b.final_parameters &&
+             a.train_loss == b.train_loss && a.round_rows == b.round_rows &&
+             a.round_f == b.round_f;
+    };
+    // Allocs per step as the count difference between a 25- and a 45-round
+    // run: both windows end mid-epoch (E = 20), so the 20-step difference
+    // carries exactly one boundary for the epoch rows — renegotiation,
+    // roster rebuild and GAR-cache traffic are amortized in, not hidden.
+    auto allocs_per_step = [&](dpbyz::ExperimentConfig c) {
+      auto counted = [&](size_t s) {
+        c.steps = s;
+        c.eval_every = s;
+        g_alloc_count.store(0);
+        g_count_allocs.store(true);
+        phishing.run(c);
+        g_count_allocs.store(false);
+        return g_alloc_count.load();
+      };
+      const size_t base = counted(25);
+      const size_t longer = counted(45);
+      return static_cast<double>(longer - base) / 20.0;
+    };
+
+    struct Point {
+      const char* label;
+      double join, leave;
+    };
+    const Point points[] = {{"off", 0.0, 0.0},
+                            {"epoch:20x0x0", 0.0, 0.0},
+                            {"epoch:20x0.6x0.1", 0.6, 0.1},
+                            {"epoch:20x0.9x0.3", 0.9, 0.3}};
+
+    std::printf("\n%-18s %3s %5s %6s | %6s %5s | %9s %9s | %6s | %6s\n",
+                "churn", "E", "join", "leave", "events", "rows", "step (ms)",
+                "rounds/s", "a/st", "off id");
+    std::printf(
+        "--------------------------------------------------------------------"
+        "--------------\n");
+    std::optional<dpbyz::RunResult> off_run;
+    double off_total_s = 0.0;
+    for (const Point& p : points) {
+      dpbyz::ExperimentConfig c = cfg;
+      const bool epoch = std::string(p.label) != "off";
+      if (epoch) {
+        c.churn = "epoch";
+        c.churn_epoch_rounds = 20;
+        c.churn_join_prob = p.join;
+        c.churn_leave_prob = p.leave;
+        // The zero-probability row isolates the boundary machinery: with
+        // reputation scoring off too, every epoch renegotiates to the
+        // identical roster, so the trajectory must match churn-off.
+        if (p.join == 0.0 && p.leave == 0.0) c.reputation = "off";
+      }
+      double total_s = 0.0;
+      const auto run = run_timed(c, total_s);
+      bool off_identical = true;
+      if (!epoch) {
+        off_run = run;
+        off_total_s = total_s;
+      } else if (p.join == 0.0 && p.leave == 0.0) {
+        off_identical = same_trajectory(run, *off_run);
+      }
+      const double step_s = total_s / static_cast<double>(cfg.steps);
+      ChurnRow row{p.label,
+                   epoch ? size_t{20} : size_t{0},
+                   p.join,
+                   p.leave,
+                   cfg.steps,
+                   run.churn_trace.size(),
+                   run.round_rows.back(),
+                   step_s,
+                   allocs_per_step(c),
+                   off_identical};
+      std::printf("%-18s %3zu %5.2f %6.2f | %6zu %5zu | %9.4f %9.1f | %6.1f | "
+                  "%6s\n",
+                  row.churn.c_str(), row.epoch_rounds, row.join_prob,
+                  row.leave_prob, row.events, row.final_rows, row.step_s * 1e3,
+                  1.0 / row.step_s, row.allocs,
+                  epoch && p.join == 0.0 ? (off_identical ? "yes" : "NO") : "-");
+      std::fflush(stdout);
+      churn_rows.push_back(std::move(row));
+    }
+
+    // Renegotiation overhead per boundary: zero-probability epochs at
+    // E = 5 (steps/5 boundaries) against the churn-off run — the only
+    // difference is the boundary machinery itself.
+    {
+      dpbyz::ExperimentConfig c = cfg;
+      c.churn = "epoch";
+      c.churn_epoch_rounds = 5;
+      c.churn_join_prob = 0.0;
+      c.churn_leave_prob = 0.0;
+      c.reputation = "off";
+      double total_s = 0.0;
+      run_timed(c, total_s);
+      const double boundaries = static_cast<double>(cfg.steps) / 5.0;
+      churn_reneg_ms = (total_s - off_total_s) / boundaries * 1e3;
+      std::printf("renegotiation overhead: %.4f ms per boundary "
+                  "(zero-prob E=5 vs off, %g boundaries)\n",
+                  churn_reneg_ms, boundaries);
+    }
+
+    // Checkpoint write cost + the two restore gates, on the moderate
+    // churn point.  The writer run and the kill/restore pair each get a
+    // fresh checkpoint path in the working directory (removed after).
+    {
+      dpbyz::ExperimentConfig churning = cfg;
+      churning.churn = "epoch";
+      churning.churn_epoch_rounds = 20;
+      churning.churn_join_prob = 0.6;
+      churning.churn_leave_prob = 0.1;
+      // eval_every is part of the checkpoint signature, so the killed
+      // half-run and the resumed full run must share one value.
+      churning.eval_every = cfg.steps / 2;
+      double plain_s = 0.0;
+      const auto plain = run_timed(churning, plain_s);
+
+      const char* ckpt_path = "bench_churn.ckpt";
+      std::remove(ckpt_path);
+      dpbyz::ExperimentConfig writing = churning;
+      writing.checkpoint_path = ckpt_path;
+      writing.checkpoint_every = 25;
+      double writing_s = 0.0;
+      const auto written = run_timed(writing, writing_s);
+      const double n_ckpts = static_cast<double>(cfg.steps / 25);  // written
+      churn_ckpt_write_ms = (writing_s - plain_s) / n_ckpts * 1e3;
+      churn_ckpt_write_inert = same_trajectory(written, plain);
+
+      std::remove(ckpt_path);
+      dpbyz::ExperimentConfig killed = writing;
+      killed.steps = cfg.steps / 2;
+      phishing.run(killed);  // dies at its steps/2 checkpoint
+      const auto resumed = phishing.run(writing);  // fresh run, same file
+      churn_restore_identical = same_trajectory(resumed, plain) &&
+                                resumed.churn_trace == plain.churn_trace;
+      std::remove(ckpt_path);
+
+      std::printf("checkpoint write: %.4f ms each (%g per run); writes inert: "
+                  "%s; kill@%zu/restore bit-identical: %s\n",
+                  churn_ckpt_write_ms, n_ckpts,
+                  churn_ckpt_write_inert ? "yes" : "NO", killed.steps,
+                  churn_restore_identical ? "yes" : "NO");
+      std::fflush(stdout);
+    }
+  }
+
   FILE* out = std::fopen("BENCH_gar_scaling.json", "w");
   if (!out) {
     std::fprintf(stderr, "cannot open BENCH_gar_scaling.json for writing\n");
@@ -1464,13 +1682,39 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(r.tree_bytes_per_round),
                  i + 1 < wire_rows.size() ? "," : "");
   }
-  std::fprintf(out, "  ]\n}\n");
+  std::fprintf(out, "  ],\n  \"churn_sweep\": [\n");
+  for (size_t i = 0; i < churn_rows.size(); ++i) {
+    const ChurnRow& r = churn_rows[i];
+    std::fprintf(out,
+                 "    {\"churn\": \"%s\", \"epoch_rounds\": %zu, "
+                 "\"join_prob\": %.2f, \"leave_prob\": %.2f, \"rounds\": %zu, "
+                 "\"churn_events\": %zu, \"final_round_rows\": %zu, "
+                 "\"step_ms\": %.6f, \"rounds_per_s\": %.1f, "
+                 "\"allocs_per_step\": %.1f, "
+                 "\"zero_churn_bit_identical_to_off\": %s}%s\n",
+                 r.churn.c_str(), r.epoch_rounds, r.join_prob, r.leave_prob,
+                 r.rounds, r.events, r.final_rows, r.step_s * 1e3,
+                 1.0 / r.step_s, r.allocs,
+                 r.epoch_rounds > 0 && r.join_prob == 0.0
+                     ? (r.off_identical ? "true" : "false")
+                     : "null",
+                 i + 1 < churn_rows.size() ? "," : "");
+  }
+  std::fprintf(out,
+               "  ],\n  \"churn_renegotiation_ms_per_boundary\": %.6f,\n"
+               "  \"churn_checkpoint_write_ms\": %.6f,\n"
+               "  \"churn_checkpoint_write_inert\": %s,\n"
+               "  \"churn_restore_bit_identical\": %s\n}\n",
+               churn_reneg_ms, churn_ckpt_write_ms,
+               churn_ckpt_write_inert ? "true" : "false",
+               churn_restore_identical ? "true" : "false");
   std::fclose(out);
   std::printf("\nwrote BENCH_gar_scaling.json (%zu configurations)\n",
               rows.size() + shard_rows.size() + prune_rows.size() +
                   pipeline_rows.size() + depth_rows.size() +
                   staleness_rows.size() + quad_staleness_rows.size() +
-                  tree_rows.size() + tree_gate_rows.size() + wire_rows.size());
+                  tree_rows.size() + tree_gate_rows.size() + wire_rows.size() +
+                  churn_rows.size());
 
   // ---- --check: fail the process (and the CI smoke step) on regressions ---
   if (check) {
@@ -1588,6 +1832,22 @@ int main(int argc, char** argv) {
       if (r.mode == "int8" && r.max_abs_err > 1.0 / 254.0 * 6.0)
         fail("int8 wire decode error exceeds the ||row||_inf/254 contract");
     }
+    // Elastic-membership gates: the churn-off trainer must stay
+    // allocation-free at steady state, zero-probability epochs must be
+    // trajectory-inert, and checkpointing must neither perturb a run nor
+    // lose bit-identity across a kill/restore cycle.
+    for (const ChurnRow& r : churn_rows) {
+      if (r.epoch_rounds == 0 && r.allocs != 0.0)
+        fail("churn-off trainer steady state allocates (" +
+             std::to_string(r.allocs) + " per step)");
+      if (!r.off_identical)
+        fail("zero-probability churn epochs perturbed the trajectory "
+             "(elasticity layer is not inert)");
+    }
+    if (!churn_ckpt_write_inert)
+      fail("checkpoint writes perturbed the churning trajectory");
+    if (!churn_restore_identical)
+      fail("kill/restore trajectory diverged from the uninterrupted run");
     if (violations > 0) {
       std::fprintf(stderr, "--check: %zu violation(s)\n", violations);
       return 1;

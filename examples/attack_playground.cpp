@@ -67,11 +67,13 @@ int main() {
         a.eps = with_dp ? 0.2 : 0.0;
         a.participation = "full";
         a.topology = "flat";
+        a.channel = "off";
+        a.churn = "off";
         a.prune = "off";
         a.fast_math = 0;
         a.seeds = seeds;
         a.id = gar + "/" + attack + "/eps=" + campaign::format_metric(a.eps) +
-               "/full/flat/prune=off/fm=0";
+               "/full/flat/off/off/prune=off/fm=0";
         a.final_acc_mean = acc.mean;
         a.final_acc_std = acc.stddev;
         a.final_loss_mean = loss.mean;

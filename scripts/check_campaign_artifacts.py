@@ -30,11 +30,11 @@ from pathlib import Path
 
 HEADER = [
     "cell", "id", "gar", "attack", "eps", "participation", "topology",
-    "prune", "fast_math", "seeds", "skip_reason", "final_acc_mean",
-    "final_acc_std", "final_loss_mean", "final_loss_std", "min_loss_mean",
-    "mi_auc", "inv_rel_error", "inv_label_acc",
+    "channel", "churn", "prune", "fast_math", "seeds", "skip_reason",
+    "final_acc_mean", "final_acc_std", "final_loss_mean", "final_loss_std",
+    "min_loss_mean", "mi_auc", "inv_rel_error", "inv_label_acc",
 ]
-NUMERIC = HEADER[11:]
+NUMERIC = HEADER[HEADER.index("final_acc_mean"):]
 METRIC_STRINGS = {"nan": math.nan, "inf": math.inf, "-inf": -math.inf}
 
 

@@ -1,7 +1,10 @@
 #include "attacks/adaptive.hpp"
 
+#include <bit>
 #include <cmath>
+#include <istream>
 #include <limits>
+#include <ostream>
 #include <stdexcept>
 
 #include "aggregation/krum.hpp"
@@ -152,10 +155,35 @@ void AdaptiveAttack::forge_into(const AttackContext& ctx, Rng&,
   template_row(mean_, best_nu, dir_, out);
 }
 
+void AdaptiveAttack::save_state(std::ostream& os) const {
+  os << "adaptive " << evals_ << ' ' << std::bit_cast<uint64_t>(last_nu_) << '\n';
+}
+
+void AdaptiveAttack::load_state(std::istream& is) {
+  std::string tag;
+  uint64_t bits = 0;
+  is >> tag >> evals_ >> bits;
+  require(!is.fail() && tag == "adaptive",
+          "AdaptiveAttack: corrupt checkpoint state");
+  last_nu_ = std::bit_cast<double>(bits);
+}
+
 // ---------------------------------------------------------------------------
 // MimicBoundary
 
 MimicBoundary::MimicBoundary(AdaptiveSpec spec) : ShadowProbe(std::move(spec)) {}
+
+void MimicBoundary::save_state(std::ostream& os) const {
+  os << "mimic " << evals_ << ' ' << std::bit_cast<uint64_t>(last_alpha_) << '\n';
+}
+
+void MimicBoundary::load_state(std::istream& is) {
+  std::string tag;
+  uint64_t bits = 0;
+  is >> tag >> evals_ >> bits;
+  require(!is.fail() && tag == "mimic", "MimicBoundary: corrupt checkpoint state");
+  last_alpha_ = std::bit_cast<double>(bits);
+}
 
 bool MimicBoundary::can_probe(const std::string& gar) {
   return gar == "krum" || gar == "multi-krum" || gar == "bulyan" || gar == "mda" ||

@@ -122,6 +122,12 @@ class AdaptiveAttack final : public Attack, public ShadowProbe {
   /// The factor submitted by the most recent forge_into (diagnostics).
   double last_nu() const { return last_nu_; }
 
+  /// Checkpoint round trip: the budget ledger (evals_) and the frozen
+  /// factor — the two pieces of cross-round adversary state that shape
+  /// future forgeries once the budget runs dry.
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
+
   /// Upper end of the searched nu bracket.
   static constexpr double kNuMax = 8.0;
 
@@ -143,6 +149,10 @@ class MimicBoundary final : public Attack, public ShadowProbe {
 
   /// The boundary offset used by the most recent forge_into.
   double last_alpha() const { return last_alpha_; }
+
+  /// Checkpoint round trip (budget ledger + frozen offset).
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
 
   /// True when `gar` has a selection boundary this attack can probe.
   static bool can_probe(const std::string& gar);

@@ -16,6 +16,7 @@
 // returning forge() is the allocating convenience wrapper.
 #pragma once
 
+#include <iosfwd>
 #include <memory>
 #include <span>
 #include <string>
@@ -69,6 +70,13 @@ class Attack {
 
   /// Short identifier ("little", "empire", ...).
   virtual std::string name() const = 0;
+
+  /// Checkpoint hooks for strategies with cross-round state (the adaptive
+  /// adversaries' shadow-evaluation ledger and frozen factors — see
+  /// attacks/adaptive.hpp).  The template attacks are pure per-round
+  /// functions of the observed batch and keep these no-op defaults.
+  virtual void save_state(std::ostream&) const {}
+  virtual void load_state(std::istream&) {}
 };
 
 /// Factory: name in {"little", "empire", "signflip", "random", "zero",

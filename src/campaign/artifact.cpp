@@ -50,7 +50,8 @@ const std::vector<std::string>& csv_header() {
       "cell",           "id",
       "gar",            "attack",
       "eps",            "participation",
-      "topology",       "prune",
+      "topology",       "channel",
+      "churn",          "prune",
       "fast_math",      "seeds",
       "skip_reason",    "final_acc_mean",
       "final_acc_std",  "final_loss_mean",
@@ -68,6 +69,8 @@ std::vector<std::string> csv_cells(const CellArtifact& a) {
           format_metric(a.eps),
           sanitize_field(a.participation),
           sanitize_field(a.topology),
+          sanitize_field(a.channel),
+          sanitize_field(a.churn),
           sanitize_field(a.prune),
           std::to_string(a.fast_math),
           std::to_string(a.seeds),
@@ -95,6 +98,8 @@ CellArtifact from_csv_cells(const std::vector<std::string>& cells) {
   a.eps = parse_metric(cells[i++]);
   a.participation = cells[i++];
   a.topology = cells[i++];
+  a.channel = cells[i++];
+  a.churn = cells[i++];
   a.prune = cells[i++];
   a.fast_math = static_cast<int>(std::stoll(cells[i++]));
   a.seeds = static_cast<size_t>(std::stoull(cells[i++]));
@@ -166,6 +171,8 @@ void write_json(const std::string& path, const std::string& signature,
     body += ", \"eps\": " + json_metric(a.eps);
     body += ", \"participation\": " + json_string(a.participation);
     body += ", \"topology\": " + json_string(a.topology);
+    body += ", \"channel\": " + json_string(a.channel);
+    body += ", \"churn\": " + json_string(a.churn);
     body += ", \"prune\": " + json_string(a.prune);
     body += ", \"fast_math\": " + std::to_string(a.fast_math);
     body += ", \"seeds\": " + std::to_string(a.seeds);

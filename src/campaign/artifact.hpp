@@ -41,6 +41,8 @@ struct CellArtifact {
   double eps = 0.0;         ///< per-step DP epsilon; 0 = DP disabled
   std::string participation;
   std::string topology;     ///< "flat" | "shards:S" | "tree:LxB"
+  std::string channel = "off";  ///< "off" | "lossy:<drop>x<corrupt>x<reorder>"
+  std::string churn = "off";    ///< "off" | "epoch:<E>x<join>x<leave>"
   std::string prune;
   int fast_math = 0;
   size_t seeds = 0;         ///< seeded repetitions aggregated below

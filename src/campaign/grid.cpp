@@ -1,5 +1,6 @@
 #include "campaign/grid.hpp"
 
+#include <array>
 #include <cmath>
 #include <stdexcept>
 
@@ -63,6 +64,61 @@ void apply_participation(ExperimentConfig& cfg, const std::string& value) {
   throw std::invalid_argument("campaign: unknown participation kind '" + kind + "'");
 }
 
+/// Splits "axbxc" into three metrics (channel/churn axis arguments).
+std::array<double, 3> parse_triple(const std::string& s, const std::string& what) {
+  const auto parts = strings::split(s, 'x');
+  require(parts.size() == 3,
+          "campaign: malformed " + what + " '" + s + "' (want <a>x<b>x<c>)");
+  return {parse_metric(parts[0]), parse_metric(parts[1]), parse_metric(parts[2])};
+}
+
+void apply_channel(ExperimentConfig& cfg, const std::string& value) {
+  const auto parts = strings::split(value, ':');
+  const std::string& kind = parts[0];
+  if (kind == "off") {
+    require(parts.size() == 1, "campaign: 'off' channel takes no argument");
+    cfg.channel = "off";
+    return;
+  }
+  if (kind == "lossy") {
+    require(parts.size() == 2,
+            "campaign: 'lossy' needs fault probabilities, e.g. lossy:0.05x0.01x0.1");
+    const auto [drop, corrupt, reorder] = parse_triple(parts[1], "channel spec");
+    cfg.channel = "lossy";
+    cfg.channel_drop = drop;
+    cfg.channel_corrupt = corrupt;
+    cfg.channel_reorder = reorder;
+    // The channel faults frames, so it needs a wire format; raw64 is the
+    // bit-identical one.  A base that already picked a format keeps it.
+    if (cfg.wire == "off") cfg.wire = "raw64";
+    return;
+  }
+  throw std::invalid_argument("campaign: unknown channel kind '" + kind + "'");
+}
+
+void apply_churn(ExperimentConfig& cfg, const std::string& value) {
+  const auto parts = strings::split(value, ':');
+  const std::string& kind = parts[0];
+  if (kind == "off") {
+    require(parts.size() == 1, "campaign: 'off' churn takes no argument");
+    cfg.churn = "off";
+    return;
+  }
+  if (kind == "epoch") {
+    require(parts.size() == 2,
+            "campaign: 'epoch' churn needs <E>x<join>x<leave>, e.g. epoch:50x0.5x0.1");
+    const auto sub = strings::split(parts[1], 'x');
+    require(sub.size() == 3,
+            "campaign: malformed churn spec '" + parts[1] + "' (want <E>x<join>x<leave>)");
+    cfg.churn = "epoch";
+    cfg.churn_epoch_rounds = static_cast<size_t>(std::stoull(sub[0]));
+    cfg.churn_join_prob = parse_metric(sub[1]);
+    cfg.churn_leave_prob = parse_metric(sub[2]);
+    return;
+  }
+  throw std::invalid_argument("campaign: unknown churn kind '" + kind + "'");
+}
+
 void apply_topology(ExperimentConfig& cfg, const std::string& value) {
   const auto parts = strings::split(value, ':');
   const std::string& kind = parts[0];
@@ -110,7 +166,7 @@ std::string GridSpec::signature() const {
   for (const auto& t : topologies) topo_s.push_back(canonical_topology(t));
   const ExperimentConfig& b = base;
   std::vector<std::string> parts{
-      "campaign-v1",
+      "campaign-v2",
       "n=" + std::to_string(b.num_workers),
       "f=" + std::to_string(b.num_byzantine),
       "steps=" + std::to_string(b.steps),
@@ -126,6 +182,7 @@ std::string GridSpec::signature() const {
       "budget=" + std::to_string(b.adapt_budget),
       "partition=" + b.data_partition,
       "merge=" + b.shard_merge_gar,
+      "churn_seed=" + std::to_string(b.churn_seed),
       "seeds=" + std::to_string(seeds),
       "data_seed=" + std::to_string(data_seed),
       "gars=" + strings::join(gars, "|"),
@@ -133,6 +190,8 @@ std::string GridSpec::signature() const {
       "eps=" + strings::join(eps_s, "|"),
       "participation=" + strings::join(participation, "|"),
       "topologies=" + strings::join(topo_s, "|"),
+      "channels=" + strings::join(channels, "|"),
+      "churn=" + strings::join(churn, "|"),
       "prune=" + strings::join(prune, "|"),
       "fast_math=" + strings::join(fm_s, "|")};
   return sanitize_field(strings::join(parts, ";"));
@@ -141,6 +200,7 @@ std::string GridSpec::signature() const {
 std::vector<GridCell> expand_grid(const GridSpec& spec) {
   require(!spec.gars.empty() && !spec.attacks.empty() && !spec.dp_eps.empty() &&
               !spec.participation.empty() && !spec.topologies.empty() &&
+              !spec.channels.empty() && !spec.churn.empty() &&
               !spec.prune.empty() && !spec.fast_math.empty(),
           "campaign: every grid axis needs at least one value");
   require(spec.seeds >= 1, "campaign: seeds must be at least 1");
@@ -152,65 +212,77 @@ std::vector<GridCell> expand_grid(const GridSpec& spec) {
       for (double eps : spec.dp_eps)
         for (const std::string& part : spec.participation)
           for (const std::string& topo_raw : spec.topologies)
-            for (const std::string& prune : spec.prune)
-              for (int fm : spec.fast_math) {
-                const std::string topo = canonical_topology(topo_raw);
-                GridCell cell;
-                cell.index = index++;
-                cell.gar = gar;
-                cell.attack = attack;
-                cell.eps = eps;
-                cell.participation = part;
-                cell.topology = topo;
-                cell.prune = prune;
-                cell.fast_math = fm != 0;
+            for (const std::string& channel : spec.channels)
+              for (const std::string& churn : spec.churn)
+                for (const std::string& prune : spec.prune)
+                  for (int fm : spec.fast_math) {
+                    const std::string topo = canonical_topology(topo_raw);
+                    GridCell cell;
+                    cell.index = index++;
+                    cell.gar = gar;
+                    cell.attack = attack;
+                    cell.eps = eps;
+                    cell.participation = part;
+                    cell.topology = topo;
+                    cell.channel = channel;
+                    cell.churn = churn;
+                    cell.prune = prune;
+                    cell.fast_math = fm != 0;
 
-                ExperimentConfig cfg = spec.base;
-                cfg.gar = gar;
-                cfg.prune = prune;
-                cfg.fast_math = fm != 0;
-                const auto [attack_name, attack_nu] = parse_attack(attack);
-                if (attack_name == "none") {
-                  cfg.attack_enabled = false;
-                } else {
-                  cfg.attack_enabled = true;
-                  cfg.attack = attack_name;
-                  cfg.attack_nu = attack_nu;
-                }
-                cfg.dp_enabled = eps > 0;
-                if (eps > 0) cfg.epsilon = eps;
-                apply_participation(cfg, part);
-                apply_topology(cfg, topo);
+                    ExperimentConfig cfg = spec.base;
+                    cfg.gar = gar;
+                    cfg.prune = prune;
+                    cfg.fast_math = fm != 0;
+                    const auto [attack_name, attack_nu] = parse_attack(attack);
+                    if (attack_name == "none") {
+                      cfg.attack_enabled = false;
+                    } else {
+                      cfg.attack_enabled = true;
+                      cfg.attack = attack_name;
+                      cfg.attack_nu = attack_nu;
+                    }
+                    cfg.dp_enabled = eps > 0;
+                    if (eps > 0) cfg.epsilon = eps;
+                    apply_participation(cfg, part);
+                    apply_topology(cfg, topo);
+                    apply_channel(cfg, channel);
+                    apply_churn(cfg, churn);
 
-                cell.id = gar + "/" + attack + "/eps=" + format_metric(eps) + "/" +
-                          part + "/" + topo + "/prune=" + prune + "/fm=" +
-                          std::to_string(fm != 0);
-                cell.config = cfg;
+                    cell.id = gar + "/" + attack + "/eps=" + format_metric(eps) +
+                              "/" + part + "/" + topo + "/" + channel + "/" +
+                              churn + "/prune=" + prune + "/fm=" +
+                              std::to_string(fm != 0);
+                    cell.config = cfg;
 
-                // Admissibility pre-screen: materialize everything the
-                // trainer would construct, at full rows and — for the
-                // deterministic straggler schedule — at the worst-case
-                // round size, so inadmissible combinations surface here
-                // as skip reasons instead of exceptions mid-campaign.
-                try {
-                  cfg.validate();
-                  (void)make_round_aggregator(cfg, cfg.num_workers);
-                  if (cfg.attack_enabled)
-                    (void)make_attack(cfg.attack, cfg.attack_nu,
-                                      AdaptiveSpec{cfg.gar, cfg.prune,
-                                                   cfg.adapt_probes,
-                                                   cfg.adapt_budget});
-                  if (cfg.participation == "stragglers" && cfg.num_stragglers > 0) {
-                    require(cfg.num_stragglers < cfg.num_workers,
-                            "campaign: more stragglers than workers");
-                    (void)make_round_aggregator(
-                        cfg, cfg.num_workers - cfg.num_stragglers);
+                    // Admissibility pre-screen: materialize everything
+                    // the trainer would construct, at full rows and —
+                    // for the deterministic straggler schedule — at the
+                    // worst-case round size, so inadmissible
+                    // combinations surface here as skip reasons instead
+                    // of exceptions mid-campaign.  (A churn cell whose
+                    // roster later renegotiates into an inadmissible
+                    // (n', f) is a *runtime* property of its trace; the
+                    // runner records those as "error: ..." rows.)
+                    try {
+                      cfg.validate();
+                      (void)make_round_aggregator(cfg, cfg.num_workers);
+                      if (cfg.attack_enabled)
+                        (void)make_attack(cfg.attack, cfg.attack_nu,
+                                          AdaptiveSpec{cfg.gar, cfg.prune,
+                                                       cfg.adapt_probes,
+                                                       cfg.adapt_budget});
+                      if (cfg.participation == "stragglers" &&
+                          cfg.num_stragglers > 0) {
+                        require(cfg.num_stragglers < cfg.num_workers,
+                                "campaign: more stragglers than workers");
+                        (void)make_round_aggregator(
+                            cfg, cfg.num_workers - cfg.num_stragglers);
+                      }
+                    } catch (const std::exception& e) {
+                      cell.skip_reason = sanitize_field(e.what());
+                    }
+                    cells.push_back(std::move(cell));
                   }
-                } catch (const std::exception& e) {
-                  cell.skip_reason = sanitize_field(e.what());
-                }
-                cells.push_back(std::move(cell));
-              }
   return cells;
 }
 

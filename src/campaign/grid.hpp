@@ -2,8 +2,8 @@
 //
 // A GridSpec names one axis value list per experimental dimension the
 // paper's tables sweep (GAR x attack x DP-eps x participation x
-// topology x prune x fast_math); expand_grid takes their Cartesian
-// product into a flat, stably-ordered cell list.  Each cell carries a
+// topology x channel x churn x prune x fast_math); expand_grid takes
+// their Cartesian product into a flat, stably-ordered cell list.  Each cell carries a
 // fully materialized ExperimentConfig, and expansion *pre-screens
 // admissibility*: a combination the library would reject at run time
 // (Krum at n < 2f+3, a tree deeper than the row count, an unknown
@@ -21,9 +21,20 @@
 //                   (also accepts "tree:<L>,<B>" on input; the canonical
 //                   form — and the one artifacts carry — uses 'x', which
 //                   keeps every field comma-free for the CSV schema)
+//   channels:       "off" | "lossy:<drop>x<corrupt>x<reorder>"
+//                   (per-frame fault probabilities on the tree's edges;
+//                   a lossy cell whose base leaves wire == "off" gets
+//                   wire = "raw64", the bit-identical framing — and the
+//                   pre-screen skips lossy cells on non-tree topologies,
+//                   where there is no wire to fault)
+//   churn:          "off" | "epoch:<E>x<join>x<leave>"
+//                   (membership epochs of E rounds with the given
+//                   join/leave probabilities; churn_seed comes from
+//                   base.churn_seed and is part of the signature)
 //
 // Expansion order is the nested loop gar -> attack -> eps ->
-// participation -> topology -> prune -> fast_math (last axis fastest)
+// participation -> topology -> channel -> churn -> prune -> fast_math
+// (last axis fastest)
 // and is part of the checkpoint contract: cell indices key the
 // resumable manifest, so the order must be a pure function of the spec.
 // GridSpec::signature() fingerprints the spec; the manifest stores it
@@ -41,7 +52,8 @@ namespace dpbyz::campaign {
 struct GridSpec {
   /// Shared scalar knobs (n, f, steps, batch, lr, pipeline depth, ...).
   /// Axis-controlled fields of `base` (gar, attack*, dp_*, participation*,
-  /// shards, tree_*, prune, fast_math, seed) are overwritten per cell.
+  /// shards, tree_*, channel*, churn except churn_seed, prune, fast_math,
+  /// seed) are overwritten per cell.
   ExperimentConfig base;
 
   std::vector<std::string> gars{"mda"};
@@ -49,6 +61,8 @@ struct GridSpec {
   std::vector<double> dp_eps{0.0};
   std::vector<std::string> participation{"full"};
   std::vector<std::string> topologies{"flat"};
+  std::vector<std::string> channels{"off"};
+  std::vector<std::string> churn{"off"};
   std::vector<std::string> prune{"off"};
   std::vector<int> fast_math{0};
 
@@ -67,7 +81,7 @@ struct GridSpec {
 struct GridCell {
   size_t index = 0;
   std::string id;
-  std::string gar, attack, participation, topology, prune;
+  std::string gar, attack, participation, topology, channel, churn, prune;
   double eps = 0.0;
   int fast_math = 0;
   ExperimentConfig config;

@@ -26,6 +26,8 @@ CellArtifact base_artifact(const GridCell& cell, const GridSpec& spec) {
   a.eps = cell.eps;
   a.participation = cell.participation;
   a.topology = cell.topology;
+  a.channel = cell.channel;
+  a.churn = cell.churn;
   a.prune = cell.prune;
   a.fast_math = cell.fast_math;
   a.seeds = spec.seeds;

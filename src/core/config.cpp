@@ -96,6 +96,42 @@ void ExperimentConfig::validate() const {
     require(num_stragglers <= honest,
             "config: num_stragglers cannot exceed the honest worker count");
   }
+  require(churn == "off" || churn == "epoch", "config: churn must be off|epoch");
+  if (churn == "epoch") {
+    require(churn_epoch_rounds >= 1, "config: churn_epoch_rounds must be >= 1");
+    auto probability = [](double p) { return p >= 0.0 && p <= 1.0; };
+    require(probability(churn_join_prob) && probability(churn_leave_prob) &&
+                probability(churn_crash_prob),
+            "config: churn probabilities must be in [0, 1]");
+    require(data_partition == "shared",
+            "config: churn requires data_partition == 'shared' (a joiner has "
+            "no pre-assigned shard)");
+    require(straggler_policy == "off",
+            "config: churn requires straggler_policy == 'off' (clock-driven "
+            "skips have no stable worker identity across epochs)");
+    require(reputation == "distance" || reputation == "off",
+            "config: reputation must be distance|off");
+    require(reputation_beta > 0 && reputation_beta <= 1,
+            "config: reputation_beta must be in (0,1]");
+    require(reputation_outlier >= 1.0, "config: reputation_outlier must be >= 1");
+    require(probability(reputation_admit) && probability(reputation_evict),
+            "config: reputation thresholds must be in [0, 1]");
+    require(reputation_evict <= reputation_admit,
+            "config: reputation_evict must not exceed reputation_admit");
+    require(quarantine_epochs >= 1, "config: quarantine_epochs must be >= 1");
+  }
+  if (!checkpoint_path.empty()) {
+    require(checkpoint_every >= 1,
+            "config: checkpoint_path requires checkpoint_every >= 1");
+    require(straggler_policy == "off",
+            "config: checkpointing requires straggler_policy == 'off' (wall-"
+            "clock skip decisions cannot be restored across processes)");
+    require(channel == "off",
+            "config: checkpointing requires channel == 'off' (per-edge channel "
+            "streams live inside the aggregators and are not captured)");
+  } else {
+    require(checkpoint_every == 0, "config: checkpoint_every requires checkpoint_path");
+  }
   if (attack_enabled) {
     require(num_byzantine >= 1, "config: attack enabled but f = 0");
     require(attack_observes == "wire" || attack_observes == "clean",
@@ -116,6 +152,10 @@ std::string ExperimentConfig::label() const {
   if (pipeline_depth > 0) out += "+p" + std::to_string(pipeline_depth);
   if (straggler_policy == "adaptive")
     out += straggler_replay.empty() ? "+strag" : "+strag(replay)";
+  if (churn != "off")
+    out += "+churn(E=" + std::to_string(churn_epoch_rounds) +
+           ",cs=" + std::to_string(churn_seed) + ")";
+  if (!checkpoint_path.empty()) out += "+ckpt";
   if (fast_math) out += "+fast";
   if (prune != "off") out += "+prune(" + prune + ")";
   if (participation != "full") out += "+" + participation;

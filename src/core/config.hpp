@@ -278,6 +278,66 @@ struct ExperimentConfig {
   /// bench_attack_observation ablation.
   std::string attack_observes = "clean";
 
+  // --- elasticity (membership epochs) --------------------------------------
+  /// Worker-churn model (see docs/ARCHITECTURE.md, "Membership epochs"):
+  ///   "off"   — the paper's fixed committee: the (n, f) pair is a
+  ///             construction-time constant and every bit-identity golden
+  ///             holds unconditionally (default).
+  ///   "epoch" — membership is a first-class epoch model: training is cut
+  ///             into epochs of `churn_epoch_rounds` rounds, and at every
+  ///             epoch boundary the MembershipManager applies a
+  ///             deterministic churn trace drawn from `churn_seed`
+  ///             (join/leave/crash events), admits or evicts workers
+  ///             through the reputation gate, and renegotiates the round
+  ///             budget f_e = min(f0, floor(h_e * f0 / h0)) — the initial
+  ///             Byzantine *ratio* is the invariant, never exceeding the
+  ///             configured f.  The run is a pure function of
+  ///             (config, seed, churn_seed); the applied trace lands in
+  ///             RunResult::churn_trace.  Requires data_partition ==
+  ///             "shared" and straggler_policy == "off".
+  std::string churn = "off";
+  size_t churn_epoch_rounds = 50;  ///< epoch length E in rounds
+  uint64_t churn_seed = 1;         ///< root of the churn event stream
+  double churn_join_prob = 0.5;    ///< P(one joiner appears) per epoch boundary
+  double churn_leave_prob = 0.1;   ///< per active worker per boundary
+  double churn_crash_prob = 0.0;   ///< per active worker per boundary
+  /// Cap on workers that can ever join (pool beyond the initial roster).
+  /// 0 = one candidate slot per epoch boundary (the trace's natural max).
+  size_t churn_max_joins = 0;
+  /// Admission gate for joiners (requires churn == "epoch"):
+  ///   "distance" — per-worker EMA of an aggregation-derived inlier
+  ///                signal (squared distance to the round's selected
+  ///                aggregate vs. the live-roster median — the krum-score
+  ///                surrogate; see core/reputation.hpp).  Joiners are
+  ///                quarantined (submitting, never aggregated) for >=
+  ///                `quarantine_epochs` epochs and admitted only once
+  ///                their score reaches `reputation_admit`; active
+  ///                workers falling below `reputation_evict` are evicted
+  ///                at the next boundary.
+  ///   "off"      — joiners are admitted purely by quarantine_epochs
+  ///                elapsing; nobody is ever evicted.
+  std::string reputation = "distance";
+  double reputation_beta = 0.2;     ///< EMA step toward this round's 0/1 verdict
+  double reputation_outlier = 4.0;  ///< inlier iff d^2 <= outlier^2 x median d^2
+  double reputation_admit = 0.8;    ///< min score for quarantine -> active
+  double reputation_evict = 0.05;   ///< active workers below this are evicted
+  size_t quarantine_epochs = 1;     ///< min epochs a joiner is audited
+  /// Trainer checkpoint/restore (independent of churn; see
+  /// core/checkpoint.hpp).  Non-empty = write an atomic (tmp+rename)
+  /// checkpoint of the full trainer state — θ, optimizer momentum, every
+  /// RNG stream, membership epoch + reputation — every
+  /// `checkpoint_every` rounds, and resume from the file when it already
+  /// exists (checkpoint_resume).  Checkpoint rounds are pipeline
+  /// barriers: the ring drains before the state is captured, in
+  /// interrupted and uninterrupted runs alike, so a kill-and-restore
+  /// trajectory is bit-identical to an unbroken one.  Requires
+  /// straggler_policy == "off" (clock-driven skips are not replayable
+  /// across processes) and channel == "off" (per-edge channel streams
+  /// live inside the aggregators and are not captured).
+  std::string checkpoint_path = "";
+  size_t checkpoint_every = 0;    ///< rounds between checkpoints (>= 1 when on)
+  bool checkpoint_resume = true;  ///< load checkpoint_path when it exists
+
   // --- reproducibility ------------------------------------------------------
   uint64_t seed = 1;  ///< run seed (paper uses 1..5); controls sampling + noise
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/membership.hpp"
 #include "math/vector_ops.hpp"
 #include "net/channel.hpp"
 
@@ -51,8 +52,20 @@ struct RunResult {
   PhaseSeconds phase;
   /// Rows aggregated per round, n' = live honest + delivered Byzantine
   /// (size == steps).  Constant n under full participation; varies under
-  /// the round engine's iid / straggler schedules.
+  /// the round engine's iid / straggler schedules and across membership
+  /// epochs.
   std::vector<size_t> round_rows;
+  /// The GAR tolerance each round aggregated under (size == steps):
+  /// constant config.num_byzantine without churn, the epoch's
+  /// renegotiated f_e = min(f0, floor(h_e f0 / h0)) with it.
+  std::vector<size_t> round_f;
+  /// Every applied membership event, in application order (empty unless
+  /// churn == "epoch").  A pure function of (config, seed, churn_seed) —
+  /// replaying the same triple reproduces it exactly.
+  std::vector<ChurnEvent> churn_trace;
+  /// Final per-pool-worker reputation scores (empty unless churn ==
+  /// "epoch" with reputation == "distance").
+  std::vector<double> reputation_scores;
   Vector final_parameters;
   double final_accuracy = 0.0;
   double final_train_loss = 0.0;

@@ -67,6 +67,7 @@
 
 #include "attacks/attack.hpp"
 #include "core/config.hpp"
+#include "core/membership.hpp"
 #include "core/server.hpp"
 #include "core/straggler.hpp"
 #include "core/worker.hpp"
@@ -85,17 +86,25 @@ namespace dpbyz {
 /// semantics worth defining).
 class ParticipationSchedule {
  public:
-  /// `honest_count` is the number of honest workers the mask covers;
-  /// `rng` feeds the "iid" draws (unused by the other kinds).
+  /// `honest_count` is the most honest workers any round's mask can
+  /// cover (the worker-pool size under membership epochs); `rng` feeds
+  /// the "iid" draws (unused by the other kinds).
   ParticipationSchedule(const ExperimentConfig& config, size_t honest_count, Rng rng);
 
-  /// Fill `live[i] = 1` iff honest worker i delivers in (1-based) round
-  /// t, and return the live count.  Rounds must be queried in order
-  /// (t = 1, 2, ...): the iid kind consumes one Bernoulli draw per
-  /// honest worker per round, in worker-index order.
-  size_t live_round(size_t t, std::vector<uint8_t>& live);
+  /// Fill `live[i] = 1` iff the i-th of this round's `count` honest
+  /// roster members delivers in (1-based) round t, and return the live
+  /// count.  `count` is the epoch's active roster size (constant ==
+  /// honest_count() without membership epochs).  Rounds must be queried
+  /// in order (t = 1, 2, ...): the iid kind consumes one Bernoulli draw
+  /// per roster member per round, in roster order.
+  size_t live_round(size_t t, size_t count, std::vector<uint8_t>& live);
 
   size_t honest_count() const { return honest_count_; }
+
+  /// Checkpoint round trip of the draw stream (the iid kind's RNG; the
+  /// other kinds are pure functions of t).
+  void save(std::ostream& os) const { rng_.save(os); }
+  void load(std::istream& is) { rng_.load(is); }
 
  private:
   enum class Kind { kFull, kIid, kStragglers };
@@ -122,8 +131,25 @@ class RoundPipeline {
     size_t rows = 0;         ///< n' — rows to aggregate
     size_t live_honest = 0;  ///< honest rows delivered this round
     double loss_sum = 0.0;   ///< Σ live workers' batch losses (index order)
+    /// The GAR tolerance this round aggregates under: the epoch's
+    /// renegotiated f_e under membership epochs, config.num_byzantine
+    /// otherwise.  Feed it to aggregator_for alongside `rows`.
+    size_t f_budget = 0;
+    /// Quarantined auditionees' rows, appended behind the aggregated
+    /// prefix (rows [rows, rows + shadow_rows) of the slot arena) —
+    /// audited by the ReputationBook, never aggregated.  Zero without
+    /// membership epochs.
+    size_t shadow_rows = 0;
+    /// View of those shadow rows (empty-rowed when shadow_rows == 0).
+    GradientBatch shadow_view;
+    /// Pool ids behind the compacted rows: live_ids[k] submitted row k,
+    /// shadow_ids[q] submitted shadow row q.  Empty without membership
+    /// epochs (rows are worker indices there).
+    std::span<const uint32_t> live_ids;
+    std::span<const uint32_t> shadow_ids;
     /// Parameter-version staleness of this round's gradients:
-    /// min(t - 1, pipeline_depth).
+    /// min(t - 1, pipeline_depth), capped further by any epoch/checkpoint
+    /// barrier the dispatch could not cross.
     size_t staleness = 0;
     /// Seconds the caller was blocked waiting for this round's fill —
     /// the whole fill at depth 0, only the non-overlapped remainder of
@@ -144,15 +170,23 @@ class RoundPipeline {
   /// the attack is disabled).  `observe_clean` selects the adversary's
   /// observation point exactly as in the synchronous loop.  RNG streams
   /// move in: the engine is their sole consumer from here on.
-  /// `full_rows_gar`, when non-null, seeds the per-n' rule cache for
-  /// full rounds (rows == honest + byzantine) so the caller's existing
-  /// (n, f) instance — typically the server's — is reused instead of
-  /// constructed a second time; it must outlive the pipeline.
+  /// `full_rows_gar`, when non-null, seeds the per-(n', f) rule cache
+  /// for full rounds (rows == honest + byzantine) so the caller's
+  /// existing (n, f) instance — typically the server's — is reused
+  /// instead of constructed a second time; it must outlive the pipeline.
+  /// `membership`, when non-null, makes rounds draw their roster from
+  /// the manager's current view: `honest` is then the whole worker pool
+  /// (MembershipManager::pool_size slots), live draws cover the epoch's
+  /// active roster, quarantined auditionees submit shadow rows, and
+  /// epoch boundaries act as dispatch barriers (see acquire).  The
+  /// caller advances the manager between acquires only at boundaries —
+  /// the fill agent is provably idle there.
   RoundPipeline(const ExperimentConfig& config, std::vector<HonestWorker>& honest,
                 const Attack* attack, size_t byzantine_rows, bool observe_clean,
                 size_t dim, Rng attack_rng, Rng dropout_rng,
                 ParticipationSchedule schedule,
-                const Aggregator* full_rows_gar = nullptr);
+                const Aggregator* full_rows_gar = nullptr,
+                const MembershipManager* membership = nullptr);
 
   /// Joins the fill thread (any in-flight fill completes first).
   ~RoundPipeline();
@@ -164,22 +198,43 @@ class RoundPipeline {
   /// order).  `w` is the server's current parameters θ_{t-1}.
   ///
   /// Depth 0: fills round t at `w` synchronously and returns it.
-  /// Depth k: blocks until the pre-dispatched fill of round t (stale
-  /// params) completes, snapshots `w` into the ring slot round t+k will
-  /// use and hands that round to the fill thread (unless t + k >
-  /// total_rounds), then returns round t — the caller aggregates it
-  /// while the fill thread works ahead.  The returned Round stays valid
-  /// until the next acquire().
+  /// Depth k: dispatches every not-yet-dispatched round up to
+  /// min(t + k, barrier_cap(t)) against `w` (they all see θ_{t-1}; at
+  /// t = 1 this is the prologue filling 1..k+1 at θ_0), blocks until the
+  /// fill of round t completes, and returns it — the caller aggregates
+  /// while the fill thread works ahead.  barrier_cap stops dispatch at
+  /// the next epoch/checkpoint boundary: the fill agent is idle when the
+  /// caller finishes aggregating a boundary round, so membership can
+  /// advance and RNG streams can be checkpointed there, and the next
+  /// acquire refills the ring prologue-style at the post-boundary state.
+  /// The returned Round stays valid until the next acquire().
   const Round& acquire(size_t t, const Vector& w);
 
-  /// The per-(n', f) aggregation rule for a round of `rows` rows:
-  /// the first occurrence of each n' constructs the configured GAR
+  /// The aggregation rule for a round of `rows` rows tolerating `f`:
+  /// the first occurrence of each (n', f) constructs the configured GAR
   /// through make_round_aggregator (sharded when config.shards > 1, the
   /// hierarchical tree when config.tree_levels >= 1) at (n', f) —
   /// throwing std::invalid_argument when that round budget is
   /// inadmissible — and caches it.  With full participation every round
   /// reuses the single (n, f) instance.
-  const Aggregator& aggregator_for(size_t rows);
+  const Aggregator& aggregator_for(size_t rows, size_t f);
+
+  /// Register an externally owned rule for (rows, f) — the server's
+  /// renegotiated epoch instance — so full rounds of the new epoch reuse
+  /// it.  No-op when the pair is already cached; `gar` must outlive the
+  /// pipeline.
+  void adopt_rule(size_t rows, size_t f, const Aggregator* gar);
+
+  /// Checkpoint restore: resume the ring as if rounds 1..t had already
+  /// been acquired (the next acquire must be t + 1).  Call before any
+  /// acquire, after load_stream_state.
+  void start_from(size_t t);
+
+  /// Checkpoint round trip of the fill-side RNG streams (attack,
+  /// dropout, participation).  Call only while the fill agent is idle —
+  /// at a barrier, or before the first acquire.
+  void save_stream_state(std::ostream& os) const;
+  void load_stream_state(std::istream& is);
 
   /// Accumulates the channel counters of every tree rule this engine
   /// constructed (no-op otherwise).  Call only after the final acquire —
@@ -203,10 +258,20 @@ class RoundPipeline {
   struct Slot {
     GradientBatch batch;  ///< rows [0, rows) are the round
     Vector params;        ///< θ snapshot the fill ran against
+    /// Which θ version `params` is (written at dispatch: the acquiring
+    /// round minus one).  staleness = t - 1 - param_version.
+    size_t param_version = 0;
     size_t rows = 0;
     size_t live_honest = 0;
+    size_t f_budget = 0;
+    size_t shadow_rows = 0;
     double loss_sum = 0.0;
     double fill_busy_seconds = 0.0;  ///< written by the fill agent
+    /// Pool ids behind the compacted/shadow rows (membership runs only);
+    /// per-slot so the fill agent can write round t+k's while the caller
+    /// reads round t's.
+    std::vector<uint32_t> live_ids;
+    std::vector<uint32_t> shadow_ids;
   };
 
   /// Fill `slot` for round t at parameters `p`: draw the live set (and
@@ -223,6 +288,12 @@ class RoundPipeline {
   void fill_thread_loop();
 
   Slot& slot_for(size_t t) { return slots_[t % slots_.size()]; }
+
+  /// Highest round the ring may dispatch while the caller is at round t:
+  /// the nearest epoch/checkpoint boundary >= t (fills must not cross it
+  /// — the roster/streams may change there), or total_rounds() when no
+  /// boundary period is active.
+  size_t barrier_cap(size_t t) const;
 
   /// Publish rounds up to `t` as dispatched (their slots' params
   /// snapshots are already written) and wake the fill thread.
@@ -243,6 +314,7 @@ class RoundPipeline {
   Rng dropout_rng_;
   ParticipationSchedule schedule_;
   StragglerController straggler_;
+  const MembershipManager* membership_;  ///< null = fixed roster
 
   /// The ring: depth + 1 slots (one at depth 0), round t in slot
   /// t mod (depth + 1).  The slot round t+depth fills is the one round
@@ -253,10 +325,11 @@ class RoundPipeline {
   std::vector<size_t> live_idx_;  ///< live worker indices, ascending
   std::vector<double> latency_;   ///< per-live-rank fill seconds (adaptive only)
   Round round_;                   ///< what acquire() returns
-  /// Per-n' rule lookup; entries point either at the caller-provided
-  /// full-rows instance or at rules this pipeline constructed (owned
-  /// below).  Grows by at most one entry per distinct n'.
-  std::map<size_t, const Aggregator*> gar_by_rows_;
+  /// Per-(n', f) rule lookup; entries point either at caller-provided
+  /// instances (the server's initial and renegotiated rules) or at rules
+  /// this pipeline constructed (owned below).  Grows by at most one
+  /// entry per distinct pair.
+  std::map<std::pair<size_t, size_t>, const Aggregator*> gar_by_rows_;
   std::vector<std::unique_ptr<Aggregator>> owned_gars_;
 
   // Depth-k handshake.  Two monotone round counters replace the PR-4

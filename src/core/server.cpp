@@ -1,5 +1,10 @@
 #include "core/server.hpp"
 
+#include <stdexcept>
+#include <string>
+
+#include "aggregation/hierarchical.hpp"
+#include "core/trainer.hpp"
 #include "utils/errors.hpp"
 
 namespace dpbyz {
@@ -25,6 +30,34 @@ void ParameterServer::aggregate_with(const Aggregator& gar, const GradientBatch&
 }
 
 void ParameterServer::apply(size_t t) { optimizer_.step(w_, last_aggregate_, t); }
+
+void ParameterServer::renegotiate(const ExperimentConfig& config, size_t epoch,
+                                  size_t rows, size_t f) {
+  std::unique_ptr<Aggregator> next;
+  try {
+    next = make_round_aggregator(config, rows, f);
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(
+        "ParameterServer: epoch " + std::to_string(epoch) +
+        " renegotiated budget (n = " + std::to_string(rows) +
+        ", f = " + std::to_string(f) + ") is inadmissible for gar '" +
+        config.gar + "': " + e.what());
+  }
+  retired_.push_back(std::move(gar_));
+  gar_ = std::move(next);
+}
+
+void ParameterServer::add_retired_channel_stats(net::ChannelStats& out) const {
+  for (const std::unique_ptr<Aggregator>& rule : retired_)
+    if (const auto* tree = dynamic_cast<const HierarchicalAggregator*>(rule.get()))
+      out.accumulate(tree->channel_stats());
+}
+
+void ParameterServer::restore(Vector w, const Vector& velocity) {
+  require(w.size() == w_.size(), "ParameterServer::restore: dimension mismatch");
+  w_ = std::move(w);
+  optimizer_.restore_velocity(velocity);
+}
 
 void ParameterServer::step(std::span<const Vector> gradients, size_t t) {
   legacy_batch_.reshape(gradients.size(), gradients.empty() ? 0 : gradients[0].size());

@@ -15,7 +15,9 @@
 #include <memory>
 
 #include "aggregation/aggregator.hpp"
+#include "core/config.hpp"
 #include "models/optimizer.hpp"
+#include "net/channel.hpp"
 
 namespace dpbyz {
 
@@ -51,6 +53,27 @@ class ParameterServer {
   const Vector& parameters() const { return w_; }
   const Vector& last_aggregate() const { return last_aggregate_; }
   const Aggregator& gar() const { return *gar_; }
+  const Vector& velocity() const { return optimizer_.velocity(); }
+
+  /// Membership-epoch renegotiation: replace the server's own rule with
+  /// the configured GAR rebuilt at the epoch's negotiated budget
+  /// (rows = h_e + f_e submissions, f_e tolerated).  Throws
+  /// std::runtime_error naming the epoch and the renegotiated (n, f)
+  /// when the budget is inadmissible for the rule — the run cannot
+  /// continue under its configured defense.  Retired rules stay alive
+  /// for the server's lifetime: the round engine's per-(n', f) cache may
+  /// still route later partial rounds through them.
+  void renegotiate(const ExperimentConfig& config, size_t epoch, size_t rows,
+                   size_t f);
+
+  /// Accumulate the wire/channel counters of every rule retired by
+  /// renegotiate() (no-op for flat/sharded topologies).  Call after the
+  /// last round, like RoundPipeline::add_channel_stats.
+  void add_retired_channel_stats(net::ChannelStats& out) const;
+
+  /// Checkpoint restore: overwrite the model parameters and the
+  /// optimizer's momentum buffer.
+  void restore(Vector w, const Vector& velocity);
 
  private:
   std::unique_ptr<Aggregator> gar_;
@@ -59,6 +82,8 @@ class ParameterServer {
   Vector last_aggregate_;
   AggregatorWorkspace ws_;
   GradientBatch legacy_batch_;  // arena backing the span overload
+  /// Rules replaced by renegotiate(), kept alive (see renegotiate docs).
+  std::vector<std::unique_ptr<Aggregator>> retired_;
 };
 
 }  // namespace dpbyz

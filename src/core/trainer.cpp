@@ -1,11 +1,15 @@
 #include "core/trainer.hpp"
 
 #include <cmath>
+#include <sstream>
 
 #include "aggregation/hierarchical.hpp"
 #include "aggregation/sharded.hpp"
 #include "attacks/adaptive.hpp"
+#include "core/checkpoint.hpp"
+#include "core/membership.hpp"
 #include "core/pipeline.hpp"
+#include "core/reputation.hpp"
 #include "data/partition.hpp"
 #include "dp/gaussian_mechanism.hpp"
 #include "dp/laplace_mechanism.hpp"
@@ -30,7 +34,7 @@ std::unique_ptr<NoiseMechanism> make_mechanism(const ExperimentConfig& config, s
 }
 
 std::unique_ptr<Aggregator> make_round_aggregator(const ExperimentConfig& config,
-                                                  size_t rows) {
+                                                  size_t rows, size_t f) {
   const PruneMode prune = parse_prune_mode(config.prune);
   if (config.tree_levels > 0) {
     net::LinkConfig link;
@@ -46,15 +50,20 @@ std::unique_ptr<Aggregator> make_round_aggregator(const ExperimentConfig& config
                         config.channel_corrupt, config.channel_reorder};
     }
     return std::make_unique<HierarchicalAggregator>(
-        config.gar, config.shard_merge_gar, rows, config.num_byzantine,
+        config.gar, config.shard_merge_gar, rows, f,
         config.tree_levels, config.tree_branch, config.threads, prune,
         framed ? &link : nullptr);
   }
   if (config.shards > 1)
     return std::make_unique<ShardedAggregator>(config.gar, config.shard_merge_gar,
-                                               rows, config.num_byzantine,
+                                               rows, f,
                                                config.shards, config.threads, prune);
-  return make_aggregator(config.gar, rows, config.num_byzantine, prune);
+  return make_aggregator(config.gar, rows, f, prune);
+}
+
+std::unique_ptr<Aggregator> make_round_aggregator(const ExperimentConfig& config,
+                                                  size_t rows) {
+  return make_round_aggregator(config, rows, config.num_byzantine);
 }
 
 Trainer::Trainer(const ExperimentConfig& config, const Model& model, const Dataset& train,
@@ -105,11 +114,32 @@ RunResult Trainer::run() {
                                     partition_rng);
   }
 
+  // Membership epochs (churn == "epoch"): the roster becomes dynamic and
+  // the worker vector is sized for the whole pool — the initial roster
+  // plus every potential joiner slot — so a join event never constructs
+  // worker state (or a fresh RNG stream) mid-run.  The churn event
+  // stream derives from churn_seed alone, keeping the trace a pure
+  // function of (config, seed, churn_seed).  Churn off leaves
+  // pool == active_honest and every construction below byte-identical to
+  // the fixed-roster trainer.
+  const bool churning = config_.churn == "epoch";
+  const size_t pool =
+      churning ? MembershipManager::pool_size_for(config_, active_honest) : active_honest;
+  std::unique_ptr<MembershipManager> membership;
+  ReputationBook reputation;
+  if (churning) {
+    membership = std::make_unique<MembershipManager>(
+        config_, active_honest, Rng(config_.churn_seed).derive("churn"));
+    reputation = ReputationBook(config_, pool);
+  }
+
   // Workers: when the attack is disabled all n behave honestly, matching
-  // the paper's baseline configurations.
+  // the paper's baseline configurations.  Under churn the tail slots
+  // [active_honest, pool) are future joiners (all on the shared training
+  // set — churn requires data_partition == "shared").
   std::vector<HonestWorker> honest;
-  honest.reserve(n);
-  for (size_t i = 0; i < active_honest; ++i)
+  honest.reserve(pool);
+  for (size_t i = 0; i < pool; ++i)
     honest.emplace_back(model_, shards.empty() ? train_ : shards[i], config_.batch_size,
                         config_.clip_norm, *mechanism_,
                         root.derive("worker-" + std::to_string(i)), config_.clip_enabled,
@@ -133,6 +163,7 @@ RunResult Trainer::run() {
   RunResult result;
   result.train_loss.reserve(config_.steps);
   result.round_rows.reserve(config_.steps);
+  result.round_f.reserve(config_.steps);
 
   const bool observe_clean =
       config_.attack_enabled && config_.attack_observes == "clean";
@@ -149,19 +180,138 @@ RunResult Trainer::run() {
                                       root.derive("participation"));
   RoundPipeline pipeline(config_, honest, attack_.get(), f, observe_clean,
                          model_.dim(), std::move(attack_rng), std::move(dropout_rng),
-                         std::move(participation), &server.gar());
-  for (size_t t = 1; t <= config_.steps; ++t) {
+                         std::move(participation), &server.gar(), membership.get());
+
+  // Checkpointing (core/checkpoint.hpp).  Checkpoint rounds are ring
+  // barriers, so every stream snapshotted below is quiescent when the
+  // lambda runs; restore reverses each save exactly, then renegotiates
+  // the server's rule to the restored epoch's budget so the resumed
+  // rounds aggregate exactly as the uninterrupted run's would.
+  const bool checkpointing = !config_.checkpoint_path.empty();
+  const std::string signature = checkpointing ? checkpoint_signature(config_) : "";
+  auto write_checkpoint = [&](size_t t) {
+    TrainerCheckpoint ckpt;
+    ckpt.signature = signature;
+    ckpt.round = t;
+    ckpt.params = server.parameters();
+    ckpt.velocity = server.velocity();
+    ckpt.worker_blobs.reserve(honest.size());
+    for (const HonestWorker& w : honest) {
+      std::ostringstream ss;
+      w.save_state(ss);
+      ckpt.worker_blobs.push_back(std::move(ss).str());
+    }
+    if (attack_) {
+      std::ostringstream ss;
+      attack_->save_state(ss);
+      ckpt.attack_blob = std::move(ss).str();
+    }
+    {
+      std::ostringstream ss;
+      pipeline.save_stream_state(ss);
+      ckpt.stream_blob = std::move(ss).str();
+    }
+    if (membership) {
+      std::ostringstream ms;
+      membership->save(ms);
+      ckpt.membership_blob = std::move(ms).str();
+      std::ostringstream rs;
+      reputation.save(rs);
+      ckpt.reputation_blob = std::move(rs).str();
+    }
+    ckpt.train_loss = result.train_loss;
+    ckpt.round_rows.assign(result.round_rows.begin(), result.round_rows.end());
+    ckpt.round_f.assign(result.round_f.begin(), result.round_f.end());
+    ckpt.eval = result.eval;
+    save_checkpoint(config_.checkpoint_path, ckpt);
+  };
+
+  // Epoch-boundary processing after aggregating round t (skipped at the
+  // final step — no following round trains under the new roster).  The
+  // boundary capped dispatch (RoundPipeline::barrier_cap), so the fill
+  // agent is idle here and the roster swap is race-free.  The
+  // renegotiated rule replaces the server's own and is adopted into the
+  // engine's (n', f) cache for the new epoch's full rounds.
+  auto process_boundary = [&](size_t t) {
+    if (!membership || t >= config_.steps || !membership->is_boundary(t)) return;
+    membership->advance(t, reputation);
+    const MembershipView& mv = membership->view();
+    const size_t rows_e = mv.active.size() + (f > 0 ? mv.byzantine : 0);
+    server.renegotiate(config_, mv.epoch, rows_e, mv.byzantine);
+    pipeline.adopt_rule(rows_e, mv.byzantine, &server.gar());
+  };
+
+  size_t start_round = 0;
+  if (checkpointing && config_.checkpoint_resume) {
+    if (std::optional<TrainerCheckpoint> ckpt = load_checkpoint(config_.checkpoint_path)) {
+      require(ckpt->signature == signature,
+              "Trainer: checkpoint '" + config_.checkpoint_path +
+                  "' was written by an incompatible configuration");
+      require(ckpt->round >= 1 && ckpt->round <= config_.steps,
+              "Trainer: checkpoint round exceeds config.steps");
+      // A checkpoint written under a shorter horizon carries fewer
+      // joiner slots (pool_size_for depends on steps); the missing tail
+      // slots were necessarily unborn at the checkpoint round, so their
+      // freshly constructed state is exactly the restored state.
+      require(ckpt->worker_blobs.size() <= honest.size(),
+              "Trainer: checkpoint worker pool exceeds this run's (steps shrank "
+              "below the checkpointed horizon?)");
+      require(ckpt->train_loss.size() == ckpt->round &&
+                  ckpt->round_rows.size() == ckpt->round &&
+                  ckpt->round_f.size() == ckpt->round,
+              "Trainer: checkpoint metrics length mismatch");
+      server.restore(std::move(ckpt->params), ckpt->velocity);
+      for (size_t i = 0; i < ckpt->worker_blobs.size(); ++i) {
+        std::istringstream ss(ckpt->worker_blobs[i]);
+        honest[i].load_state(ss);
+      }
+      if (attack_) {
+        std::istringstream ss(ckpt->attack_blob);
+        attack_->load_state(ss);
+      }
+      {
+        std::istringstream ss(ckpt->stream_blob);
+        pipeline.load_stream_state(ss);
+      }
+      if (membership) {
+        std::istringstream ms(ckpt->membership_blob);
+        membership->load(ms);
+        std::istringstream rs(ckpt->reputation_blob);
+        reputation.load(rs);
+        if (membership->view().epoch > 0) {
+          const MembershipView& mv = membership->view();
+          const size_t rows_e = mv.active.size() + (f > 0 ? mv.byzantine : 0);
+          server.renegotiate(config_, mv.epoch, rows_e, mv.byzantine);
+          pipeline.adopt_rule(rows_e, mv.byzantine, &server.gar());
+        }
+      }
+      result.train_loss = std::move(ckpt->train_loss);
+      result.round_rows.assign(ckpt->round_rows.begin(), ckpt->round_rows.end());
+      result.round_f.assign(ckpt->round_f.begin(), ckpt->round_f.end());
+      result.eval = std::move(ckpt->eval);
+      pipeline.start_from(ckpt->round);
+      start_round = ckpt->round;
+      // Checkpoints are written *before* boundary processing (so the
+      // file is a pure function of the trajectory prefix, never of how
+      // far past the boundary the writing run's horizon reached); when
+      // the checkpoint round is a boundary, re-run it now.
+      process_boundary(start_round);
+    }
+  }
+
+  for (size_t t = start_round + 1; t <= config_.steps; ++t) {
     const RoundPipeline::Round& round = pipeline.acquire(t, server.parameters());
     result.train_loss.push_back(round.loss_sum /
                                 static_cast<double>(round.live_honest));
     result.round_rows.push_back(round.rows);
+    result.round_f.push_back(round.f_budget);
     result.phase.fill += round.fill_wait_seconds;
     result.phase.fill_busy += round.fill_busy_seconds;
 
-    // Aggregate the live prefix with the (n', f)-admissible rule —
+    // Aggregate the live prefix with the (n', f_e)-admissible rule —
     // while, at depth k >= 1, the fill thread already produces rounds
     // t+1 .. t+k against their stale parameter snapshots.
-    const Aggregator& round_gar = pipeline.aggregator_for(round.rows);
+    const Aggregator& round_gar = pipeline.aggregator_for(round.rows, round.f_budget);
     Stopwatch agg_watch;
     server.aggregate_with(round_gar, round.batch_view);
     result.phase.aggregate += agg_watch.seconds();
@@ -169,11 +319,26 @@ RunResult Trainer::run() {
     server.apply(t);
     result.phase.apply += apply_watch.seconds();
 
+    // Reputation audit: every delivered row (live and quarantined shadow
+    // alike) is scored against the round's selected aggregate.
+    if (membership)
+      reputation.observe_round(round.batch_view, round.live_honest, round.live_ids,
+                               round.shadow_view, round.shadow_ids,
+                               server.last_aggregate());
+
     // Periodic evaluation (and always at the last step).
     if (t % config_.eval_every == 0 || t == config_.steps) {
       const double acc = model_.accuracy(server.parameters(), test_);
       result.eval.push_back({t, acc});
     }
+
+    // Checkpoint before any boundary processing (see the restore path:
+    // the boundary is re-run on resume), also at the final step so a
+    // finished run can be extended by raising config.steps.
+    if (checkpointing && (t % config_.checkpoint_every == 0 || t == config_.steps))
+      write_checkpoint(t);
+
+    process_boundary(t);
   }
 
   // The last acquire has happened, so the fill agent is quiescent and
@@ -183,13 +348,22 @@ RunResult Trainer::run() {
     result.straggler_ema = pipeline.straggler().ema();
   }
 
-  // Channel accounting: the server's full-round tree plus every per-n'
-  // instance the engine constructed (their counters are only written by
-  // the rounds that ran them, all quiescent by now).
+  // Channel accounting: the server's full-round tree (current and any
+  // epoch-retired instances) plus every per-n' instance the engine
+  // constructed (their counters are only written by the rounds that ran
+  // them, all quiescent by now).
   if (config_.tree_levels > 0) {
     if (const auto* tree = dynamic_cast<const HierarchicalAggregator*>(&server.gar()))
       result.channel.accumulate(tree->channel_stats());
+    server.add_retired_channel_stats(result.channel);
     pipeline.add_channel_stats(result.channel);
+  }
+
+  // Elasticity outputs: the applied churn trace and the final reputation
+  // scores (both pure functions of (config, seed, churn_seed)).
+  if (membership) {
+    result.churn_trace = membership->trace();
+    if (reputation.enabled()) result.reputation_scores = reputation.scores();
   }
 
   result.final_parameters = server.parameters();

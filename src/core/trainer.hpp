@@ -72,13 +72,18 @@ class Trainer {
 /// (NoNoise when DP is disabled).  Shared with the theory benches.
 std::unique_ptr<NoiseMechanism> make_mechanism(const ExperimentConfig& config, size_t dim);
 
-/// Construct the round GAR for `rows` submissions at the config's
-/// topology: flat (default), two-level sharded (shards > 1), or the
-/// hierarchical tree with its wire/channel link (tree_levels >= 1).
-/// The single construction path shared by the trainer's full-round rule
-/// and the round engine's per-n' cache — budgets, prune mode and link
-/// wiring cannot drift between the two.  Throws std::invalid_argument
-/// when any derived stage budget is inadmissible at (rows, f).
+/// Construct the round GAR for `rows` submissions tolerating `f`
+/// Byzantine at the config's topology: flat (default), two-level sharded
+/// (shards > 1), or the hierarchical tree with its wire/channel link
+/// (tree_levels >= 1).  The single construction path shared by the
+/// trainer's full-round rule, the round engine's per-(n', f) cache and
+/// ParameterServer::renegotiate — budgets, prune mode and link wiring
+/// cannot drift between them.  Throws std::invalid_argument when any
+/// derived stage budget is inadmissible at (rows, f).
+std::unique_ptr<Aggregator> make_round_aggregator(const ExperimentConfig& config,
+                                                  size_t rows, size_t f);
+
+/// Convenience at the configured budget f = config.num_byzantine.
 std::unique_ptr<Aggregator> make_round_aggregator(const ExperimentConfig& config,
                                                   size_t rows);
 

@@ -13,6 +13,7 @@
 // composes both.
 #pragma once
 
+#include <iosfwd>
 #include <memory>
 
 #include "data/dataset.hpp"
@@ -63,6 +64,13 @@ class HonestWorker {
   /// The clipped, pre-noise gradient of the last submit() (diagnostics:
   /// VN-ratio estimation needs the clean gradient distribution).
   const Vector& last_clean_gradient() const { return last_clean_gradient_; }
+
+  /// Checkpoint round trip of everything that shapes future submits: the
+  /// sampling and noise RNG streams plus the momentum velocity.  The
+  /// last-submit diagnostics (loss, clean gradient) are recomputed on the
+  /// next submit and are deliberately not captured.
+  void save_state(std::ostream& os) const;
+  void load_state(std::istream& is);
 
  private:
   const Model& model_;

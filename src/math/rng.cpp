@@ -1,7 +1,10 @@
 #include "math/rng.hpp"
 
 #include <cmath>
+#include <istream>
 #include <limits>
+#include <ostream>
+#include <string>
 
 #include "utils/errors.hpp"
 
@@ -94,6 +97,16 @@ Vector Rng::laplace_vector(size_t d, double scale) {
   Vector out(d);
   for (double& x : out) x = laplace(0.0, scale);
   return out;
+}
+
+void Rng::save(std::ostream& os) const {
+  os << "rng " << seed_ << ' ' << engine_ << '\n';
+}
+
+void Rng::load(std::istream& is) {
+  std::string tag;
+  is >> tag >> seed_ >> engine_;
+  require(!is.fail() && tag == "rng", "Rng: corrupt checkpoint state");
 }
 
 std::vector<size_t> Rng::permutation(size_t n) {

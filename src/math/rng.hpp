@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <random>
 #include <string>
 
@@ -75,6 +76,14 @@ class Rng {
   std::mt19937_64& engine() { return engine_; }
 
   uint64_t seed() const { return seed_; }
+
+  /// Checkpoint round trip.  An Rng's observable state is exactly
+  /// (seed_, engine_): every distribution is constructed fresh per draw,
+  /// so serialising the engine via its operator<< (a portable decimal
+  /// rendering of the Mersenne state, mandated by the standard) restores
+  /// the stream draw-for-draw.
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
 
  private:
   uint64_t seed_;

@@ -43,4 +43,10 @@ void SgdOptimizer::reset() {
   std::fill(velocity_.begin(), velocity_.end(), 0.0);
 }
 
+void SgdOptimizer::restore_velocity(const Vector& v) {
+  require(v.size() == velocity_.size(),
+          "SgdOptimizer::restore_velocity: dimension mismatch");
+  velocity_ = v;
+}
+
 }  // namespace dpbyz

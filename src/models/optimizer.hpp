@@ -33,6 +33,10 @@ class SgdOptimizer {
   /// Reset the momentum buffer (e.g. between repeated runs).
   void reset();
 
+  /// Overwrite the momentum buffer (checkpoint restore); the size must
+  /// match the dim the optimizer was constructed at.
+  void restore_velocity(const Vector& v);
+
   double momentum() const { return momentum_; }
   const Vector& velocity() const { return velocity_; }
 

@@ -50,12 +50,14 @@ GridSpec small_spec() {
 CellArtifact sample_artifact() {
   CellArtifact a;
   a.cell = 3;
-  a.id = "mda/little:1.5/eps=0.2/full/flat/prune=off/fm=0";
+  a.id = "mda/little:1.5/eps=0.2/full/flat/off/off/prune=off/fm=0";
   a.gar = "mda";
   a.attack = "little:1.5";
   a.eps = 0.2;
   a.participation = "full";
   a.topology = "flat";
+  a.channel = "off";
+  a.churn = "off";
   a.prune = "off";
   a.fast_math = 0;
   a.seeds = 2;
@@ -164,6 +166,50 @@ TEST(CampaignGrid, ParsesTopologyAndParticipationAxes) {
   EXPECT_THROW(expand_grid(spec), std::invalid_argument);
 }
 
+TEST(CampaignGrid, ParsesChannelAndChurnAxes) {
+  GridSpec spec = small_spec();
+  spec.gars = {"average"};  // unconstrained at every tree node split
+  spec.attacks = {"none"};
+  spec.dp_eps = {0.0};
+  spec.topologies = {"flat", "tree:2x3"};
+  spec.channels = {"off", "lossy:0.05x0.01x0.1"};
+  spec.churn = {"off", "epoch:5x0.6x0.1"};
+  const auto cells = expand_grid(spec);
+  ASSERT_EQ(cells.size(), 8u);
+
+  // flat + off/off: the plain cell, untouched by the new axes.
+  EXPECT_TRUE(cells[0].admissible()) << cells[0].skip_reason;
+  EXPECT_EQ(cells[0].config.channel, "off");
+  EXPECT_EQ(cells[0].config.churn, "off");
+  EXPECT_EQ(cells[0].config.wire, "off");
+
+  // flat + churn: admissible; the config carries the epoch knobs.
+  EXPECT_TRUE(cells[1].admissible()) << cells[1].skip_reason;
+  EXPECT_EQ(cells[1].config.churn, "epoch");
+  EXPECT_EQ(cells[1].config.churn_epoch_rounds, 5u);
+  EXPECT_DOUBLE_EQ(cells[1].config.churn_join_prob, 0.6);
+  EXPECT_DOUBLE_EQ(cells[1].config.churn_leave_prob, 0.1);
+  EXPECT_NE(cells[1].id.find("/epoch:5x0.6x0.1/"), std::string::npos);
+
+  // flat + lossy: pre-screened out — there is no tree wire to fault.
+  EXPECT_FALSE(cells[2].admissible());
+  EXPECT_NE(cells[2].skip_reason.find("tree_levels"), std::string::npos);
+
+  // tree + lossy: admissible; a bare base gets the raw64 wire format.
+  EXPECT_TRUE(cells[6].admissible()) << cells[6].skip_reason;
+  EXPECT_EQ(cells[6].config.channel, "lossy");
+  EXPECT_DOUBLE_EQ(cells[6].config.channel_drop, 0.05);
+  EXPECT_DOUBLE_EQ(cells[6].config.channel_corrupt, 0.01);
+  EXPECT_DOUBLE_EQ(cells[6].config.channel_reorder, 0.1);
+  EXPECT_EQ(cells[6].config.wire, "raw64");
+
+  spec.channels = {"noisy:0.1"};
+  EXPECT_THROW(expand_grid(spec), std::invalid_argument);
+  spec.channels = {"off"};
+  spec.churn = {"epoch:5x0.6"};
+  EXPECT_THROW(expand_grid(spec), std::invalid_argument);
+}
+
 TEST(CampaignGrid, SignatureTracksEveryAxis) {
   const GridSpec a = small_spec();
   GridSpec b = small_spec();
@@ -175,6 +221,15 @@ TEST(CampaignGrid, SignatureTracksEveryAxis) {
   EXPECT_NE(a.signature(), b.signature());
   b = small_spec();
   b.seeds += 1;
+  EXPECT_NE(a.signature(), b.signature());
+  b = small_spec();
+  b.channels = {"off", "lossy:0.05x0.01x0.1"};
+  EXPECT_NE(a.signature(), b.signature());
+  b = small_spec();
+  b.churn = {"epoch:5x0.6x0.1"};
+  EXPECT_NE(a.signature(), b.signature());
+  b = small_spec();
+  b.base.churn_seed = 9;  // reseeded churn = different trajectories
   EXPECT_NE(a.signature(), b.signature());
 }
 

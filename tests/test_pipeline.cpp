@@ -185,8 +185,8 @@ TEST(RoundPipelineParticipation, ScheduleIsDeterministicAndFloored) {
   ParticipationSchedule a(c, 8, Rng(42));
   ParticipationSchedule b(c, 8, Rng(42));
   for (size_t t = 1; t <= 20; ++t) {
-    const size_t ca = a.live_round(t, live_a);
-    const size_t cb = b.live_round(t, live_b);
+    const size_t ca = a.live_round(t, 8, live_a);
+    const size_t cb = b.live_round(t, 8, live_b);
     EXPECT_EQ(live_a, live_b);
     EXPECT_EQ(ca, cb);
     EXPECT_GE(ca, 1u);  // the floor: never an empty honest round
@@ -197,7 +197,7 @@ TEST(RoundPipelineParticipation, ScheduleIsDeterministicAndFloored) {
   ParticipationSchedule extreme(c, 8, Rng(7));
   std::vector<uint8_t> live;
   for (size_t t = 1; t <= 5; ++t) {
-    EXPECT_EQ(extreme.live_round(t, live), 1u);
+    EXPECT_EQ(extreme.live_round(t, 8, live), 1u);
     EXPECT_EQ(live[0], 1);  // lowest index forced back in
   }
 }
@@ -209,10 +209,10 @@ TEST(RoundPipelineParticipation, StragglerScheduleIsPeriodic) {
   c.straggler_period = 2;
   ParticipationSchedule sched(c, 8, Rng(1));
   std::vector<uint8_t> live;
-  EXPECT_EQ(sched.live_round(1, live), 5u);  // odd round: stragglers out
+  EXPECT_EQ(sched.live_round(1, 8, live), 5u);  // odd round: stragglers out
   for (size_t i = 0; i < 5; ++i) EXPECT_EQ(live[i], 1);
   for (size_t i = 5; i < 8; ++i) EXPECT_EQ(live[i], 0);
-  EXPECT_EQ(sched.live_round(2, live), 8u);  // even round: all deliver
+  EXPECT_EQ(sched.live_round(2, 8, live), 8u);  // even round: all deliver
 }
 
 TEST(RoundPipelineParticipation, FullyParticipatingSchedulesMatchFullBitwise) {

@@ -209,7 +209,7 @@ TEST(StragglerProperty, RandomizedRoundsHoldFloorAndReplayBitIdentical) {
       Rng spike_rng(seed + 1000);
       std::vector<uint8_t> live;
       for (size_t t = 1; t <= kRounds; ++t) {
-        size_t n = sched.live_round(t, live);
+        size_t n = sched.live_round(t, kHonest, live);
         n = ctl.apply(t, live, n);
         ASSERT_GE(n, 1u) << "round " << t;
         size_t ones = 0;
@@ -234,7 +234,7 @@ TEST(StragglerProperty, RandomizedRoundsHoldFloorAndReplayBitIdentical) {
     StragglerController ctl(rc, kHonest);
     std::vector<uint8_t> live;
     for (size_t t = 1; t <= kRounds; ++t) {
-      size_t n = sched.live_round(t, live);
+      size_t n = sched.live_round(t, kHonest, live);
       n = ctl.apply(t, live, n);
       ASSERT_EQ(live, masks[t - 1]) << "round " << t;
       (void)n;

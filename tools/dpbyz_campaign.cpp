@@ -1,7 +1,8 @@
 // dpbyz_campaign — declarative scenario-campaign CLI (ROADMAP item 4).
 //
-// Expands a GAR x attack x DP-eps x participation x topology x prune x
-// fast_math grid, pre-screens admissibility, runs the admissible cells
+// Expands a GAR x attack x DP-eps x participation x topology x channel x
+// churn x prune x fast_math grid, pre-screens admissibility, runs the
+// admissible cells
 // in parallel with per-cell checkpointing, and writes the campaign
 // CSV/JSON artifacts.  A killed campaign resumes from its manifest and
 // produces byte-identical artifacts (see src/campaign/runner.hpp).
@@ -52,16 +53,18 @@ int main(int argc, char** argv) {
   try {
     flags::Parser flags(
         argc, argv,
-        {"gars", "attacks", "eps", "participation", "topologies", "prune",
-         "fast-math", "seeds", "data-seed", "steps", "batch", "workers",
-         "byzantine", "depth", "observes", "adapt-probes", "adapt-budget",
-         "out", "threads", "max-cells", "privacy-samples", "dry-run",
-         "list-cells", "help"});
+        {"gars", "attacks", "eps", "participation", "topologies", "channels",
+         "churn", "churn-seed", "prune", "fast-math", "seeds", "data-seed",
+         "steps", "batch", "workers", "byzantine", "depth", "observes",
+         "adapt-probes", "adapt-budget", "out", "threads", "max-cells",
+         "privacy-samples", "dry-run", "list-cells", "help"});
     if (flags.get_bool("help", false)) {
       std::printf(
           "usage: dpbyz_campaign [--gars=a,b] [--attacks=none,little:1.5,adaptive_alie]\n"
           "  [--eps=0,0.2] [--participation=full,iid:0.9,stragglers:2x3]\n"
-          "  [--topologies=flat,shards:3,tree:2x3] [--prune=off,exact] [--fast-math=0,1]\n"
+          "  [--topologies=flat,shards:3,tree:2x3]\n"
+          "  [--channels=off,lossy:0.05x0.01x0.1] [--churn=off,epoch:50x0.5x0.1]\n"
+          "  [--churn-seed=S] [--prune=off,exact] [--fast-math=0,1]\n"
           "  [--seeds=N] [--data-seed=S] [--steps=T] [--batch=b] [--workers=n]\n"
           "  [--byzantine=f] [--depth=k] [--observes=clean|wire]\n"
           "  [--adapt-probes=P] [--adapt-budget=B]\n"
@@ -76,6 +79,9 @@ int main(int argc, char** argv) {
     spec.dp_eps = split_doubles(flags.get_string("eps", "0,0.2"));
     spec.participation = split_list(flags.get_string("participation", "full"));
     spec.topologies = split_list(flags.get_string("topologies", "flat"));
+    spec.channels = split_list(flags.get_string("channels", "off"));
+    spec.churn = split_list(flags.get_string("churn", "off"));
+    spec.base.churn_seed = static_cast<uint64_t>(flags.get_int("churn-seed", 1));
     spec.prune = split_list(flags.get_string("prune", "off"));
     spec.fast_math = split_ints(flags.get_string("fast-math", "0"));
     spec.seeds = static_cast<size_t>(flags.get_int("seeds", 3));
